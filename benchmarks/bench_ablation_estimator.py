@@ -1,0 +1,47 @@
+"""Ablation: closed-form GSA-intersection vs BKZ-simulator beta estimate.
+
+The paper's bikz numbers come from the leaky-LWE-estimator's
+closed-form model; this bench cross-checks our implementation against a
+Chen-Nguyen-style profile simulation.  Agreement within ~15% is the
+expected fidelity of these asymptotic models at beta ~ 400.
+"""
+
+import pytest
+
+from repro.hints.estimator import (
+    beta_for_usvp,
+    beta_for_usvp_simulated,
+    bikz_to_bits,
+)
+from repro.hints.security import PAPER_BIKZ_NO_HINTS, seal_128_dbdd
+
+
+class TestEstimatorAblation:
+    def test_closed_form_vs_simulation(self, benchmark):
+        instance = seal_128_dbdd()
+        dim = instance.homogenised_dim()
+        volume = instance.log_isotropic_volume()
+
+        closed = benchmark(beta_for_usvp, dim, volume)
+        simulated = beta_for_usvp_simulated(dim, volume)
+
+        print("\n=== Ablation: bikz estimation model ===")
+        print(f"  closed-form GSA intersection: {closed:8.2f} bikz "
+              f"(2^{bikz_to_bits(closed):.1f})  [paper: {PAPER_BIKZ_NO_HINTS}]")
+        print(f"  BKZ profile simulation:       {simulated:8d} bikz "
+              f"(2^{bikz_to_bits(simulated):.1f})")
+        print(f"  relative gap: {100 * abs(simulated - closed) / closed:.1f}% "
+              f"(asymptotic-model fidelity)")
+        assert abs(simulated - closed) / closed < 0.2
+
+    def test_models_agree_on_hinted_instance(self):
+        """After heavy hinting both models report a much easier instance."""
+        instance = seal_128_dbdd()
+        for i in range(768):
+            instance.integrate_perfect_hint(1024 + i, 0.0)
+        dim = instance.homogenised_dim()
+        volume = instance.log_isotropic_volume()
+        closed = beta_for_usvp(dim, volume)
+        simulated = beta_for_usvp_simulated(dim, volume)
+        assert closed < 120
+        assert simulated < 140

@@ -1,0 +1,49 @@
+"""Ablation: POI selection method (SOSD - the paper's choice - vs SOST/DOM).
+
+The paper uses the sum-of-squared-differences method [30] to pick
+points of interest.  This bench compares the attack's value-recovery
+accuracy across the three selection statistics under the same
+profiling budget.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.attack.metrics import ConfusionMatrix
+from repro.attack.pipeline import SingleTraceAttack
+
+
+class TestPoiAblation:
+    @pytest.fixture(scope="class")
+    def accuracies(self, bench_acquisition):
+        results = {}
+        for method in ("sosd", "sost", "dom"):
+            attack = SingleTraceAttack(
+                bench_acquisition, poi_count=24, poi_method=method
+            )
+            attack.profile(
+                num_traces=scaled(200), coeffs_per_trace=8, first_seed=300_000
+            )
+            matrix = ConfusionMatrix()
+            for seed in range(1, scaled(40) + 1):
+                captured = bench_acquisition.capture(seed, 8)
+                result = attack.attack(captured)
+                matrix.record_many(captured.values, result.estimates)
+            results[method] = matrix.accuracy()
+        return results
+
+    def test_poi_method_comparison(self, accuracies, benchmark):
+        print("\n=== Ablation: POI selection statistic ===")
+        for method, accuracy in accuracies.items():
+            marker = "  <- paper's choice" if method == "sosd" else ""
+            print(f"  {method:>5}: value accuracy {100 * accuracy:5.1f}%{marker}")
+        # all three find the leaking samples; none should collapse
+        for method, accuracy in accuracies.items():
+            assert accuracy > 0.25, f"{method} accuracy collapsed"
+        benchmark(lambda: sorted(accuracies.values()))
+
+    def test_sosd_competitive(self, accuracies):
+        """SOSD within a few points of the best variant."""
+        best = max(accuracies.values())
+        assert accuracies["sosd"] >= best - 0.12

@@ -1,0 +1,104 @@
+"""Microbenchmarks of the core building blocks (pytest-benchmark).
+
+Not a paper table - these guard the reproduction's own performance:
+NTT, BFV encrypt/decrypt, device simulation, leakage expansion,
+segmentation, template matching, LLL and the bikz estimator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attack.segmentation import Segmenter
+from repro.bfv import BfvContext, Decryptor, Encryptor, KeyGenerator, Plaintext
+from repro.hints.estimator import beta_for_dbdd
+from repro.hints.security import seal_128_dbdd
+from repro.lattice.lll import lll_reduce
+from repro.power.leakage import LeakageModel
+from repro.ring.modulus import Modulus
+from repro.ring.ntt import NttContext
+
+
+@pytest.fixture(scope="module")
+def paper_ntt():
+    return NttContext(Modulus(132120577), 1024)
+
+
+@pytest.fixture(scope="module")
+def bfv_setup():
+    context = BfvContext.default()
+    keygen = KeyGenerator(context, rng=0)
+    encryptor = Encryptor(context, keygen.public_key())
+    decryptor = Decryptor(context, keygen.secret_key())
+    rng = np.random.default_rng(1)
+    plain = Plaintext(rng.integers(0, context.t, context.n), context.t)
+    ciphertext = encryptor.encrypt(plain, rng=2)
+    return context, encryptor, decryptor, plain, ciphertext
+
+
+class TestRingPerf:
+    def test_ntt_forward_n1024(self, paper_ntt, benchmark):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, paper_ntt.modulus.value, 1024)
+        benchmark(paper_ntt.forward, values)
+
+    def test_ntt_roundtrip_n1024(self, paper_ntt, benchmark):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, paper_ntt.modulus.value, 1024)
+
+        def roundtrip():
+            return paper_ntt.inverse(paper_ntt.forward(values))
+
+        benchmark(roundtrip)
+
+
+class TestBfvPerf:
+    def test_encrypt_n1024(self, bfv_setup, benchmark):
+        _, encryptor, _, plain, _ = bfv_setup
+        seed = iter(range(10_000_000))
+
+        def encrypt():
+            return encryptor.encrypt(plain, rng=next(seed))
+
+        benchmark(encrypt)
+
+    def test_decrypt_n1024(self, bfv_setup, benchmark):
+        _, _, decryptor, _, ciphertext = bfv_setup
+        benchmark(decryptor.decrypt, ciphertext)
+
+
+class TestDevicePerf:
+    def test_device_run_8_coefficients(self, device, benchmark):
+        seed = iter(range(1, 10_000_000))
+
+        def run():
+            return device.run(next(seed), count=8, record_events=False)
+
+        benchmark(run)
+
+    def test_leakage_expansion(self, device, benchmark):
+        run = device.run(3, count=4)
+        model = LeakageModel()
+        benchmark(model.expand, run.events)
+
+
+class TestAttackPerf:
+    def test_segmentation_8_coefficients(self, bench_acquisition, benchmark):
+        captured = bench_acquisition.capture(17, 8)
+        segmenter = Segmenter()
+        benchmark(segmenter.aligned_slices, captured.trace.samples)
+
+    def test_full_single_trace_attack(self, bench_acquisition, profiled_attack, benchmark):
+        captured = bench_acquisition.capture(18, 8)
+        benchmark(profiled_attack.attack_samples, captured.trace.samples)
+
+
+class TestLatticePerf:
+    def test_lll_dim20(self, benchmark):
+        rng = np.random.default_rng(5)
+        basis = rng.integers(-50, 51, (20, 20))
+        while abs(np.linalg.det(basis.astype(float))) < 0.5:
+            basis = rng.integers(-50, 51, (20, 20))
+        benchmark(lll_reduce, basis)
+
+    def test_bikz_estimator_seal128(self, benchmark):
+        benchmark(lambda: beta_for_dbdd(seal_128_dbdd()))

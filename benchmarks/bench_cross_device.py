@@ -1,0 +1,91 @@
+"""Cross-device portability (the paper's section V-B drawback).
+
+"We limit our attack to a single device, cross-device attacks may need
+a more complicated, machine-learning-based profiling [20]."
+
+We quantify that drawback: templates profiled on device A are applied
+to device B whose leakage coefficients differ (process variation,
+probe placement, amplifier gain), and per-trace standardisation is
+evaluated as a first-order remedy.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import PAPER_Q, scaled
+from repro.attack.metrics import ConfusionMatrix
+from repro.attack.pipeline import SingleTraceAttack
+from repro.power.capture import TraceAcquisition
+from repro.power.leakage import LeakageModel
+from repro.power.scope import Oscilloscope
+from repro.riscv.device import GaussianSamplerDevice
+
+#: "Device B": the same netlist with shifted electrical characteristics.
+VARIED_LEAKAGE = LeakageModel(
+    weight_data=1.12,
+    weight_transition=0.7,
+    weight_fetch=0.45,
+    weight_engine=0.92,
+    engine_offset=37.0,
+    baseline=5.0,
+)
+
+
+def score(attack, acquisition, traces):
+    matrix = ConfusionMatrix()
+    sign_hits = total = 0
+    for seed in range(1, traces + 1):
+        captured = acquisition.capture(seed, 8)
+        result = attack.attack(captured)
+        matrix.record_many(captured.values, result.estimates)
+        for value, sign in zip(captured.values, result.signs):
+            total += 1
+            sign_hits += int(np.sign(value)) == sign
+    return sign_hits / total, matrix.accuracy()
+
+
+class TestCrossDevice:
+    @pytest.fixture(scope="class")
+    def results(self, device):
+        rows = {}
+        device_b = TraceAcquisition(
+            device, leakage=VARIED_LEAKAGE, scope=Oscilloscope(noise_std=1.0), rng=3
+        )
+        for label, standardize in (("raw templates", False), ("standardised", True)):
+            acquisition_a = TraceAcquisition(
+                device, scope=Oscilloscope(noise_std=1.0), rng=0
+            )
+            attack = SingleTraceAttack(
+                acquisition_a, poi_count=24, standardize=standardize
+            )
+            attack.profile(
+                num_traces=scaled(200), coeffs_per_trace=8, first_seed=600_000
+            )
+            same = score(attack, acquisition_a, scaled(25))
+            cross = score(attack, device_b, scaled(25))
+            rows[label] = (same, cross)
+        return rows
+
+    def test_cross_device_portability(self, results, benchmark):
+        print("\n=== Cross-device attack (section V-B drawback) ===")
+        print(f"  {'profiling':<16} {'same-device':>24} {'cross-device':>24}")
+        for label, (same, cross) in results.items():
+            print(
+                f"  {label:<16} sign {100*same[0]:5.1f}% value {100*same[1]:5.1f}%"
+                f"    sign {100*cross[0]:5.1f}% value {100*cross[1]:5.1f}%"
+            )
+        benchmark(lambda: sorted(results))
+
+    def test_raw_templates_degrade_across_devices(self, results):
+        same, cross = results["raw templates"]
+        assert cross[1] < same[1] - 0.05  # value accuracy drops
+
+    def test_sign_channel_more_portable_than_values(self, results):
+        """Control flow survives device variation better than data flow."""
+        _, cross = results["raw templates"]
+        assert cross[0] > cross[1]
+
+    def test_standardisation_helps_cross_device(self, results):
+        _, cross_raw = results["raw templates"]
+        _, cross_std = results["standardised"]
+        assert cross_std[1] >= cross_raw[1] - 0.02

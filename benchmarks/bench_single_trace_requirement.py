@@ -1,0 +1,87 @@
+"""Why the attack must work from a SINGLE trace (paper sections I-II).
+
+"Such an attack has to succeed with a single power measurement trace
+because the sampled coefficients change for each encryption."
+
+Two demonstrations:
+
+1. *hypothetical replay* (same PRNG seed re-measured K times): trace
+   averaging suppresses the scope noise and the attack improves - this
+   is what multi-trace attacks exploit, and what fresh encryption
+   randomness denies;
+2. *real encryptions* (fresh randomness per trace): the traces are not
+   even length-compatible - the rejection loops give every encryption a
+   different timing footprint, so averaging is meaningless.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.power.trace import Trace
+
+
+class TestSingleTraceRequirement:
+    def test_replay_averaging_would_help(self, device, bench_acquisition, profiled_attack, benchmark):
+        """If the device *replayed* its randomness, averaging K traces
+        divides the noise by sqrt(K) and accuracy rises - masking-style
+        defenses target exactly this, which is why the paper's
+        single-trace attack evades them."""
+        from repro.power.capture import CapturedTrace
+
+        improvements = []
+        single_hits = averaged_hits = total = 0
+        for seed in range(7000, 7000 + scaled(20)):
+            # one noisy capture
+            single = bench_acquisition.capture(seed, 4)
+            # sixteen captures of the SAME execution, averaged
+            stack = [bench_acquisition.capture(seed, 4) for _ in range(8)]
+            mean_samples = np.mean([c.trace.samples for c in stack], axis=0)
+            averaged = CapturedTrace(
+                trace=Trace(mean_samples),
+                values=single.values,
+                seed=seed,
+                cycle_count=single.cycle_count,
+            )
+            res_single = profiled_attack.attack(single)
+            res_avg = profiled_attack.attack(averaged)
+            for value, est_s, est_a in zip(
+                single.values, res_single.estimates, res_avg.estimates
+            ):
+                total += 1
+                single_hits += est_s == value
+                averaged_hits += est_a == value
+        print("\n=== Why single-trace: replay averaging (hypothetical) ===")
+        print(f"  single trace:       {100 * single_hits / total:5.1f}% value accuracy")
+        print(f"  8-trace average:    {100 * averaged_hits / total:5.1f}% value accuracy")
+        assert averaged_hits >= single_hits
+        benchmark(lambda: averaged_hits - single_hits)
+
+    def test_fresh_randomness_defeats_averaging(self, device, bench_acquisition):
+        """Real encryptions: every trace has different length and content."""
+        lengths = {
+            len(bench_acquisition.capture(seed, 4).trace)
+            for seed in range(7100, 7110)
+        }
+        print(f"\ntrace lengths of 10 fresh encryptions: {sorted(lengths)}")
+        assert len(lengths) > 3, "traces should be length-incompatible"
+
+    def test_averaged_fresh_traces_are_garbage(self, bench_acquisition, profiled_attack):
+        """Truncate-and-average across fresh encryptions, then attack:
+        per-coefficient recovery collapses to (below) chance."""
+        captures = [bench_acquisition.capture(seed, 4) for seed in range(7200, 7208)]
+        min_length = min(len(c.trace) for c in captures)
+        mean_samples = np.mean(
+            [c.trace.samples[:min_length] for c in captures], axis=0
+        )
+        try:
+            result = profiled_attack.attack_samples(mean_samples)
+        except Exception:
+            return  # segmentation failure is an equally valid outcome
+        hits = sum(
+            1
+            for value, est in zip(captures[0].values, result.estimates)
+            if value == est
+        )
+        # the averaged blob carries no per-encryption information
+        assert hits <= 2

@@ -1,0 +1,84 @@
+"""Evaluating the paper's recommended countermeasures.
+
+Section V-A of the paper recommends shuffling / randomisation and
+branchless code over masking.  This example attacks three devices with
+the same profiled pipeline:
+
+1. the vulnerable SEAL v3.2 kernel (baseline - attack works);
+2. the constant-time (v3.6-style) kernel - the branch vulnerability
+   disappears, but data-flow leakage of the stored value remains,
+   matching the paper's warning that v3.6 "may have a different
+   vulnerability";
+3. the shuffled kernel - values still leak, but the adversary no longer
+   knows *which* coefficient each value belongs to, so coordinate hints
+   for the lattice stage become unusable.
+
+Usage:  python examples/defense_evaluation.py
+"""
+
+import numpy as np
+
+from repro.attack.pipeline import SingleTraceAttack
+from repro.defenses import constant_time_device, shuffled_device
+from repro.errors import AttackError
+from repro.power import Oscilloscope, TraceAcquisition
+from repro.riscv.device import GaussianSamplerDevice
+
+Q = 132120577
+COEFFS = 8
+ATTACK_TRACES = 30
+
+
+def evaluate(name, device, profile_device=None):
+    bench = TraceAcquisition(device, scope=Oscilloscope(noise_std=1.0), rng=0)
+    profile_bench = bench
+    if profile_device is not None:
+        profile_bench = TraceAcquisition(
+            profile_device, scope=Oscilloscope(noise_std=1.0), rng=1
+        )
+    attack = SingleTraceAttack(profile_bench, poi_count=24)
+    try:
+        attack.profile(num_traces=200, coeffs_per_trace=COEFFS, first_seed=40_000)
+    except AttackError as exc:
+        print(f"{name:<24} profiling failed: {exc}")
+        return
+    sign_hits = value_hits = total = 0
+    for seed in range(1, ATTACK_TRACES + 1):
+        captured = bench.capture(seed, COEFFS)
+        try:
+            result = attack.attack_samples(captured.trace.samples)
+        except AttackError:
+            continue
+        if len(result.estimates) != COEFFS:
+            continue
+        for value, sign, estimate in zip(
+            captured.values, result.signs, result.estimates
+        ):
+            total += 1
+            sign_hits += int(np.sign(value)) == sign
+            value_hits += estimate == value
+    if total == 0:
+        print(f"{name:<24} attack produced no usable windows")
+        return
+    print(
+        f"{name:<24} sign accuracy {100 * sign_hits / total:5.1f}%   "
+        f"per-coefficient value accuracy {100 * value_hits / total:5.1f}%"
+    )
+
+
+def main() -> None:
+    print(f"attacking {ATTACK_TRACES} single traces of {COEFFS} coefficients each\n")
+    evaluate("vulnerable (v3.2)", GaussianSamplerDevice([Q]))
+    evaluate("constant-time (v3.6)", constant_time_device([Q]))
+    # the shuffled device is profiled on itself; per-position accuracy is
+    # what the lattice stage needs, and shuffling destroys it
+    evaluate("shuffled", shuffled_device([Q]))
+    print(
+        "\nshuffling leaves the value distribution observable but decouples"
+        "\nvalues from coefficient indices: the DBDD coordinate hints that"
+        "\nproduce the paper's 2^4.4 break can no longer be formed."
+    )
+
+
+if __name__ == "__main__":
+    main()

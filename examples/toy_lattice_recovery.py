@@ -1,0 +1,74 @@
+"""Toy-scale primal lattice attack, with and without side-channel hints.
+
+The paper's final stage *estimates* the BKZ cost of the residual
+instance.  At toy scale we can run the reduction for real: a small LWE
+instance is solved via Kannan's embedding, and integrating sign hints
+(the branch vulnerability) visibly shrinks the effort - the lattice
+dimension drops for every perfectly known coefficient.
+
+Usage:  python examples/toy_lattice_recovery.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.lattice import solve_lwe_primal
+from repro.lattice.embedding import eliminate_known_errors
+
+
+def make_instance(rng, n, m, q, sigma):
+    secret = rng.integers(-1, 2, n)
+    a_matrix = rng.integers(0, q, (m, n))
+    error = np.rint(rng.normal(0, sigma, m)).astype(int)
+    b_vector = (a_matrix @ secret + error) % q
+    return a_matrix, b_vector, secret, error
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    n, m, q, sigma = 10, 24, 3329, 1.2
+    a_matrix, b_vector, secret, error = make_instance(rng, n, m, q, sigma)
+    print(f"toy LWE: n={n}, m={m}, q={q}, sigma={sigma}")
+
+    # --- no hints ----------------------------------------------------------
+    start = time.perf_counter()
+    s_hat, _ = solve_lwe_primal(a_matrix, b_vector, q, beta=10, error_bound=6)
+    elapsed = time.perf_counter() - start
+    ok = [int(x) for x in s_hat] == list(secret)
+    print(f"\nprimal attack without hints: solved={ok} in {elapsed:.1f}s "
+          f"(embedding dim {n + m + 1})")
+
+    # --- with sign hints: zeros become perfect hints -------------------------
+    known = {i: 0 for i, e in enumerate(error) if e == 0}
+    print(f"\nbranch-only side channel: {len(known)} coefficients known zero")
+    reduced_a, reduced_b, reconstructor = eliminate_known_errors(
+        a_matrix, b_vector, q, known
+    )
+    dim = reconstructor.reduced_dimension + reduced_a.shape[0] + 1
+    start = time.perf_counter()
+    if reconstructor.reduced_dimension == 0:
+        full = reconstructor.full_secret([])
+        elapsed2 = time.perf_counter() - start
+        print("hints solved the instance by linear algebra alone!")
+    else:
+        s_red, _ = solve_lwe_primal(reduced_a, reduced_b, q, beta=8, error_bound=6)
+        full = reconstructor.full_secret([int(x) for x in s_red])
+        elapsed2 = time.perf_counter() - start
+    ok2 = [int(x) for x in full] == list(secret)
+    print(f"primal attack with zero-hints: solved={ok2} in {elapsed2:.1f}s "
+          f"(embedding dim {dim}, was {n + m + 1})")
+
+    # --- with full hints: trivial linear algebra ------------------------------
+    known_all = dict(enumerate(error))
+    _, _, full_rec = eliminate_known_errors(a_matrix, b_vector, q, known_all)
+    if full_rec.reduced_dimension == 0:
+        s_linear = full_rec.full_secret([])
+        ok3 = [int(x) for x in s_linear] == list(secret)
+        print(f"\nfull template hints: every e_i known, the instance becomes")
+        print(f"exact linear equations; solved by elimination alone: {ok3}.")
+        print("This is the toy analogue of the paper's 2^128 -> 2^4.4 headline.")
+
+
+if __name__ == "__main__":
+    main()

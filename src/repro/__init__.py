@@ -1,0 +1,37 @@
+"""RevEAL reproduction: single-trace side-channel leakage of Microsoft SEAL.
+
+This package is a full, self-contained reproduction of the DATE 2022 paper
+"RevEAL: Single-Trace Side-Channel Leakage of the SEAL Homomorphic
+Encryption Library".  It contains:
+
+``repro.ring``
+    Polynomial-ring arithmetic over ``Z_q[x]/(x^n + 1)`` (negacyclic NTT,
+    RNS/CRT, NTT-friendly prime generation).
+``repro.bfv``
+    A SEAL-v3.2-style implementation of the Brakerski/Fan-Vercauteren
+    scheme, including the *vulnerable* ``set_poly_coeffs_normal`` noise
+    sampler the paper attacks.
+``repro.riscv``
+    An RV32IM instruction-set simulator with PicoRV32-like timing, a
+    two-pass assembler, and the Gaussian-sampling kernel in assembly.
+``repro.power``
+    Hamming-weight/Hamming-distance power-trace synthesis standing in for
+    the paper's SAKURA-G shunt-resistor measurements.
+``repro.attack``
+    The single-trace attack: trace segmentation, branch (sign)
+    classification, SOSD point-of-interest selection, template attack and
+    message recovery.
+``repro.hints``
+    The LWE-with-hints (DBDD) security estimator used to produce the
+    paper's bikz numbers (Tables III and IV).
+``repro.lattice``
+    LLL/BKZ lattice-reduction substrate used to actually solve toy
+    instances end to end.
+``repro.defenses``
+    Shuffling and constant-time-sampler countermeasures discussed in the
+    paper.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,98 @@
+"""Attack-evaluation metrics: confusion matrices and success rates.
+
+``ConfusionMatrix.format_table`` renders the percentage layout of
+Table I of the paper (rows: predicted template label, columns: actual
+sampled coefficient).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class ConfusionMatrix:
+    """Counts of (actual, predicted) label pairs."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[Tuple[int, int], int] = defaultdict(int)
+
+    def record(self, actual: int, predicted: int) -> None:
+        """Record one attack outcome."""
+        self._counts[(int(actual), int(predicted))] += 1
+
+    def record_many(self, actual: Iterable[int], predicted: Iterable[int]) -> None:
+        """Record a batch of outcomes."""
+        for a, p in zip(actual, predicted):
+            self.record(a, p)
+
+    # ------------------------------------------------------------------
+    @property
+    def actual_labels(self) -> List[int]:
+        return sorted({a for a, _ in self._counts})
+
+    @property
+    def predicted_labels(self) -> List[int]:
+        return sorted({p for _, p in self._counts})
+
+    def total(self, actual: Optional[int] = None) -> int:
+        """Total observations, optionally for one actual label."""
+        return sum(
+            c for (a, _), c in self._counts.items() if actual is None or a == actual
+        )
+
+    def percentage(self, actual: int, predicted: int) -> float:
+        """Percentage of ``actual``-labelled attacks predicted as ``predicted``."""
+        denom = self.total(actual)
+        if denom == 0:
+            return 0.0
+        return 100.0 * self._counts.get((actual, predicted), 0) / denom
+
+    def accuracy(self, actual: Optional[int] = None) -> float:
+        """Fraction of correct predictions (optionally for one label)."""
+        total = self.total(actual)
+        if total == 0:
+            return 0.0
+        correct = sum(
+            c
+            for (a, p), c in self._counts.items()
+            if a == p and (actual is None or a == actual)
+        )
+        return correct / total
+
+    def sign_accuracy(self) -> float:
+        """Fraction of predictions with the correct sign (paper: 100%)."""
+        total = self.total()
+        if total == 0:
+            return 0.0
+        correct = sum(
+            c for (a, p), c in self._counts.items() if np.sign(a) == np.sign(p)
+        )
+        return correct / total
+
+    # ------------------------------------------------------------------
+    def matrix(self, labels: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Percentage matrix (rows: predicted, columns: actual) as Table I."""
+        if labels is None:
+            labels = sorted(set(self.actual_labels) | set(self.predicted_labels))
+        labels = list(labels)
+        out = np.zeros((len(labels), len(labels)))
+        for i, predicted in enumerate(labels):
+            for j, actual in enumerate(labels):
+                out[i, j] = self.percentage(actual, predicted)
+        return out
+
+    def format_table(self, labels: Optional[Sequence[int]] = None) -> str:
+        """Render the Table I layout as text."""
+        if labels is None:
+            labels = sorted(set(self.actual_labels) | set(self.predicted_labels))
+        labels = list(labels)
+        matrix = self.matrix(labels)
+        header = "pred\\actual " + " ".join(f"{l:>6}" for l in labels)
+        lines = [header]
+        for i, predicted in enumerate(labels):
+            cells = " ".join(f"{matrix[i, j]:6.1f}" for j in range(len(labels)))
+            lines.append(f"{predicted:>11} {cells}")
+        return "\n".join(lines)

@@ -1,0 +1,215 @@
+"""The end-to-end single-trace attack (section III of the paper).
+
+``SingleTraceAttack`` owns the whole chain:
+
+- *profiling* (template building): capture many sampling executions on
+  the profiled device, segment them, label every aligned slice with the
+  ground-truth coefficient (the profiling adversary controls the
+  device), learn the branch centroids, select POIs via SOSD and build
+  the value templates;
+- *attack*: given one trace of an unknown encryption, segment it,
+  classify each coefficient's branch (sign / zero), then match the
+  value templates restricted to the recovered sign, returning both hard
+  estimates (Table I) and per-coefficient probability tables (Table II,
+  the input to the LWE-with-hints stage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.attack.branch import NEGATIVE, POSITIVE, ZERO, BranchClassifier, sign_of
+from repro.attack.poi import POI_METHODS
+from repro.attack.segmentation import AnchorRefiner, Segmenter, SegmenterConfig
+from repro.attack.template import TemplateSet, gaussian_priors
+from repro.errors import AttackError
+from repro.power.capture import TraceAcquisition
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one single-trace attack."""
+
+    signs: List[int]  # branch decision per coefficient
+    estimates: List[int]  # most likely coefficient value
+    probabilities: List[Dict[int, float]]  # full table per coefficient
+
+    def __len__(self) -> int:
+        return len(self.estimates)
+
+
+@dataclass
+class ProfilingReport:
+    """What profiling produced (sizes, classes, diagnostics)."""
+
+    slice_count: int
+    classes: List[int]
+    pois: List[int]
+    branch_separation: float
+
+
+class SingleTraceAttack:
+    """Profiled single-trace attack on the Gaussian sampler.
+
+    Parameters
+    ----------
+    acquisition:
+        The measurement bench (device + leakage + scope).
+    segmenter:
+        Trace segmentation; defaults to :class:`SegmenterConfig` defaults.
+    poi_count / poi_method:
+        Number of POIs and the selection statistic (``sosd`` is the
+        paper's choice; ``sost``/``dom`` for ablation).
+    use_prior:
+        Weight templates with the public chi prior (MAP decision).
+    branch_region:
+        Sample range of the aligned slice used for sign classification;
+        defaults to everything after the anchor.
+    """
+
+    def __init__(
+        self,
+        acquisition: TraceAcquisition,
+        segmenter: Optional[Segmenter] = None,
+        poi_count: int = 24,
+        poi_method: str = "sosd",
+        use_prior: bool = True,
+        branch_region: Optional[tuple] = None,
+        sigma: float = 3.19,
+        pooled_covariance: bool = True,
+        standardize: bool = False,
+    ) -> None:
+        if poi_method not in POI_METHODS:
+            raise AttackError(f"unknown POI method {poi_method!r}")
+        self.acquisition = acquisition
+        self.segmenter = segmenter if segmenter is not None else Segmenter()
+        self.poi_count = poi_count
+        self.poi_method = poi_method
+        self.use_prior = use_prior
+        self.sigma = sigma
+        self.pooled_covariance = pooled_covariance
+        #: z-score each aligned slice before template work; trades a
+        #: little same-device accuracy for cross-device portability
+        #: (the paper's section V-B caveat).
+        self.standardize = standardize
+        cfg = self.segmenter.config
+        self.branch_region = branch_region or (cfg.slice_before, self.segmenter.slice_length)
+        self.templates: Optional[TemplateSet] = None
+        self.branch_classifier: Optional[BranchClassifier] = None
+        self.refiner: Optional[AnchorRefiner] = None
+
+    # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+    def profile(
+        self,
+        num_traces: int = 400,
+        coeffs_per_trace: int = 8,
+        first_seed: int = 1,
+        min_class_count: int = 3,
+    ) -> ProfilingReport:
+        """Capture and learn templates from the profiled device.
+
+        ``num_traces * coeffs_per_trace`` labelled slices are collected;
+        classes observed fewer than ``min_class_count`` times are folded
+        away (the paper observes values only in [-14, 14] despite the
+        [-41, 41] support).
+        """
+        # Pass 1: a few traces with coarse anchors teach the re-aligner.
+        captures = [
+            self.acquisition.capture(first_seed + i, coeffs_per_trace)
+            for i in range(num_traces)
+        ]
+        reference_pool = [c.trace.samples for c in captures[: max(8, num_traces // 20)]]
+        self.refiner = AnchorRefiner.learn(self.segmenter, reference_pool)
+
+        # Pass 2: refined, labelled slices.
+        slices: List[np.ndarray] = []
+        labels: List[int] = []
+        for captured in captures:
+            try:
+                aligned = self.segmenter.aligned_slices(
+                    captured.trace.samples, refiner=self.refiner
+                )
+            except AttackError:
+                continue  # a profiling trace may rarely fail to segment
+            if len(aligned) != len(captured.values):
+                continue
+            slices.extend(self._normalise(piece) for piece in aligned)
+            labels.extend(captured.values)
+        if not slices:
+            raise AttackError("profiling produced no usable slices")
+        matrix = np.vstack(slices)
+        label_array = np.asarray(labels)
+
+        by_value: Dict[int, np.ndarray] = {}
+        for value in np.unique(label_array):
+            group = matrix[label_array == value]
+            if group.shape[0] >= min_class_count:
+                by_value[int(value)] = group
+
+        by_sign: Dict[int, np.ndarray] = {}
+        for sign in (NEGATIVE, ZERO, POSITIVE):
+            mask = np.sign(label_array) == sign
+            if mask.any():
+                by_sign[sign] = matrix[mask]
+        self.branch_classifier = BranchClassifier.build(
+            by_sign, self.branch_region[0], self.branch_region[1]
+        )
+
+        pois = POI_METHODS[self.poi_method](by_value, self.poi_count)
+        priors = None
+        if self.use_prior:
+            priors = gaussian_priors(list(by_value), self.sigma)
+        self.templates = TemplateSet.build(
+            by_value, pois, priors=priors, pooled=self.pooled_covariance
+        )
+        return ProfilingReport(
+            slice_count=len(slices),
+            classes=sorted(by_value),
+            pois=pois,
+            branch_separation=self.branch_classifier.separation(),
+        )
+
+    # ------------------------------------------------------------------
+    # Attack
+    # ------------------------------------------------------------------
+    def attack_samples(self, samples: np.ndarray) -> AttackResult:
+        """Run the single-trace attack on a raw trace's samples."""
+        if self.templates is None or self.branch_classifier is None:
+            raise AttackError("profile() must run before attack()")
+        aligned = self.segmenter.aligned_slices(samples, refiner=self.refiner)
+        signs: List[int] = []
+        estimates: List[int] = []
+        tables: List[Dict[int, float]] = []
+        all_labels = self.templates.labels
+        for piece in map(self._normalise, aligned):
+            sign = self.branch_classifier.classify(piece)
+            signs.append(sign)
+            if sign == ZERO:
+                estimates.append(0)
+                tables.append({0: 1.0})
+                continue
+            candidates = [l for l in all_labels if sign_of(l) == sign]
+            if not candidates:
+                raise AttackError(f"no templates for sign {sign}")
+            probs = self.templates.probabilities(piece, restrict=candidates)
+            tables.append(probs)
+            estimates.append(max(probs, key=probs.get))
+        return AttackResult(signs=signs, estimates=estimates, probabilities=tables)
+
+    def attack(self, captured) -> AttackResult:
+        """Attack a :class:`~repro.power.capture.CapturedTrace`."""
+        return self.attack_samples(captured.trace.samples)
+
+    # ------------------------------------------------------------------
+    def _normalise(self, piece: np.ndarray) -> np.ndarray:
+        if not self.standardize:
+            return piece
+        spread = float(piece.std())
+        if spread <= 1e-12:
+            return piece - float(piece.mean())
+        return (piece - float(piece.mean())) / spread

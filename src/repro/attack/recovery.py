@@ -1,0 +1,164 @@
+"""Algebraic message recovery from a recovered error polynomial.
+
+Section III-A of the paper: once the coefficients of ``e2`` are known,
+
+    u = (c1 - e2) / p1            (equation 2, in R_q)
+    m = round(t/q * (c0 - p0*u))  (equation 3, with e1 absorbed by the
+                                   rounding since ||e1|| << Delta/2)
+
+The division by ``p1`` is well defined whenever all of ``p1``'s NTT
+evaluations are nonzero, which holds with overwhelming probability for
+a uniform public polynomial.
+
+:class:`MessageRecovery` precomputes the NTT-domain inverse of ``p1``
+so that the search stage can test thousands of ``e2`` candidates
+cheaply; the module-level functions are one-shot conveniences.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.bfv.ciphertext import Ciphertext
+from repro.bfv.keys import PublicKey
+from repro.bfv.params import BfvContext
+from repro.bfv.plaintext import Plaintext
+from repro.errors import AttackError
+from repro.ring.poly import RingPoly
+
+
+class MessageRecovery:
+    """Recovers ``u``, ``m`` and the implied ``e1`` from ``e2`` candidates.
+
+    Precomputes ``p1^-1`` in the NTT domain once per (ciphertext,
+    public key) pair.
+    """
+
+    def __init__(
+        self, context: BfvContext, ciphertext: Ciphertext, public_key: PublicKey
+    ) -> None:
+        self.context = context
+        self.ciphertext = ciphertext
+        self.public_key = public_key
+        self._inv_p1_hat: List[np.ndarray] = []
+        self._c1_hat: List[np.ndarray] = []
+        for i, (m, ntt) in enumerate(zip(context.basis.moduli, context.ntts)):
+            p1_hat = ntt.forward(public_key.p1.residues[i])
+            if np.any(p1_hat == 0):
+                raise AttackError(
+                    "p1 is not invertible in R_q (zero NTT evaluation); "
+                    "probability ~ n/q, re-key and retry"
+                )
+            self._inv_p1_hat.append(
+                np.array([m.inv(int(v)) for v in p1_hat], dtype=np.int64)
+            )
+            self._c1_hat.append(ntt.forward(ciphertext.c1.residues[i]))
+
+    # ------------------------------------------------------------------
+    def u_from_e2(self, e2: Sequence[int]) -> RingPoly:
+        """Equation (2): ``u = (c1 - e2) * p1^-1`` in R_q."""
+        ctx = self.context
+        e2_poly = RingPoly.from_int_coeffs(ctx.basis, ctx.n, list(e2))
+        out = np.empty_like(e2_poly.residues)
+        for i, (m, ntt) in enumerate(zip(ctx.basis.moduli, ctx.ntts)):
+            e2_hat = ntt.forward(e2_poly.residues[i])
+            num_hat = (self._c1_hat[i] - e2_hat) % m.value
+            out[i] = ntt.inverse((num_hat * self._inv_p1_hat[i]) % m.value)
+        return RingPoly(ctx.basis, ctx.n, out)
+
+    def message_from_u(self, u: RingPoly) -> Plaintext:
+        """Equation (3): round away ``Delta*m + e1`` after removing ``p0*u``."""
+        ctx = self.context
+        masked = self.ciphertext.c0 - self.public_key.p0.multiply(u, ctx.ntts)
+        q, t = ctx.q, ctx.t
+        coeffs = [((t * x + q // 2) // q) % t for x in masked.to_bigint_coeffs()]
+        return Plaintext(coeffs, t)
+
+    def message_from_e2(self, e2: Sequence[int]) -> Plaintext:
+        """Full equation-(3) recovery from an ``e2`` candidate."""
+        return self.message_from_u(self.u_from_e2(e2))
+
+    def implied_e1(self, u: RingPoly, message: Plaintext) -> List[int]:
+        """``e1 = c0 - Delta*m - p0*u`` (centered); small iff consistent."""
+        ctx = self.context
+        scaled_m = RingPoly.from_bigint_coeffs(
+            ctx.basis, ctx.n, [ctx.delta * int(c) for c in message.coeffs]
+        )
+        residual = (
+            self.ciphertext.c0
+            - self.public_key.p0.multiply(u, ctx.ntts)
+            - scaled_m
+        )
+        return residual.to_centered_coeffs()
+
+    def is_plausible(self, e2: Sequence[int], bound: Optional[float] = None) -> bool:
+        """Keyless validity check of an ``e2`` candidate.
+
+        A wrong candidate makes the implied ``u`` non-ternary (the cheap
+        first filter) or the implied ``e1`` exceed the sampler's
+        clipping bound.
+        """
+        max_dev = bound if bound is not None else self.context.params.noise_max_deviation
+        u = self.u_from_e2(e2)
+        if any(abs(c) > 1 for c in u.to_centered_coeffs()):
+            return False
+        message = self.message_from_u(u)
+        e1 = self.implied_e1(u, message)
+        return all(abs(c) <= max_dev for c in e1)
+
+
+# ----------------------------------------------------------------------
+# One-shot conveniences
+# ----------------------------------------------------------------------
+def recover_u(
+    context: BfvContext,
+    ciphertext: Ciphertext,
+    public_key: PublicKey,
+    e2: Sequence[int],
+) -> RingPoly:
+    """Solve equation (2) for the encryption sample ``u``."""
+    return MessageRecovery(context, ciphertext, public_key).u_from_e2(e2)
+
+
+def recover_message(
+    context: BfvContext,
+    ciphertext: Ciphertext,
+    public_key: PublicKey,
+    e2: Sequence[int],
+) -> Plaintext:
+    """Solve equation (3): recover the plaintext from ``e2`` alone.
+
+    ``e1`` never needs to be recovered exactly: after removing
+    ``p0 * u`` from ``c0``, the residual ``Delta*m + e1`` rounds to ``m``
+    as long as ``||e1||_inf < Delta/2``.
+    """
+    return MessageRecovery(context, ciphertext, public_key).message_from_e2(e2)
+
+
+def residual_e1(
+    context: BfvContext,
+    ciphertext: Ciphertext,
+    public_key: PublicKey,
+    e2: Sequence[int],
+    message: Plaintext,
+) -> List[int]:
+    """The implied ``e1`` for a candidate (diagnostic)."""
+    recovery = MessageRecovery(context, ciphertext, public_key)
+    return recovery.implied_e1(recovery.u_from_e2(e2), message)
+
+
+def recovery_is_plausible(
+    context: BfvContext,
+    ciphertext: Ciphertext,
+    public_key: PublicKey,
+    e2: Sequence[int],
+    bound: Optional[float] = None,
+) -> bool:
+    """Self-check an e2 candidate without the secret key."""
+    try:
+        recovery = MessageRecovery(context, ciphertext, public_key)
+    except AttackError:
+        return False
+    return recovery.is_plausible(e2, bound)

@@ -1,0 +1,201 @@
+"""Exploring the remaining search space after the template attack.
+
+At full scale the paper *estimates* this exploration with BKZ (the
+bikz numbers of Tables III/IV).  At toy scale we can actually *do* it:
+the per-coefficient probability tables define a product distribution
+over error-polynomial candidates, which we enumerate best-first (a lazy
+k-best walk over the joint posterior) and validate with the keyless
+plausibility check of :mod:`repro.attack.recovery` - a wrong ``e2``
+yields a non-ternary ``u`` and an oversized implied ``e1``, so the
+first plausible candidate is the true one with overwhelming
+probability.
+
+The enumerator uses the classic lazy-sibling binarisation of the
+successor tree (at most three pushes per pop, states stored as linked
+increment chains), so memory stays O(candidates yielded) even for long
+polynomials.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.attack.recovery import MessageRecovery
+from repro.bfv.ciphertext import Ciphertext
+from repro.bfv.keys import PublicKey
+from repro.bfv.params import BfvContext
+from repro.bfv.plaintext import Plaintext
+from repro.errors import AttackError
+
+
+def enumerate_candidates(
+    tables: Sequence[Dict[int, float]], limit: int = 100_000
+) -> Iterator[Tuple[float, List[int]]]:
+    """Yield ``(log_probability, candidate)`` in decreasing probability.
+
+    Lazy best-first enumeration over the product of the per-coefficient
+    posteriors.  ``limit`` bounds the number of candidates generated.
+    """
+    if not tables:
+        raise AttackError("no probability tables to enumerate")
+    base: List[int] = []
+    base_score = 0.0
+    positions: List[int] = []  # coefficient indices with > 1 candidate
+    ranked: List[List[Tuple[float, int]]] = []  # per uncertain position
+    for index, table in enumerate(tables):
+        if not table:
+            raise AttackError("empty probability table")
+        entries = sorted(
+            ((math.log(max(p, 1e-300)), v) for v, p in table.items()), reverse=True
+        )
+        base.append(entries[0][1])
+        base_score += entries[0][0]
+        if len(entries) > 1:
+            positions.append(index)
+            ranked.append(entries)
+
+    def rank_of(chain, p: int) -> int:
+        count = 0
+        while chain is not None:
+            if chain[0] == p:
+                count += 1
+            chain = chain[1]
+        return count
+
+    def candidate_of(chain) -> List[int]:
+        counts: Dict[int, int] = {}
+        while chain is not None:
+            counts[chain[0]] = counts.get(chain[0], 0) + 1
+            chain = chain[1]
+        values = list(base)
+        for p, r in counts.items():
+            values[positions[p]] = ranked[p][r][1]
+        return values
+
+    # first-step penalty (rank 0 -> 1) per uncertain position
+    first_delta = [entries[1][0] - entries[0][0] for entries in ranked]
+    # extensions of a node with head h range over positions > h; iterate
+    # them best-first so each sibling's score is <= its predecessor's
+    order_after: List[List[int]] = []
+    for h in range(-1, len(positions)):
+        tail = list(range(h + 1, len(positions)))
+        tail.sort(key=lambda p: first_delta[p], reverse=True)
+        order_after.append(tail)  # index h+1 holds positions > h
+
+    tie = itertools.count()
+    # heap entry:
+    #   (-score, tie, chain, parent_chain, parent_score, parent_head, ext_rank)
+    # chain = (position_index, parent_chain): linked increments, head first.
+    # ext_rank indexes order_after[parent_head + 1]; None for deepen children.
+    heap: List[tuple] = [(-base_score, next(tie), None, None, 0.0, -1, None)]
+    produced = 0
+    while heap and produced < limit:
+        entry = heapq.heappop(heap)
+        neg_score, _, chain, parent_chain, parent_score, parent_head, ext_rank = entry
+        score = -neg_score
+        yield score, candidate_of(chain)
+        produced += 1
+
+        head = chain[0] if chain is not None else None
+        # (1) deepen: one more rank step at the head position
+        if chain is not None:
+            rank = rank_of(chain, head)
+            if rank + 1 < len(ranked[head]):
+                delta = ranked[head][rank + 1][0] - ranked[head][rank][0]
+                heapq.heappush(
+                    heap,
+                    (-(score + delta), next(tie), (head, chain), None, 0.0, -1, None),
+                )
+        # (2) own first extension: the best-scoring position beyond the head
+        own_order = order_after[(head if head is not None else -1) + 1]
+        if own_order:
+            p = own_order[0]
+            heapq.heappush(
+                heap,
+                (
+                    -(score + first_delta[p]),
+                    next(tie),
+                    (p, chain),
+                    chain,
+                    score,
+                    head if head is not None else -1,
+                    0,
+                ),
+            )
+        # (3) next sibling: the parent's next-best extension
+        if ext_rank is not None:
+            sibling_order = order_after[parent_head + 1]
+            if ext_rank + 1 < len(sibling_order):
+                p = sibling_order[ext_rank + 1]
+                heapq.heappush(
+                    heap,
+                    (
+                        -(parent_score + first_delta[p]),
+                        next(tie),
+                        (p, parent_chain),
+                        parent_chain,
+                        parent_score,
+                        parent_head,
+                        ext_rank + 1,
+                    ),
+                )
+
+
+@dataclass
+class SearchResult:
+    """Outcome of the search stage."""
+
+    message: Plaintext
+    e2: List[int]
+    candidates_tried: int
+    log_probability: float
+
+
+def search_message(
+    context: BfvContext,
+    ciphertext: Ciphertext,
+    public_key: PublicKey,
+    tables: Sequence[Dict[int, float]],
+    budget: int = 50_000,
+) -> SearchResult:
+    """Best-first search for the true error polynomial, then recover m.
+
+    Raises :class:`AttackError` when no plausible candidate is found
+    within ``budget`` candidates (posteriors too flat - capture a
+    cleaner trace or raise the budget).
+    """
+    if len(tables) != context.n:
+        raise AttackError(
+            f"need {context.n} probability tables, got {len(tables)}"
+        )
+    recovery = MessageRecovery(context, ciphertext, public_key)
+    tried = 0
+    for log_p, candidate in enumerate_candidates(tables, limit=budget):
+        tried += 1
+        if recovery.is_plausible(candidate):
+            message = recovery.message_from_e2(candidate)
+            return SearchResult(
+                message=message,
+                e2=candidate,
+                candidates_tried=tried,
+                log_probability=log_p,
+            )
+    raise AttackError(f"no plausible e2 within {budget} candidates")
+
+
+def expected_search_effort(tables: Sequence[Dict[int, float]]) -> float:
+    """log2 of an optimistic candidate count before hitting the truth.
+
+    This is the single-trace analogue of the paper's "remaining search
+    space": ``-sum_i log2(max_v p_i(v))``, i.e. the joint posterior mass
+    of the most likely candidate.
+    """
+    total = 0.0
+    for table in tables:
+        top = max(table.values())
+        total += -math.log2(max(top, 1e-300))
+    return total

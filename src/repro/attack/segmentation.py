@@ -1,0 +1,271 @@
+"""Trace segmentation: locating and aligning per-coefficient windows.
+
+Section III-C of the paper: the sampling of each coefficient must be
+isolated from the full trace even though the distribution function is
+time-variant (rejection loops), so fixed-stride windowing is impossible.
+The paper anchors on "distinguishable and visible peaks" of the
+distribution function call.
+
+On our device those peaks are:
+
+- the *binary-log burst*: 12 squaring rounds (24 back-to-back multiplies,
+  ~1300 cycles of sustained multiplier-engine activity) — one per
+  accepted polar sample.  These delimit the coefficients.
+- the *value burst*: the final ``z * sigma`` multiply/mulh pair, an
+  ~80-cycle engine burst that is the last before a long engine-quiet
+  region (clipping, sign assignment and the next coefficient's PRNG
+  draws).  Its end is the alignment anchor; the sign-assignment branches
+  and stores follow it at fixed offsets, and the value-dependent
+  multiplier state precedes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AttackError
+
+
+@dataclass
+class SegmenterConfig:
+    """Tunables of the segmentation stage.
+
+    The defaults are calibrated for :class:`~repro.power.leakage.LeakageModel`
+    defaults; an adversary would calibrate them during profiling.
+    """
+
+    envelope_window: int = 16  # smoothing for engine-burst detection
+    frac_window: int = 64  # smoothing for the long log-burst envelope
+    frac_merge_gap: int = 16  # merging when locating the log bursts
+    frac_min_length: int = 600  # minimum length of a log burst
+    burst_merge_gap: int = 12  # merge engine bursts closer than this
+    burst_min_length: int = 30  # ignore shorter bursts
+    anchor_min_length: int = 55  # the z*sigma pair is ~70+ cycles
+    quiet_gap: int = 80  # engine-free run after the anchor burst
+    slice_before: int = 100  # aligned slice: samples before anchor end
+    slice_after: int = 160  # ... and after
+
+
+def _moving_average(x: np.ndarray, window: int) -> np.ndarray:
+    if window <= 1:
+        return x
+    kernel = np.ones(window) / window
+    return np.convolve(x, kernel, mode="same")
+
+
+def _active_regions(mask: np.ndarray, merge_gap: int, min_length: int) -> List[Tuple[int, int]]:
+    """Contiguous True runs, merging gaps of <= merge_gap False samples."""
+    idx = np.flatnonzero(mask)
+    if idx.size == 0:
+        return []
+    regions: List[Tuple[int, int]] = []
+    start = prev = int(idx[0])
+    for i in idx[1:]:
+        i = int(i)
+        if i - prev - 1 > merge_gap:
+            regions.append((start, prev + 1))
+            start = i
+        prev = i
+    regions.append((start, prev + 1))
+    return [(s, e) for s, e in regions if e - s >= min_length]
+
+
+@dataclass
+class CoefficientWindow:
+    """One coefficient's located region and its alignment anchor."""
+
+    index: int
+    start: int  # end of this coefficient's log burst
+    end: int  # start of the next coefficient's log burst (or trace end)
+    anchor: int  # sample index of the value-burst end
+
+
+class Segmenter:
+    """Splits a full sampling trace into aligned per-coefficient slices."""
+
+    def __init__(self, config: Optional[SegmenterConfig] = None) -> None:
+        self.config = config if config is not None else SegmenterConfig()
+
+    # ------------------------------------------------------------------
+    def _engine_threshold(self, envelope: np.ndarray, fraction: float = 0.5) -> float:
+        """Threshold between engine-burst level and background.
+
+        The two levels are well separated; a point between the 10th and
+        90th percentile of the smoothed trace sits between them.
+        ``fraction`` picks where (the coarse log-burst envelope averages
+        bursts with their gaps, so it uses a lower point).
+        """
+        lo = float(np.percentile(envelope, 10))
+        hi = float(np.percentile(envelope, 90))
+        return lo + fraction * (hi - lo)
+
+    def windows(self, samples: np.ndarray) -> List[CoefficientWindow]:
+        """Locate every coefficient's window and anchor in the trace."""
+        cfg = self.config
+        samples = np.asarray(samples, dtype=np.float64)
+        envelope = _moving_average(samples, cfg.envelope_window)
+        threshold = self._engine_threshold(envelope)
+
+        # 1. the long binary-log bursts delimit coefficients; their
+        # *starts* are the window boundaries (everything a coefficient
+        # leaks happens between its log burst and the next one's).
+        frac_envelope = _moving_average(samples, cfg.frac_window)
+        frac_mask = frac_envelope > self._engine_threshold(frac_envelope, fraction=0.35)
+        frac_bursts = _active_regions(frac_mask, cfg.frac_merge_gap, cfg.frac_min_length)
+        if not frac_bursts:
+            raise AttackError("no distribution-call bursts found in trace")
+
+        # 2. engine bursts for anchoring
+        engine_mask = envelope > threshold
+        bursts = _active_regions(engine_mask, cfg.burst_merge_gap, cfg.burst_min_length)
+
+        result: List[CoefficientWindow] = []
+        starts = [s for (s, _) in frac_bursts] + [len(samples)]
+        for i in range(len(frac_bursts)):
+            w_start, w_end = starts[i], starts[i + 1]
+            inside = [b for b in bursts if w_start <= b[0] < w_end]
+            is_last = i == len(frac_bursts) - 1
+            anchor = self._find_anchor(inside, w_end, is_last)
+            if anchor is None:
+                raise AttackError(
+                    f"no value-burst anchor found in window {i} [{w_start}, {w_end})"
+                )
+            result.append(CoefficientWindow(i, w_start, w_end, anchor))
+        return result
+
+    def _find_anchor(
+        self, bursts: List[Tuple[int, int]], window_end: int, is_last: bool
+    ) -> Optional[int]:
+        """End of the value burst: scan backwards over engine bursts.
+
+        Walking back from the window end, the trailing bursts are the
+        *next* coefficient's polar-draw multiply pairs, each followed by
+        engine activity within a few dozen cycles.  The first burst
+        (from the back) followed by a long engine-free run is the
+        ``z * sigma`` pair (or the square-root cluster it merged into,
+        which ends at the same place): the clipping checks, the Fig. 2
+        branches and the stores that follow it contain no
+        multiplier/divider work.
+        """
+        cfg = self.config
+        for j in range(len(bursts) - 1, -1, -1):
+            start, end = bursts[j]
+            if end - start < cfg.anchor_min_length:
+                continue  # lone divides (the 2L/x division, Newton steps)
+            if j + 1 < len(bursts):
+                gap = bursts[j + 1][0] - end
+            elif is_last:
+                gap = cfg.quiet_gap  # trace ends right after the assignment
+            else:
+                gap = window_end - end
+            if gap >= cfg.quiet_gap:
+                return end
+        if bursts:
+            return bursts[-1][1]
+        return None
+
+    # ------------------------------------------------------------------
+    def aligned_slices(
+        self, samples: np.ndarray, refiner: Optional["AnchorRefiner"] = None
+    ) -> List[np.ndarray]:
+        """Fixed-length aligned sub-traces, one per coefficient.
+
+        Each slice spans ``[anchor - slice_before, anchor + slice_after)``
+        and is zero-padded at trace edges so all slices have equal
+        length.  With a ``refiner``, each window's anchor is re-aligned
+        by matched filtering first (see :class:`AnchorRefiner`).
+        """
+        cfg = self.config
+        samples = np.asarray(samples, dtype=np.float64)
+        slices = []
+        for window in self.windows(samples):
+            anchor = window.anchor
+            if refiner is not None:
+                anchor = refiner.refine(samples, window)
+            lo = anchor - cfg.slice_before
+            hi = anchor + cfg.slice_after
+            piece = np.zeros(cfg.slice_before + cfg.slice_after)
+            src_lo = max(lo, 0)
+            src_hi = min(hi, len(samples))
+            piece[src_lo - lo : src_hi - lo] = samples[src_lo:src_hi]
+            slices.append(piece)
+        return slices
+
+    @property
+    def slice_length(self) -> int:
+        """Length of every aligned slice."""
+        return self.config.slice_before + self.config.slice_after
+
+
+class AnchorRefiner:
+    """Matched-filter re-alignment of the per-coefficient anchor.
+
+    The coarse burst-scan anchor is right for the vast majority of
+    windows but can land on a neighbouring burst when rejection loops
+    reshape the window.  The refiner learns the *median* trace pattern
+    around the anchor from profiling windows (the median is robust to
+    the minority of mis-anchored ones) and then, per window, slides the
+    pattern over the window to the least-squares-optimal position —
+    textbook trace re-alignment.
+
+    The pattern covers ``[anchor - before, anchor + after)``; ``after``
+    stays small so the pattern is dominated by branch-*independent*
+    structure (square-root tail, the ``z*sigma`` burst, writeback and
+    clipping checks).
+    """
+
+    def __init__(self, reference: np.ndarray, before: int = 160, after: int = 60):
+        self.reference = np.asarray(reference, dtype=np.float64)
+        self.before = before
+        self.after = after
+        if len(self.reference) != before + after:
+            raise AttackError(
+                f"reference length {len(self.reference)} != before+after {before + after}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def learn(
+        cls,
+        segmenter: Segmenter,
+        traces: "List[np.ndarray]",
+        before: int = 160,
+        after: int = 60,
+    ) -> "AnchorRefiner":
+        """Learn the reference pattern from coarse-anchored windows."""
+        patterns = []
+        for samples in traces:
+            samples = np.asarray(samples, dtype=np.float64)
+            try:
+                windows = segmenter.windows(samples)
+            except AttackError:
+                continue
+            for window in windows:
+                lo, hi = window.anchor - before, window.anchor + after
+                if lo >= 0 and hi <= len(samples):
+                    patterns.append(samples[lo:hi])
+        if len(patterns) < 8:
+            raise AttackError(
+                f"need >= 8 windows to learn an anchor reference, got {len(patterns)}"
+            )
+        return cls(np.median(np.vstack(patterns), axis=0), before, after)
+
+    # ------------------------------------------------------------------
+    def refine(self, samples: np.ndarray, window: CoefficientWindow) -> int:
+        """Anchor position minimising the SSD to the reference pattern."""
+        samples = np.asarray(samples, dtype=np.float64)
+        length = len(self.reference)
+        lo = max(window.start, 0)
+        hi = min(window.end + self.after, len(samples))
+        segment = samples[lo:hi]
+        if len(segment) < length:
+            return window.anchor
+        # SSD(delta) = sum(x^2) - 2 x.R + sum(R^2); vectorised via correlate
+        windowed_energy = np.convolve(segment**2, np.ones(length), mode="valid")
+        cross = np.correlate(segment, self.reference, mode="valid")
+        ssd = windowed_energy - 2.0 * cross  # + const
+        best = int(np.argmin(ssd))
+        return lo + best + self.before

@@ -1,0 +1,55 @@
+"""SEAL-v3.2-style implementation of the BFV homomorphic encryption scheme.
+
+The module layout mirrors the SEAL components the paper discusses:
+
+- :mod:`repro.bfv.params` — encryption parameters and precomputed context
+  (the paper's SEAL-128 sets, with n = 1024 / q = 132120577 pinned).
+- :mod:`repro.bfv.sampler` — ``ClippedNormalDistribution`` and the
+  uniform/ternary samplers used by key generation and encryption.
+- :mod:`repro.bfv.keygen` / :mod:`repro.bfv.keys` — secret, public and
+  relinearisation keys.
+- :mod:`repro.bfv.encryptor` — BFV encryption including the *vulnerable*
+  ``set_poly_coeffs_normal`` routine of Fig. 2 of the paper.
+- :mod:`repro.bfv.decryptor` — decryption and invariant-noise budget.
+- :mod:`repro.bfv.evaluator` — homomorphic add / multiply / relinearise.
+- :mod:`repro.bfv.encoder` — integer and batch (CRT/SIMD) encoders.
+"""
+
+from repro.bfv.ciphertext import Ciphertext
+from repro.bfv.decryptor import Decryptor
+from repro.bfv.encoder import BatchEncoder, IntegerEncoder, find_batching_plain_modulus
+from repro.bfv.encryptor import EncryptionArtifacts, Encryptor, set_poly_coeffs_normal
+from repro.bfv.evaluator import Evaluator
+from repro.bfv.keygen import KeyGenerator
+from repro.bfv.keys import PublicKey, RelinKeys, SecretKey
+from repro.bfv.params import BfvContext, BfvParameters
+from repro.bfv.plaintext import Plaintext
+from repro.bfv.sampler import (
+    ClippedNormalDistribution,
+    sample_noise_poly,
+    sample_ternary_poly,
+    sample_uniform_poly,
+)
+
+__all__ = [
+    "BatchEncoder",
+    "BfvContext",
+    "BfvParameters",
+    "Ciphertext",
+    "ClippedNormalDistribution",
+    "Decryptor",
+    "EncryptionArtifacts",
+    "Encryptor",
+    "Evaluator",
+    "IntegerEncoder",
+    "KeyGenerator",
+    "Plaintext",
+    "PublicKey",
+    "RelinKeys",
+    "SecretKey",
+    "find_batching_plain_modulus",
+    "sample_noise_poly",
+    "sample_ternary_poly",
+    "sample_uniform_poly",
+    "set_poly_coeffs_normal",
+]

@@ -1,0 +1,54 @@
+"""Ciphertext container: a tuple of ``R_q`` polynomials.
+
+Fresh encryptions have size 2 (``c0``, ``c1``); a homomorphic
+multiplication yields size 3 until relinearisation brings it back to 2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ParameterError
+from repro.ring.poly import RingPoly
+
+
+class Ciphertext:
+    """An ordered tuple of ring polynomials ``(c_0, ..., c_{k-1})``."""
+
+    def __init__(self, polys: Sequence[RingPoly]) -> None:
+        if len(polys) < 2:
+            raise ParameterError("a ciphertext needs at least two polynomials")
+        n = polys[0].n
+        for p in polys:
+            if p.n != n:
+                raise ParameterError("ciphertext polynomials must share a degree")
+        self.polys: List[RingPoly] = list(polys)
+
+    @property
+    def size(self) -> int:
+        """Number of polynomials (2 for fresh, 3 after multiply)."""
+        return len(self.polys)
+
+    @property
+    def c0(self) -> RingPoly:
+        """First component."""
+        return self.polys[0]
+
+    @property
+    def c1(self) -> RingPoly:
+        """Second component."""
+        return self.polys[1]
+
+    def copy(self) -> "Ciphertext":
+        """Deep copy."""
+        return Ciphertext([p.copy() for p in self.polys])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Ciphertext):
+            return NotImplemented
+        return self.size == other.size and all(
+            a == b for a, b in zip(self.polys, other.polys)
+        )
+
+    def __repr__(self) -> str:
+        return f"Ciphertext(size={self.size}, n={self.polys[0].n})"

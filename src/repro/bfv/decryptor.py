@@ -1,0 +1,85 @@
+"""BFV decryption and invariant-noise budget measurement.
+
+``Decrypt: output [round(t/q * [c0 + c1*s (+ c2*s^2)]_q)]_t``
+
+The scaling step needs exact arithmetic on the full modulus q, so the
+RNS residues are CRT-composed to Python integers before rounding.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.bfv.ciphertext import Ciphertext
+from repro.bfv.keys import SecretKey
+from repro.bfv.params import BfvContext
+from repro.bfv.plaintext import Plaintext
+from repro.errors import ParameterError
+from repro.ring.poly import RingPoly
+
+
+class Decryptor:
+    """Holds the secret key and decrypts ciphertexts of any size."""
+
+    def __init__(self, context: BfvContext, secret_key: SecretKey) -> None:
+        self.context = context
+        self.secret_key = secret_key
+
+    # ------------------------------------------------------------------
+    def _dot_with_secret_powers(self, ciphertext: Ciphertext) -> RingPoly:
+        """Compute ``sum_i c_i * s^i`` in R_q."""
+        ctx = self.context
+        acc = ciphertext.polys[0].copy()
+        s_power = None
+        for c_i in ciphertext.polys[1:]:
+            if s_power is None:
+                s_power = self.secret_key.s
+            else:
+                s_power = s_power.multiply(self.secret_key.s, ctx.ntts)
+            acc = acc + c_i.multiply(s_power, ctx.ntts)
+        return acc
+
+    def decrypt(self, ciphertext: Ciphertext) -> Plaintext:
+        """Decrypt to a plaintext in R_t."""
+        ctx = self.context
+        if ciphertext.polys[0].n != ctx.n:
+            raise ParameterError("ciphertext degree does not match context")
+        phase = self._dot_with_secret_powers(ciphertext)
+        coeffs: List[int] = []
+        q, t = ctx.q, ctx.t
+        for x in phase.to_bigint_coeffs():
+            # round(t*x/q) with exact integer arithmetic
+            scaled = (t * x + q // 2) // q
+            coeffs.append(scaled % t)
+        return Plaintext(coeffs, t)
+
+    # ------------------------------------------------------------------
+    def invariant_noise_budget(self, ciphertext: Ciphertext) -> float:
+        """Remaining noise budget in bits (SEAL's ``invariant_noise_budget``).
+
+        The invariant noise ``v`` satisfies ``(t/q)(c0 + c1 s) = m + v + a*t``;
+        decryption is correct while ``||v||_inf < 1/2``.  The budget is
+        ``-log2(2*||v||_inf)``, i.e. bits of headroom before failure.
+        Returns 0.0 when the ciphertext is already undecryptable.
+        """
+        ctx = self.context
+        phase = self._dot_with_secret_powers(ciphertext)
+        q, t = ctx.q, ctx.t
+        max_num = 0
+        for x in phase.to_bigint_coeffs():
+            # v_i = frac(t*x/q) centered: numerator of the distance from the
+            # nearest integer, as a fraction over q.
+            r = (t * x) % q
+            dist = min(r, q - r)
+            max_num = max(max_num, dist)
+        if max_num == 0:
+            # Noise-free (e.g. trivial encryption of zero): infinite budget,
+            # reported as the full modulus headroom.
+            return float(q.bit_length())
+        budget = -(math.log2(2 * max_num) - math.log2(q))
+        return max(budget, 0.0)
+
+    def decryption_is_correct(self, ciphertext: Ciphertext, plain: Plaintext) -> bool:
+        """Convenience check used by tests and examples."""
+        return self.decrypt(ciphertext) == plain

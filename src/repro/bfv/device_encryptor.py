@@ -1,0 +1,98 @@
+"""BFV encryption with device-sampled noise and trace capture.
+
+``DeviceBackedEncryptor`` is the victim of the paper's threat model in
+one object: the Gaussian noise of each encryption is sampled by the
+simulated PicoRV32 (two kernel executions - one per error polynomial)
+while the "oscilloscope" records the power consumption.  The returned
+:class:`TracedEncryption` carries the ciphertext together with the two
+captures; the adversary gets ``e2_capture.trace`` and nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bfv.ciphertext import Ciphertext
+from repro.bfv.encryptor import Encryptor
+from repro.bfv.keys import PublicKey
+from repro.bfv.params import BfvContext
+from repro.bfv.plaintext import Plaintext
+from repro.bfv.sampler import sample_ternary_coeffs
+from repro.errors import ParameterError
+from repro.power.capture import CapturedTrace, TraceAcquisition
+from repro.utils.rng import new_rng
+
+
+@dataclass
+class TracedEncryption:
+    """One encryption plus its side-channel observables."""
+
+    ciphertext: Ciphertext
+    e1_capture: CapturedTrace
+    e2_capture: CapturedTrace
+
+    @property
+    def e1(self):
+        """Ground-truth first error polynomial (evaluation only)."""
+        return self.e1_capture.values
+
+    @property
+    def e2(self):
+        """Ground-truth second error polynomial (evaluation only)."""
+        return self.e2_capture.values
+
+
+class DeviceBackedEncryptor:
+    """Encrypts with noise sampled on the (instrumented) device.
+
+    Parameters
+    ----------
+    context / public_key:
+        The BFV scheme configuration and recipient key.
+    acquisition:
+        The measurement bench whose device must run the same coefficient
+        modulus chain as the context.
+    """
+
+    def __init__(
+        self,
+        context: BfvContext,
+        public_key: PublicKey,
+        acquisition: TraceAcquisition,
+    ) -> None:
+        device_moduli = acquisition.device.moduli
+        context_moduli = [m.value for m in context.basis.moduli]
+        if device_moduli != context_moduli:
+            raise ParameterError(
+                f"device moduli {device_moduli} do not match context {context_moduli}"
+            )
+        if acquisition.device.max_deviation != int(
+            context.params.noise_max_deviation
+        ):
+            raise ParameterError("device clipping bound does not match context")
+        self.context = context
+        self.acquisition = acquisition
+        self._host_encryptor = Encryptor(context, public_key)
+
+    def encrypt(self, plain: Plaintext, rng=None) -> TracedEncryption:
+        """Encrypt; the two error polynomials run on the device.
+
+        The device PRNG seeds are derived from ``rng`` so the whole
+        encryption stays reproducible.
+        """
+        rng = new_rng(rng)
+        u = sample_ternary_coeffs(self.context, rng)
+        seed_e1 = int(rng.integers(1, 2**32))
+        seed_e2 = int(rng.integers(1, 2**32))
+        e1_capture = self.acquisition.capture(seed_e1, self.context.n)
+        e2_capture = self.acquisition.capture(seed_e2, self.context.n)
+        ciphertext = self._host_encryptor.encrypt_with_randomness(
+            plain, u, e1_capture.values, e2_capture.values
+        )
+        return TracedEncryption(
+            ciphertext=ciphertext,
+            e1_capture=e1_capture,
+            e2_capture=e2_capture,
+        )

@@ -1,0 +1,113 @@
+"""Plaintext encoders: integer (binary) and batch (CRT/SIMD).
+
+``IntegerEncoder`` maps machine integers to low-degree polynomials via
+their binary expansion, like SEAL's encoder of the same name; the
+homomorphic correspondence is ``decode(dec(ct1 op ct2)) == m1 op m2`` as
+long as coefficients do not wrap modulo t.
+
+``BatchEncoder`` packs a vector of n slots using the CRT/NTT structure
+of ``R_t`` when t is a prime congruent to 1 mod 2n (SEAL's
+``BatchEncoder``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.bfv.params import BfvContext
+from repro.bfv.plaintext import Plaintext
+from repro.errors import ParameterError
+from repro.ring.modulus import Modulus
+from repro.ring.ntt import NttContext
+from repro.ring.primes import generate_ntt_primes, is_prime
+
+
+class IntegerEncoder:
+    """Binary (base-2) integer encoder.
+
+    Non-negative integers become 0/1 coefficient polynomials; negative
+    integers use coefficients ``t - 1`` (i.e. ``-1 mod t``), exactly like
+    SEAL's ``IntegerEncoder`` with base 2.
+    """
+
+    def __init__(self, context: BfvContext) -> None:
+        self.context = context
+
+    def encode(self, value: int) -> Plaintext:
+        """Encode a signed integer whose bit length fits the ring degree."""
+        ctx = self.context
+        magnitude = abs(int(value))
+        if magnitude.bit_length() > ctx.n:
+            raise ParameterError(
+                f"|value| needs {magnitude.bit_length()} bits, ring degree is {ctx.n}"
+            )
+        digit = 1 if value >= 0 else ctx.t - 1
+        coeffs = [0] * ctx.n
+        for i in range(magnitude.bit_length()):
+            if (magnitude >> i) & 1:
+                coeffs[i] = digit
+        return Plaintext(coeffs, ctx.t)
+
+    def decode(self, plain: Plaintext) -> int:
+        """Evaluate the polynomial at x = 2 using centered coefficients."""
+        total = 0
+        for i, c in enumerate(plain.centered_coeffs()):
+            total += c << i
+        return total
+
+
+def find_batching_plain_modulus(poly_degree: int, bit_size: int = 0) -> int:
+    """Find a prime t = 1 mod 2n enabling SIMD batching.
+
+    With ``bit_size=0`` the smallest workable size is used (keeping the
+    noise cost of a large t down); pass an explicit size for wider
+    plaintext spaces.
+
+    >>> find_batching_plain_modulus(64)
+    257
+    """
+    if bit_size == 0:
+        bit_size = (2 * poly_degree).bit_length() + 1
+    return generate_ntt_primes(bit_size, 1, poly_degree)[0].value
+
+
+class BatchEncoder:
+    """SIMD (CRT) encoder packing n integer slots into one plaintext.
+
+    Requires the context's plain modulus to be a prime ``t = 1 mod 2n``;
+    slot-wise addition and multiplication then commute with the
+    homomorphic operations.
+    """
+
+    def __init__(self, context: BfvContext) -> None:
+        t = context.t
+        n = context.n
+        if not is_prime(t) or (t - 1) % (2 * n) != 0:
+            raise ParameterError(
+                f"batching requires a prime t = 1 mod {2 * n}; got t={t} "
+                f"(use find_batching_plain_modulus)"
+            )
+        self.context = context
+        self._ntt = NttContext(Modulus(t), n)
+
+    @property
+    def slot_count(self) -> int:
+        """Number of SIMD slots (= ring degree)."""
+        return self.context.n
+
+    def encode(self, values: Sequence[int]) -> Plaintext:
+        """Pack up to n slot values (short inputs are zero-padded)."""
+        ctx = self.context
+        values = [int(v) % ctx.t for v in values]
+        if len(values) > ctx.n:
+            raise ParameterError(f"too many slots: {len(values)} > {ctx.n}")
+        values = values + [0] * (ctx.n - len(values))
+        coeffs = self._ntt.inverse(np.array(values, dtype=np.int64))
+        return Plaintext([int(c) for c in coeffs], ctx.t)
+
+    def decode(self, plain: Plaintext) -> List[int]:
+        """Unpack a plaintext back into its n slot values."""
+        values = self._ntt.forward(plain.coeffs)
+        return [int(v) for v in values]

@@ -1,0 +1,185 @@
+"""BFV encryption, including the vulnerable noise-assignment routine.
+
+``set_poly_coeffs_normal`` is a line-for-line Python port of the SEAL
+v3.2 C++ function the paper reproduces in Fig. 2.  The three highlighted
+vulnerabilities live here:
+
+1. the ``if noise > 0 / elif noise < 0 / else`` *branches* (control-flow
+   leakage reveals the coefficient's sign, or that it is zero);
+2. the *assignment* of the freshly sampled value (data-flow leakage of
+   the coefficient magnitude);
+3. the *negation* ``noise = -noise`` on the negative path (a second,
+   different data-flow leak that disambiguates equal-Hamming-weight
+   candidates).
+
+The pure-Python port is used by the scheme itself; the RISC-V assembly
+version executed by the simulated PicoRV32 core (which produces the
+power traces) lives in :mod:`repro.riscv.programs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bfv.ciphertext import Ciphertext
+from repro.bfv.keys import PublicKey
+from repro.bfv.params import BfvContext
+from repro.bfv.plaintext import Plaintext
+from repro.bfv.sampler import (
+    ClippedNormalDistribution,
+    sample_ternary_coeffs,
+)
+from repro.errors import ParameterError
+from repro.ring.poly import RingPoly
+from repro.utils.rng import new_rng
+
+#: A noise source is anything yielding one signed sample per call, like
+#: ``dist(engine)`` in Fig. 2.  The RISC-V device sampler satisfies this.
+NoiseSource = Callable[[], int]
+
+
+def set_poly_coeffs_normal(
+    context: BfvContext, dist: NoiseSource
+) -> "tuple[np.ndarray, List[int]]":
+    """Fill a strided RNS polynomial buffer with Gaussian noise.
+
+    Mirrors SEAL v3.2's ``Encryptor::set_poly_coeffs_normal`` (Fig. 2 of
+    the paper) including its branch structure.  Returns the filled
+    ``(coeff_mod_count, coeff_count)`` buffer and the signed noise values
+    (the latter are what the attack tries to recover).
+    """
+    coeff_count = context.n
+    coeff_mod_count = context.coeff_mod_count
+    coeff_modulus = context.basis.moduli
+    poly = np.zeros((coeff_mod_count, coeff_count), dtype=np.int64)
+    sampled: List[int] = []
+    for i in range(coeff_count):
+        noise = dist()
+        sampled.append(noise)
+        if noise > 0:
+            for j in range(coeff_mod_count):
+                poly[j, i] = noise
+        elif noise < 0:
+            noise = -noise
+            for j in range(coeff_mod_count):
+                poly[j, i] = coeff_modulus[j].value - noise
+        else:
+            for j in range(coeff_mod_count):
+                poly[j, i] = 0
+    return poly, sampled
+
+
+@dataclass
+class EncryptionArtifacts:
+    """Debug record of one encryption's fresh randomness.
+
+    This is ground truth for attack evaluation only — a real adversary
+    never sees it.  ``u`` is the ternary encryption sample; ``e1`` and
+    ``e2`` are the signed Gaussian noise coefficients of the two error
+    polynomials.
+    """
+
+    u: List[int]
+    e1: List[int]
+    e2: List[int]
+
+
+class Encryptor:
+    """BFV public-key encryption (section II-A of the paper).
+
+    ``(c0, c1) = ([Delta*m + p0*u + e1]_q, [p1*u + e2]_q)``
+
+    Parameters
+    ----------
+    context:
+        The BFV context.
+    public_key:
+        The recipient's public key.
+    noise_source_factory:
+        Optional callable ``rng -> NoiseSource`` used to draw the error
+        coefficients.  Defaults to :class:`ClippedNormalDistribution`
+        bound to the given rng; the power-analysis harness substitutes
+        the RISC-V device sampler here so traces and ciphertexts stay
+        consistent.
+    """
+
+    def __init__(
+        self,
+        context: BfvContext,
+        public_key: PublicKey,
+        noise_source_factory: Optional[Callable[[np.random.Generator], NoiseSource]] = None,
+    ) -> None:
+        self.context = context
+        self.public_key = public_key
+        if noise_source_factory is None:
+            dist = ClippedNormalDistribution(
+                context.params.noise_standard_deviation,
+                context.params.noise_max_deviation,
+            )
+
+            def default_factory(rng: np.random.Generator) -> NoiseSource:
+                return lambda: dist(rng)
+
+            noise_source_factory = default_factory
+        self._noise_source_factory = noise_source_factory
+
+    # ------------------------------------------------------------------
+    def encrypt(self, plain: Plaintext, rng=None) -> Ciphertext:
+        """Encrypt a plaintext; fresh randomness is drawn from ``rng``."""
+        ct, _ = self.encrypt_with_artifacts(plain, rng)
+        return ct
+
+    def encrypt_with_artifacts(
+        self, plain: Plaintext, rng=None
+    ) -> "tuple[Ciphertext, EncryptionArtifacts]":
+        """Encrypt and also return the fresh randomness (for evaluation)."""
+        ctx = self.context
+        if plain.n != ctx.n:
+            raise ParameterError(
+                f"plaintext has {plain.n} coefficients, context expects {ctx.n}"
+            )
+        if plain.t != ctx.t:
+            raise ParameterError("plaintext modulus does not match context")
+        rng = new_rng(rng)
+        u = sample_ternary_coeffs(ctx, rng)
+        dist = self._noise_source_factory(rng)
+        e1_buffer, e1 = set_poly_coeffs_normal(ctx, dist)
+        e2_buffer, e2 = set_poly_coeffs_normal(ctx, dist)
+        ct = self._assemble(plain, u, e1_buffer, e2_buffer)
+        return ct, EncryptionArtifacts(u=u, e1=e1, e2=e2)
+
+    def encrypt_with_randomness(
+        self,
+        plain: Plaintext,
+        u: Sequence[int],
+        e1: Sequence[int],
+        e2: Sequence[int],
+    ) -> Ciphertext:
+        """Encrypt with caller-provided randomness (deterministic; for tests
+        and for validating recovered noise against an observed ciphertext)."""
+        ctx = self.context
+        e1_buffer = RingPoly.from_int_coeffs(ctx.basis, ctx.n, list(e1)).residues
+        e2_buffer = RingPoly.from_int_coeffs(ctx.basis, ctx.n, list(e2)).residues
+        return self._assemble(plain, list(u), e1_buffer, e2_buffer)
+
+    # ------------------------------------------------------------------
+    def _assemble(
+        self,
+        plain: Plaintext,
+        u: List[int],
+        e1_buffer: np.ndarray,
+        e2_buffer: np.ndarray,
+    ) -> Ciphertext:
+        ctx = self.context
+        u_poly = RingPoly.from_int_coeffs(ctx.basis, ctx.n, u)
+        e1_poly = RingPoly(ctx.basis, ctx.n, e1_buffer)
+        e2_poly = RingPoly(ctx.basis, ctx.n, e2_buffer)
+        scaled_m = RingPoly.from_bigint_coeffs(
+            ctx.basis, ctx.n, [ctx.delta * int(c) for c in plain.coeffs]
+        )
+        c0 = self.public_key.p0.multiply(u_poly, ctx.ntts) + e1_poly + scaled_m
+        c1 = self.public_key.p1.multiply(u_poly, ctx.ntts) + e2_poly
+        return Ciphertext([c0, c1])

@@ -1,0 +1,190 @@
+"""Homomorphic evaluation on BFV ciphertexts.
+
+Implements the cloud-side ``Evaluate`` function of Fig. 1 of the paper:
+addition, subtraction, negation, plaintext addition/multiplication, full
+ciphertext-ciphertext multiplication (tensor + exact ``t/q`` scaling)
+and relinearisation with base-w key switching.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bfv.ciphertext import Ciphertext
+from repro.bfv.keys import GaloisKeys, RelinKeys
+from repro.bfv.params import BfvContext
+from repro.bfv.plaintext import Plaintext
+from repro.errors import ParameterError
+from repro.ring.exact import exact_negacyclic_multiply
+from repro.ring.galois import apply_galois as _apply_galois_poly
+from repro.ring.galois import galois_elements_for_rotations
+from repro.ring.poly import RingPoly
+
+
+class Evaluator:
+    """Stateless homomorphic-operation provider for one context."""
+
+    def __init__(self, context: BfvContext) -> None:
+        self.context = context
+
+    # ------------------------------------------------------------------
+    # Linear operations
+    # ------------------------------------------------------------------
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Homomorphic addition; sizes may differ (shorter is zero-padded)."""
+        longer, shorter = (a, b) if a.size >= b.size else (b, a)
+        polys = [p.copy() for p in longer.polys]
+        for i, p in enumerate(shorter.polys):
+            polys[i] = polys[i] + p
+        return Ciphertext(polys)
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Homomorphic subtraction ``a - b``."""
+        return self.add(a, self.negate(b))
+
+    def negate(self, a: Ciphertext) -> Ciphertext:
+        """Homomorphic negation."""
+        return Ciphertext([-p for p in a.polys])
+
+    def add_plain(self, a: Ciphertext, plain: Plaintext) -> Ciphertext:
+        """Add an unencrypted plaintext (scaled by Delta) to a ciphertext."""
+        ctx = self._check_plain(plain)
+        scaled = RingPoly.from_bigint_coeffs(
+            ctx.basis, ctx.n, [ctx.delta * int(c) for c in plain.coeffs]
+        )
+        polys = [p.copy() for p in a.polys]
+        polys[0] = polys[0] + scaled
+        return Ciphertext(polys)
+
+    def sub_plain(self, a: Ciphertext, plain: Plaintext) -> Ciphertext:
+        """Subtract an unencrypted plaintext from a ciphertext."""
+        ctx = self._check_plain(plain)
+        scaled = RingPoly.from_bigint_coeffs(
+            ctx.basis, ctx.n, [ctx.delta * int(c) for c in plain.coeffs]
+        )
+        polys = [p.copy() for p in a.polys]
+        polys[0] = polys[0] - scaled
+        return Ciphertext(polys)
+
+    def multiply_plain(self, a: Ciphertext, plain: Plaintext) -> Ciphertext:
+        """Multiply by an unencrypted plaintext (no Delta rescaling needed)."""
+        ctx = self._check_plain(plain)
+        if plain.is_zero():
+            raise ParameterError(
+                "multiply_plain by zero produces a transparent ciphertext; "
+                "multiply by Plaintext.constant(0, ...) via add instead"
+            )
+        plain_poly = RingPoly.from_int_coeffs(
+            ctx.basis, ctx.n, [int(c) for c in plain.coeffs]
+        )
+        return Ciphertext([p.multiply(plain_poly, ctx.ntts) for p in a.polys])
+
+    # ------------------------------------------------------------------
+    # Multiplication and relinearisation
+    # ------------------------------------------------------------------
+    def multiply(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Full BFV multiplication of two size-2 ciphertexts (size-3 result).
+
+        Computes the integer tensor products of the *centered lifts* and
+        scales each by ``t/q`` with exact rounding, per the textbook BFV
+        multiplication.
+        """
+        if a.size != 2 or b.size != 2:
+            raise ParameterError("multiply expects size-2 ciphertexts")
+        ctx = self.context
+        q, t = ctx.q, ctx.t
+        lifts_a = [p.to_centered_coeffs() for p in a.polys]
+        lifts_b = [p.to_centered_coeffs() for p in b.polys]
+
+        prod00 = exact_negacyclic_multiply(lifts_a[0], lifts_b[0])
+        prod01 = exact_negacyclic_multiply(lifts_a[0], lifts_b[1])
+        prod10 = exact_negacyclic_multiply(lifts_a[1], lifts_b[0])
+        prod11 = exact_negacyclic_multiply(lifts_a[1], lifts_b[1])
+        cross = [x + y for x, y in zip(prod01, prod10)]
+
+        def scale(coeffs: List[int]) -> RingPoly:
+            # round(t*c/q) using floor division, valid for signed numerators
+            rounded = [((t * c + q // 2) // q) % q for c in coeffs]
+            return RingPoly.from_bigint_coeffs(ctx.basis, ctx.n, rounded)
+
+        return Ciphertext([scale(prod00), scale(cross), scale(prod11)])
+
+    def relinearize(self, a: Ciphertext, relin_keys: RelinKeys) -> Ciphertext:
+        """Reduce a size-3 ciphertext back to size 2 via base-w key switching."""
+        if a.size != 3:
+            raise ParameterError("relinearize expects a size-3 ciphertext")
+        ctx = self.context
+        w_bits = relin_keys.decomposition_bits
+        c2_coeffs = a.polys[2].to_bigint_coeffs()
+        c0 = a.polys[0].copy()
+        c1 = a.polys[1].copy()
+        for level, (b_i, a_i) in enumerate(relin_keys.pairs):
+            digits = [(c >> (w_bits * level)) & ((1 << w_bits) - 1) for c in c2_coeffs]
+            digit_poly = RingPoly.from_bigint_coeffs(ctx.basis, ctx.n, digits)
+            c0 = c0 + digit_poly.multiply(b_i, ctx.ntts)
+            c1 = c1 + digit_poly.multiply(a_i, ctx.ntts)
+        return Ciphertext([c0, c1])
+
+    def multiply_relin(
+        self, a: Ciphertext, b: Ciphertext, relin_keys: RelinKeys
+    ) -> Ciphertext:
+        """Multiply then immediately relinearise."""
+        return self.relinearize(self.multiply(a, b), relin_keys)
+
+    # ------------------------------------------------------------------
+    # Galois automorphisms / rotations
+    # ------------------------------------------------------------------
+    def apply_galois(
+        self, a: Ciphertext, galois_element: int, galois_keys: GaloisKeys
+    ) -> Ciphertext:
+        """Apply ``tau_g`` homomorphically: ``dec(out) = tau_g(dec(a))``.
+
+        ``tau_g(c0) + tau_g(c1) * tau_g(s)`` decrypts the transformed
+        plaintext under the *rotated* secret; key switching with the
+        Galois keys brings it back under ``s``.
+        """
+        if a.size != 2:
+            raise ParameterError("apply_galois expects a size-2 ciphertext")
+        if galois_element not in galois_keys.pairs_by_element:
+            raise ParameterError(
+                f"no Galois key for element {galois_element}; "
+                f"available: {galois_keys.elements()}"
+            )
+        ctx = self.context
+        rotated_c0 = _apply_galois_poly(a.c0, galois_element)
+        rotated_c1 = _apply_galois_poly(a.c1, galois_element)
+        # key-switch rotated_c1 * tau_g(s) -> under s
+        w_bits = galois_keys.decomposition_bits
+        coeffs = rotated_c1.to_bigint_coeffs()
+        c0 = rotated_c0
+        c1 = RingPoly.zero(ctx.basis, ctx.n)
+        for level, (b_i, a_i) in enumerate(galois_keys.pairs_by_element[galois_element]):
+            digits = [(c >> (w_bits * level)) & ((1 << w_bits) - 1) for c in coeffs]
+            digit_poly = RingPoly.from_bigint_coeffs(ctx.basis, ctx.n, digits)
+            c0 = c0 + digit_poly.multiply(b_i, ctx.ntts)
+            c1 = c1 + digit_poly.multiply(a_i, ctx.ntts)
+        return Ciphertext([c0, c1])
+
+    def rotate_rows(
+        self, a: Ciphertext, steps: int, galois_keys: GaloisKeys
+    ) -> Ciphertext:
+        """Rotate the batched slots by ``steps`` (SEAL's ``rotate_rows``)."""
+        (element,) = galois_elements_for_rotations(self.context.n, [steps])
+        return self.apply_galois(a, element, galois_keys)
+
+    def rotate_columns(self, a: Ciphertext, galois_keys: GaloisKeys) -> Ciphertext:
+        """Swap the two slot rows (the ``2n - 1`` conjugation element)."""
+        return self.apply_galois(a, 2 * self.context.n - 1, galois_keys)
+
+    def square(self, a: Ciphertext) -> Ciphertext:
+        """Homomorphic squaring (a size-3 result)."""
+        return self.multiply(a, a)
+
+    # ------------------------------------------------------------------
+    def _check_plain(self, plain: Plaintext) -> BfvContext:
+        ctx = self.context
+        if plain.n != ctx.n:
+            raise ParameterError("plaintext length does not match context")
+        if plain.t != ctx.t:
+            raise ParameterError("plaintext modulus does not match context")
+        return ctx

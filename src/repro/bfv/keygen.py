@@ -1,0 +1,105 @@
+"""BFV key generation (SecretKeyGen / PublicKeyGen / RelinKeyGen).
+
+Follows section II-A of the paper:
+
+- ``SecretKeyGen``: sample ``s <- R_2`` (ternary), output ``sk = s``.
+- ``PublicKeyGen``: sample ``a <- R_q`` uniform and ``e <- chi``; output
+  ``pk = ([-(a s + e)]_q, a)``.
+- Relinearisation keys use the classic base-w decomposition
+  ``evk_i = ([-(a_i s + e_i) + w^i s^2]_q, a_i)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.bfv.keys import GaloisKeys, PublicKey, RelinKeys, SecretKey
+from repro.bfv.params import BfvContext
+from repro.bfv.sampler import (
+    sample_noise_poly,
+    sample_ternary_poly,
+    sample_uniform_poly,
+)
+from repro.ring.galois import apply_galois, galois_elements_for_rotations
+from repro.ring.poly import RingPoly
+from repro.utils.rng import new_rng
+
+
+class KeyGenerator:
+    """Generates all BFV key material for one context."""
+
+    def __init__(self, context: BfvContext, rng=None) -> None:
+        self.context = context
+        self._rng = new_rng(rng)
+        self._secret = SecretKey(sample_ternary_poly(context, self._rng))
+
+    def secret_key(self) -> SecretKey:
+        """The secret key generated at construction time."""
+        return self._secret
+
+    def public_key(self) -> PublicKey:
+        """Generate a fresh public key for the held secret."""
+        ctx = self.context
+        a = sample_uniform_poly(ctx, self._rng)
+        e = sample_noise_poly(ctx, self._rng)
+        p0 = -(a.multiply(self._secret.s, ctx.ntts) + e)
+        return PublicKey(p0, a)
+
+    def _key_switching_pairs(
+        self, target: RingPoly, decomposition_bits: int
+    ) -> "List":
+        """Pairs ``([-(a_i s + e_i) + w^i * target]_q, a_i)`` for all levels."""
+        ctx = self.context
+        s = self._secret.s
+        levels = (ctx.q.bit_length() + decomposition_bits - 1) // decomposition_bits
+        pairs = []
+        w_power = 1
+        for _ in range(levels):
+            a_i = sample_uniform_poly(ctx, self._rng)
+            e_i = sample_noise_poly(ctx, self._rng)
+            b_i = (
+                -(a_i.multiply(s, ctx.ntts) + e_i)
+                + target.scalar_mul_bigint(w_power)
+            )
+            pairs.append((b_i, a_i))
+            w_power <<= decomposition_bits
+        return pairs
+
+    def galois_keys(
+        self,
+        elements: Optional[Sequence[int]] = None,
+        steps: Optional[Sequence[int]] = None,
+        decomposition_bits: int = 16,
+    ) -> GaloisKeys:
+        """Key-switching keys for Galois automorphisms.
+
+        Pass explicit odd ``elements`` or slot-rotation ``steps`` (which
+        are translated via the generator 3).  The column-swap element
+        ``2n - 1`` can be requested explicitly.
+        """
+        ctx = self.context
+        if elements is None:
+            if steps is None:
+                raise ValueError("provide elements or steps")
+            elements = galois_elements_for_rotations(ctx.n, list(steps))
+        pairs_by_element = {}
+        for g in elements:
+            rotated_secret = apply_galois(self._secret.s, g)
+            pairs_by_element[int(g)] = self._key_switching_pairs(
+                rotated_secret, decomposition_bits
+            )
+        return GaloisKeys(decomposition_bits, pairs_by_element)
+
+    def relin_keys(self, decomposition_bits: int = 16) -> RelinKeys:
+        """Generate relinearisation keys with base ``w = 2**decomposition_bits``.
+
+        Each level encrypts ``w^i * s^2``; the evaluator recombines the
+        base-w digits of ``c_2`` against these pairs.
+        """
+        ctx = self.context
+        s = self._secret.s
+        s_squared = s.multiply(s, ctx.ntts)
+        return RelinKeys(
+            decomposition_bits,
+            self._key_switching_pairs(s_squared, decomposition_bits),
+        )

@@ -1,0 +1,56 @@
+"""Key material containers for BFV."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.ring.poly import RingPoly
+
+
+@dataclass
+class SecretKey:
+    """The ternary secret polynomial s."""
+
+    s: RingPoly
+
+
+@dataclass
+class PublicKey:
+    """The encryption key ``pk = (p0, p1) = ([-(a s + e)]_q, a)``."""
+
+    p0: RingPoly
+    p1: RingPoly
+
+
+@dataclass
+class GaloisKeys:
+    """Key-switching keys for Galois automorphisms.
+
+    ``pairs_by_element[g][i]`` encrypts ``w^i * tau_g(s)`` under s,
+    enabling :meth:`repro.bfv.evaluator.Evaluator.apply_galois`.
+    """
+
+    decomposition_bits: int
+    pairs_by_element: "dict[int, List[Tuple[RingPoly, RingPoly]]]"
+
+    def elements(self) -> "List[int]":
+        """Galois elements these keys support."""
+        return sorted(self.pairs_by_element)
+
+
+@dataclass
+class RelinKeys:
+    """Relinearisation (evaluation) keys.
+
+    ``pairs[i]`` encrypts ``w^i * s^2`` under s, where w = 2**decomposition_bits,
+    following the classic BFV relinearisation version 1.
+    """
+
+    decomposition_bits: int
+    pairs: List[Tuple[RingPoly, RingPoly]]
+
+    @property
+    def level_count(self) -> int:
+        """Number of decomposition levels l = ceil(log2(q) / w_bits)."""
+        return len(self.pairs)

@@ -1,0 +1,95 @@
+"""Noise-budget analysis: theoretical bounds and measured budgets.
+
+SEAL exposes ``invariant_noise_budget`` (implemented on
+:class:`repro.bfv.decryptor.Decryptor`); this module adds the
+*theoretical* side: worst-case and expected bounds for fresh
+encryptions and the budget consumption of each homomorphic operation,
+so parameter sets can be sized without trial decryption.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.bfv.params import BfvContext
+
+
+@dataclass(frozen=True)
+class NoiseEstimate:
+    """Expected and worst-case infinity norms of the invariant noise."""
+
+    expected_bits: float
+    worst_case_bits: float
+
+    def budget_bits(self, context: BfvContext) -> float:
+        """Expected remaining budget: ``log2(q / (2t)) - expected_bits``."""
+        headroom = math.log2(context.q) - math.log2(2 * context.t)
+        return max(headroom - self.expected_bits, 0.0)
+
+
+def fresh_encryption_noise(context: BfvContext) -> NoiseEstimate:
+    """Noise of a fresh public-key encryption.
+
+    The invariant-noise numerator is ``e1 + e2*s - e*u`` whose
+    coefficients are sums of ``2n`` products of a Gaussian (sigma) with
+    a ternary value (variance 2/3) plus one Gaussian; the expected
+    infinity norm over n coefficients is approximated by the
+    ``sqrt(2 ln n)``-sigma quantile.
+    """
+    n = context.n
+    sigma = context.params.noise_standard_deviation
+    ternary_variance = 2.0 / 3.0
+    variance = sigma**2 * (1 + 2 * n * ternary_variance)
+    expected_peak = math.sqrt(variance) * math.sqrt(2 * math.log(max(n, 2)))
+    worst = context.params.noise_max_deviation * (1 + 2 * n)
+    return NoiseEstimate(
+        expected_bits=math.log2(max(expected_peak, 1.0)),
+        worst_case_bits=math.log2(max(worst, 1.0)),
+    )
+
+
+def addition_noise_growth_bits() -> float:
+    """Homomorphic addition at most doubles the noise: <= 1 bit."""
+    return 1.0
+
+
+def multiply_noise_growth_bits(context: BfvContext) -> float:
+    """Approximate budget consumed by one ciphertext multiplication.
+
+    The dominant textbook term scales the noise by about ``2 t n``;
+    in bits: ``log2(2 t n)`` (plus O(1) rounding terms, absorbed by one
+    extra bit).
+    """
+    return math.log2(2 * context.t * context.n) + 1.0
+
+
+def relinearisation_noise_bits(context: BfvContext, decomposition_bits: int) -> float:
+    """Additive key-switching noise in bits.
+
+    Base-w decomposition adds about ``l * n * w * sigma`` to the raw
+    noise, where ``l`` is the number of levels.
+    """
+    levels = (context.q.bit_length() + decomposition_bits - 1) // decomposition_bits
+    added = (
+        levels
+        * context.n
+        * (1 << decomposition_bits)
+        * context.params.noise_standard_deviation
+    )
+    # relative to the invariant-noise scale q/t
+    return math.log2(added) - math.log2(context.q / context.t)
+
+
+def supported_multiplication_depth(
+    context: BfvContext, decomposition_bits: int = 16
+) -> int:
+    """How many multiply+relinearise levels a fresh ciphertext supports."""
+    fresh = fresh_encryption_noise(context)
+    budget = fresh.budget_bits(context)
+    per_level = multiply_noise_growth_bits(context)
+    depth = 0
+    while budget > per_level and depth < 64:
+        budget -= per_level
+        depth += 1
+    return depth

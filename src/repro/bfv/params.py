@@ -1,0 +1,139 @@
+"""BFV encryption parameters and the precomputed context.
+
+The defaults reproduce the paper's target configuration: 128-bit
+security, polynomial degree n = 1024, coefficient modulus
+q = 132120577, plaintext modulus t = 256 and Gaussian noise with
+standard deviation 3.19 (≈ 8/sqrt(2*pi)) clipped to |x| <= 41 — the
+range the paper states for sampled coefficients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ParameterError
+from repro.ring.modulus import Modulus
+from repro.ring.ntt import NttContext
+from repro.ring.primes import default_coeff_modulus_128
+from repro.ring.rns import RnsBasis
+from repro.utils.validation import check_power_of_two
+
+#: SEAL's default noise standard deviation (sigma = 3.19 ~ 8/sqrt(2 pi)).
+DEFAULT_NOISE_STANDARD_DEVIATION = 3.19
+
+#: Paper section II-A: "each sampled coefficient is between -41 and 41".
+DEFAULT_NOISE_MAX_DEVIATION = 41.0
+
+#: SEAL's default plaintext modulus for integer workloads.
+DEFAULT_PLAIN_MODULUS = 256
+
+
+@dataclass(frozen=True)
+class BfvParameters:
+    """Static BFV scheme parameters (the analogue of SEAL's ``EncryptionParameters``).
+
+    Parameters
+    ----------
+    poly_degree:
+        Ring degree n; a power of two.  SEAL supports 1024..32768.
+    coeff_modulus:
+        The RNS limbs whose product is the ciphertext modulus q.
+    plain_modulus:
+        The plaintext modulus t (any integer >= 2; need not be prime).
+    noise_standard_deviation / noise_max_deviation:
+        Parameters of the clipped Gaussian noise sampler chi.
+    """
+
+    poly_degree: int
+    coeff_modulus: Sequence[Modulus]
+    plain_modulus: int = DEFAULT_PLAIN_MODULUS
+    noise_standard_deviation: float = DEFAULT_NOISE_STANDARD_DEVIATION
+    noise_max_deviation: float = DEFAULT_NOISE_MAX_DEVIATION
+
+    def __post_init__(self) -> None:
+        check_power_of_two("poly_degree", self.poly_degree)
+        if not self.coeff_modulus:
+            raise ParameterError("coeff_modulus must not be empty")
+        if self.plain_modulus < 2:
+            raise ParameterError(f"plain_modulus must be >= 2, got {self.plain_modulus}")
+        if self.noise_standard_deviation <= 0:
+            raise ParameterError("noise_standard_deviation must be positive")
+        if self.noise_max_deviation < self.noise_standard_deviation:
+            raise ParameterError("noise_max_deviation must be >= standard deviation")
+        for m in self.coeff_modulus:
+            if (m.value - 1) % (2 * self.poly_degree) != 0:
+                raise ParameterError(
+                    f"coeff modulus {m.value} is not NTT-friendly for n={self.poly_degree}"
+                )
+        q = 1
+        for m in self.coeff_modulus:
+            q *= m.value
+        if q // self.plain_modulus < 2:
+            raise ParameterError("q/t too small: no room for the message scale Delta")
+
+
+class BfvContext:
+    """Precomputed data shared by all BFV operations (SEAL's ``SEALContext``).
+
+    Holds the RNS basis, per-limb NTT tables, the full modulus ``q`` and
+    the message scale ``Delta = floor(q / t)``.
+    """
+
+    def __init__(self, params: BfvParameters) -> None:
+        self.params = params
+        self.n = params.poly_degree
+        self.basis = RnsBasis(params.coeff_modulus)
+        self.q: int = self.basis.product
+        self.t: int = params.plain_modulus
+        self.delta: int = self.q // self.t
+        self.ntts: List[NttContext] = [
+            NttContext(m, self.n) for m in self.basis.moduli
+        ]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def default(
+        cls,
+        poly_degree: int = 1024,
+        plain_modulus: int = DEFAULT_PLAIN_MODULUS,
+        coeff_modulus: Optional[Sequence[Modulus]] = None,
+    ) -> "BfvContext":
+        """Context for a SEAL-128 default parameter set.
+
+        ``BfvContext.default()`` is exactly the paper's attacked
+        configuration (n=1024, q=132120577, sigma=3.19).
+        """
+        if coeff_modulus is None:
+            coeff_modulus = default_coeff_modulus_128(poly_degree)
+        return cls(BfvParameters(poly_degree, tuple(coeff_modulus), plain_modulus))
+
+    @classmethod
+    def toy(
+        cls, poly_degree: int = 64, plain_modulus: int = 17, limbs: int = 1
+    ) -> "BfvContext":
+        """A small, fast context for unit tests and toy lattice attacks.
+
+        ``limbs`` word-sized primes are used for q; pass 2+ when a test
+        needs noise headroom for multiplication chains.
+        """
+        from repro.ring.primes import generate_ntt_primes
+
+        chain = generate_ntt_primes(27, limbs, poly_degree)
+        return cls(BfvParameters(poly_degree, tuple(chain), plain_modulus))
+
+    # ------------------------------------------------------------------
+    @property
+    def coeff_mod_count(self) -> int:
+        """Number of RNS limbs (``coeff_mod_count`` in Fig. 2 of the paper)."""
+        return self.basis.size
+
+    def total_coeff_modulus_bits(self) -> int:
+        """Bit length of q."""
+        return self.q.bit_length()
+
+    def __repr__(self) -> str:
+        return (
+            f"BfvContext(n={self.n}, q_bits={self.total_coeff_modulus_bits()}, "
+            f"t={self.t}, limbs={self.coeff_mod_count})"
+        )

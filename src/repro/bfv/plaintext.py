@@ -1,0 +1,58 @@
+"""Plaintext container: an element of ``R_t`` with small integer coefficients."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+class Plaintext:
+    """A polynomial with coefficients reduced modulo the plain modulus t.
+
+    Coefficients are stored in ``[0, t)``; :meth:`centered_coeffs` gives
+    the signed representatives.
+    """
+
+    def __init__(self, coeffs: Sequence[int], plain_modulus: int) -> None:
+        if plain_modulus < 2:
+            raise ParameterError("plain_modulus must be >= 2")
+        self.t = plain_modulus
+        self.coeffs = np.array([int(c) % plain_modulus for c in coeffs], dtype=np.int64)
+
+    @classmethod
+    def zero(cls, n: int, plain_modulus: int) -> "Plaintext":
+        """The zero plaintext of length n."""
+        return cls([0] * n, plain_modulus)
+
+    @classmethod
+    def constant(cls, value: int, n: int, plain_modulus: int) -> "Plaintext":
+        """Constant polynomial ``value``."""
+        coeffs = [value] + [0] * (n - 1)
+        return cls(coeffs, plain_modulus)
+
+    @property
+    def n(self) -> int:
+        """Number of coefficients."""
+        return len(self.coeffs)
+
+    def centered_coeffs(self) -> List[int]:
+        """Signed representatives in ``(-t/2, t/2]``."""
+        half = self.t // 2
+        return [int(c) - self.t if c > half else int(c) for c in self.coeffs]
+
+    def is_zero(self) -> bool:
+        """True when all coefficients vanish."""
+        return not self.coeffs.any()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Plaintext):
+            return NotImplemented
+        return self.t == other.t and np.array_equal(self.coeffs, other.coeffs)
+
+    def __repr__(self) -> str:
+        head = ", ".join(str(int(c)) for c in self.coeffs[:8])
+        suffix = ", ..." if self.n > 8 else ""
+        return f"Plaintext(t={self.t}, [{head}{suffix}])"

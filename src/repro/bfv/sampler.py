@@ -1,0 +1,115 @@
+"""Random samplers used by BFV key generation and encryption.
+
+``ClippedNormalDistribution`` reproduces SEAL v3.2's sampler of the same
+name: draw from a continuous normal distribution with the configured
+standard deviation, resample while the magnitude exceeds
+``noise_max_deviation``, then round to the nearest integer.  The
+if/elif/else *assignment* of the resulting value into the polynomial —
+the part the paper attacks — lives in :mod:`repro.bfv.encryptor`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.ring.poly import RingPoly
+from repro.utils.rng import new_rng
+
+#: Safety valve for the rejection loop (SEAL loops forever; we diagnose).
+_MAX_REJECTIONS = 10_000
+
+
+def llround(x: float) -> int:
+    """Round half away from zero, matching C's ``llround``.
+
+    >>> llround(2.5)
+    3
+    >>> llround(-2.5)
+    -3
+    """
+    return int(math.floor(x + 0.5)) if x >= 0 else int(math.ceil(x - 0.5))
+
+
+class ClippedNormalDistribution:
+    """SEAL's clipped, rounded normal distribution.
+
+    Parameters
+    ----------
+    standard_deviation:
+        Gaussian sigma (SEAL default 3.19).
+    max_deviation:
+        Resample while ``|x| > max_deviation`` (SEAL clips the continuous
+        draw; the paper reports resulting integers in [-41, 41]).
+    """
+
+    def __init__(self, standard_deviation: float, max_deviation: float) -> None:
+        if standard_deviation <= 0:
+            raise SamplingError("standard deviation must be positive")
+        if max_deviation < standard_deviation:
+            raise SamplingError("max deviation must be >= standard deviation")
+        self.standard_deviation = standard_deviation
+        self.max_deviation = max_deviation
+
+    def __call__(self, rng: np.random.Generator) -> int:
+        """Draw one clipped, rounded sample (an ``int64_t noise`` in Fig. 2)."""
+        for _ in range(_MAX_REJECTIONS):
+            x = rng.normal(0.0, self.standard_deviation)
+            if abs(x) <= self.max_deviation:
+                return llround(x)
+        raise SamplingError(
+            f"rejected {_MAX_REJECTIONS} consecutive draws; "
+            f"max_deviation={self.max_deviation} is implausibly tight"
+        )
+
+    def sample_vector(self, rng: np.random.Generator, count: int) -> List[int]:
+        """Draw ``count`` independent samples."""
+        return [self(rng) for _ in range(count)]
+
+    @property
+    def support_bound(self) -> int:
+        """Largest magnitude an output can take."""
+        return int(math.floor(self.max_deviation))
+
+
+def sample_noise_coeffs(context, rng) -> List[int]:
+    """Sample n signed noise coefficients from chi (the error distribution)."""
+    dist = ClippedNormalDistribution(
+        context.params.noise_standard_deviation,
+        context.params.noise_max_deviation,
+    )
+    return dist.sample_vector(new_rng(rng), context.n)
+
+
+def sample_noise_poly(context, rng) -> RingPoly:
+    """Sample an error polynomial e <- chi as a ring element."""
+    return RingPoly.from_int_coeffs(context.basis, context.n, sample_noise_coeffs(context, rng))
+
+
+def sample_ternary_coeffs(context, rng) -> List[int]:
+    """Sample n coefficients uniformly from {-1, 0, 1} (the R_2 distribution)."""
+    rng = new_rng(rng)
+    return [int(c) for c in rng.integers(-1, 2, context.n)]
+
+
+def sample_ternary_poly(context, rng) -> RingPoly:
+    """Sample a ternary polynomial (secret key s, encryption sample u)."""
+    return RingPoly.from_int_coeffs(
+        context.basis, context.n, sample_ternary_coeffs(context, rng)
+    )
+
+
+def sample_uniform_poly(context, rng) -> RingPoly:
+    """Sample a uniform element of R_q (the public-key ``a`` polynomial).
+
+    Uniformity over Z_Q is equivalent to independent uniformity per RNS
+    limb by the CRT bijection, so we sample limb-wise.
+    """
+    rng = new_rng(rng)
+    residues = np.empty((context.basis.size, context.n), dtype=np.int64)
+    for i, m in enumerate(context.basis.moduli):
+        residues[i] = rng.integers(0, m.value, context.n)
+    return RingPoly(context.basis, context.n, residues)

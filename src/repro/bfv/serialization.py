@@ -1,0 +1,149 @@
+"""Serialisation of BFV objects (keys, ciphertexts, plaintexts).
+
+SEAL ships binary save/load for every object; we provide the same for
+downstream workflows (generate keys once, encrypt on a device, attack
+offline).  Containers are ``.npz`` archives carrying the residue
+matrices plus a JSON header with the ring parameters, which are
+verified against the loading context.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.bfv.ciphertext import Ciphertext
+from repro.bfv.keys import PublicKey, RelinKeys, SecretKey
+from repro.bfv.params import BfvContext
+from repro.bfv.plaintext import Plaintext
+from repro.errors import ParameterError
+from repro.ring.poly import RingPoly
+
+_PathLike = Union[str, Path]
+
+
+def _header(context: BfvContext, kind: str) -> np.ndarray:
+    payload = {
+        "kind": kind,
+        "n": context.n,
+        "moduli": [m.value for m in context.basis.moduli],
+        "t": context.t,
+    }
+    return np.frombuffer(json.dumps(payload).encode(), dtype=np.uint8)
+
+
+def _check_header(archive, context: BfvContext, kind: str) -> dict:
+    header = json.loads(bytes(archive["header"].tobytes()).decode())
+    if header["kind"] != kind:
+        raise ParameterError(f"archive holds a {header['kind']}, expected {kind}")
+    if header["n"] != context.n or header["t"] != context.t:
+        raise ParameterError("archive parameters do not match the context")
+    if header["moduli"] != [m.value for m in context.basis.moduli]:
+        raise ParameterError("archive coefficient modulus does not match")
+    return header
+
+
+# ----------------------------------------------------------------------
+# Ciphertext / plaintext
+# ----------------------------------------------------------------------
+def save_ciphertext(context: BfvContext, ct: Ciphertext, path: _PathLike) -> None:
+    """Write a ciphertext of any size to ``path``."""
+    payload = {"header": _header(context, "ciphertext")}
+    for i, poly in enumerate(ct.polys):
+        payload[f"poly{i}"] = poly.residues
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_ciphertext(context: BfvContext, path: _PathLike) -> Ciphertext:
+    """Read a ciphertext written by :func:`save_ciphertext`."""
+    archive = np.load(Path(path), allow_pickle=False)
+    _check_header(archive, context, "ciphertext")
+    polys = []
+    index = 0
+    while f"poly{index}" in archive:
+        polys.append(RingPoly(context.basis, context.n, archive[f"poly{index}"]))
+        index += 1
+    return Ciphertext(polys)
+
+
+def save_plaintext(context: BfvContext, plain: Plaintext, path: _PathLike) -> None:
+    """Write a plaintext to ``path``."""
+    np.savez_compressed(
+        Path(path), header=_header(context, "plaintext"), coeffs=plain.coeffs
+    )
+
+
+def load_plaintext(context: BfvContext, path: _PathLike) -> Plaintext:
+    """Read a plaintext written by :func:`save_plaintext`."""
+    archive = np.load(Path(path), allow_pickle=False)
+    _check_header(archive, context, "plaintext")
+    return Plaintext([int(c) for c in archive["coeffs"]], context.t)
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+def save_secret_key(context: BfvContext, key: SecretKey, path: _PathLike) -> None:
+    """Write the secret key (protect this file!)."""
+    np.savez_compressed(
+        Path(path), header=_header(context, "secret-key"), s=key.s.residues
+    )
+
+
+def load_secret_key(context: BfvContext, path: _PathLike) -> SecretKey:
+    """Read a secret key."""
+    archive = np.load(Path(path), allow_pickle=False)
+    _check_header(archive, context, "secret-key")
+    return SecretKey(RingPoly(context.basis, context.n, archive["s"]))
+
+
+def save_public_key(context: BfvContext, key: PublicKey, path: _PathLike) -> None:
+    """Write a public key."""
+    np.savez_compressed(
+        Path(path),
+        header=_header(context, "public-key"),
+        p0=key.p0.residues,
+        p1=key.p1.residues,
+    )
+
+
+def load_public_key(context: BfvContext, path: _PathLike) -> PublicKey:
+    """Read a public key."""
+    archive = np.load(Path(path), allow_pickle=False)
+    _check_header(archive, context, "public-key")
+    return PublicKey(
+        RingPoly(context.basis, context.n, archive["p0"]),
+        RingPoly(context.basis, context.n, archive["p1"]),
+    )
+
+
+def save_relin_keys(context: BfvContext, keys: RelinKeys, path: _PathLike) -> None:
+    """Write relinearisation keys."""
+    payload = {
+        "header": _header(context, "relin-keys"),
+        "decomposition_bits": np.array([keys.decomposition_bits]),
+    }
+    for i, (b_i, a_i) in enumerate(keys.pairs):
+        payload[f"b{i}"] = b_i.residues
+        payload[f"a{i}"] = a_i.residues
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_relin_keys(context: BfvContext, path: _PathLike) -> RelinKeys:
+    """Read relinearisation keys."""
+    archive = np.load(Path(path), allow_pickle=False)
+    _check_header(archive, context, "relin-keys")
+    pairs = []
+    index = 0
+    while f"b{index}" in archive:
+        pairs.append(
+            (
+                RingPoly(context.basis, context.n, archive[f"b{index}"]),
+                RingPoly(context.basis, context.n, archive[f"a{index}"]),
+            )
+        )
+        index += 1
+    return RelinKeys(int(archive["decomposition_bits"][0]), pairs)

@@ -1,0 +1,27 @@
+"""Countermeasures discussed in section V-A of the paper.
+
+The paper recommends *shuffling or other forms of randomisation* and
+better coding practices ("eliminate conditional executions on sensitive
+values"), and notes that SEAL v3.6 replaced the if/else assignment with
+a branchless iterator.  Both are implemented as drop-in kernel variants
+for the simulated device:
+
+- :mod:`repro.defenses.ct_sampler` — branchless (constant control flow)
+  sign assignment, the v3.6-style fix;
+- :mod:`repro.defenses.shuffling` — Fisher-Yates shuffling of the
+  coefficient order, which decouples what the attacker recovers from
+  *which* coefficient it belongs to.
+"""
+
+from repro.defenses.ct_sampler import (
+    constant_time_device,
+    constant_time_sampler_source,
+)
+from repro.defenses.shuffling import shuffled_device, shuffled_sampler_source
+
+__all__ = [
+    "constant_time_device",
+    "constant_time_sampler_source",
+    "shuffled_device",
+    "shuffled_sampler_source",
+]

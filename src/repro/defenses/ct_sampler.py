@@ -1,0 +1,64 @@
+"""Constant-control-flow sign assignment (the SEAL v3.6-style fix).
+
+Replaces the Fig. 2 ``if noise > 0 / elif noise < 0 / else`` structure
+with a branchless computation
+
+    mask = noise >> 31                 (all-ones when negative)
+    poly[i + j*n] = noise + (q_j & mask)
+
+so every coefficient executes the *same* instruction sequence
+regardless of its sign - the paper's vulnerability 1 disappears and
+vulnerability 3 (the negation) never executes.  Data-flow leakage of
+the stored value remains, which is exactly why the paper remarks that
+"SEAL v3.6 and later versions may have a different vulnerability".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import AssemblyError
+from repro.riscv.device import GaussianSamplerDevice
+from repro.riscv.programs.gaussian import GOLDEN_SIGMA_Q16, gaussian_sampler_source
+
+_ASSIGN_START = "# --- Fig. 2 sign assignment"
+_ASSIGN_END = "assign_done:"
+
+_CT_ASSIGNMENT = """\
+# --- constant-time sign assignment (v3.6-style branchless iterator) ------
+    srai  t3, s5, 31            # mask: -1 if negative else 0
+    li    t0, 0
+    slli  t1, s6, 2
+    add   t1, t1, a0
+    slli  t2, a1, 2
+    mv    t6, a3
+ct_loop:
+    lw    t4, 0(t6)
+    and   t4, t4, t3            # q_j or 0
+    add   t4, t4, s5            # noise mod q_j, branchlessly
+    sw    t4, 0(t1)
+    add   t1, t1, t2
+    addi  t6, t6, 4
+    addi  t0, t0, 1
+    blt   t0, a2, ct_loop
+
+"""
+
+
+def constant_time_sampler_source(sigma_q16: int = GOLDEN_SIGMA_Q16) -> str:
+    """The kernel with the branchless assignment substituted in."""
+    source = gaussian_sampler_source(sigma_q16)
+    start = source.find(_ASSIGN_START)
+    end = source.find(_ASSIGN_END)
+    if start < 0 or end < 0 or end <= start:
+        raise AssemblyError("could not locate the assignment section to replace")
+    return source[:start] + _CT_ASSIGNMENT + source[end:]
+
+
+def constant_time_device(
+    moduli: Sequence[int], max_deviation: int = 41
+) -> GaussianSamplerDevice:
+    """A device running the constant-time kernel."""
+    return GaussianSamplerDevice(
+        moduli, max_deviation, program_source=constant_time_sampler_source()
+    )

@@ -1,0 +1,93 @@
+"""Coefficient-order shuffling countermeasure.
+
+The device samples coefficients in a random order (an on-device
+Fisher-Yates permutation): the adversary can still segment the trace
+and recover *values*, but no longer knows which polynomial coefficient
+each value belongs to.  Coordinate hints for the LWE-with-hints stage
+become unusable, collapsing the attack back to near the no-hint cost -
+the defense the paper recommends over masking.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import AssemblyError, SimulationError
+from repro.riscv.device import GaussianSamplerDevice
+from repro.riscv.programs.gaussian import GOLDEN_SIGMA_Q16, gaussian_sampler_source
+
+#: Memory address of the on-device permutation table (below the code
+#: ceiling at 0x4000; the kernel itself stays under 0x3000).
+PERMUTATION_BASE = 0x3000
+
+#: The permutation table is 4*n bytes and must fit below 0x4000.
+MAX_SHUFFLED_COEFFS = 1024
+
+_PROLOGUE_MARKER = "# --- outer loop: one coefficient per iteration"
+
+_FISHER_YATES = f"""\
+# --- defense prologue: on-device Fisher-Yates permutation ----------------
+    li    t1, {PERMUTATION_BASE}
+    li    t0, 0
+fy_init:
+    slli  t2, t0, 2
+    add   t2, t2, t1
+    sw    t0, 0(t2)
+    addi  t0, t0, 1
+    blt   t0, a1, fy_init
+    addi  t0, a1, -1
+fy_loop:
+    beqz  t0, fy_done
+    slli  t2, s0, 13
+    xor   s0, s0, t2
+    srli  t2, s0, 17
+    xor   s0, s0, t2
+    slli  t2, s0, 5
+    xor   s0, s0, t2
+    addi  t3, t0, 1
+    remu  t3, s0, t3            # j uniform in [0, i]
+    slli  t4, t0, 2
+    add   t4, t4, t1
+    slli  t5, t3, 2
+    add   t5, t5, t1
+    lw    t6, 0(t4)
+    lw    t2, 0(t5)
+    sw    t2, 0(t4)
+    sw    t6, 0(t5)
+    addi  t0, t0, -1
+    j     fy_loop
+fy_done:
+
+"""
+
+_DIRECT_INDEX = "    slli  t1, s6, 2\n"
+
+_PERMUTED_INDEX = f"""\
+    slli  t1, s6, 2
+    li    t5, {PERMUTATION_BASE}
+    add   t5, t5, t1
+    lw    t1, 0(t5)             # permuted coefficient index
+    slli  t1, t1, 2
+"""
+
+
+def shuffled_sampler_source(sigma_q16: int = GOLDEN_SIGMA_Q16) -> str:
+    """The kernel with shuffled coefficient order."""
+    source = gaussian_sampler_source(sigma_q16)
+    if _PROLOGUE_MARKER not in source:
+        raise AssemblyError("could not locate the outer-loop marker")
+    if source.count(_DIRECT_INDEX) != 3:
+        raise AssemblyError(
+            f"expected 3 assignment index computations, found {source.count(_DIRECT_INDEX)}"
+        )
+    source = source.replace(_PROLOGUE_MARKER, _FISHER_YATES + _PROLOGUE_MARKER, 1)
+    return source.replace(_DIRECT_INDEX, _PERMUTED_INDEX)
+
+
+def shuffled_device(
+    moduli: Sequence[int], max_deviation: int = 41
+) -> GaussianSamplerDevice:
+    """A device running the shuffled kernel (n limited to 1024)."""
+    return GaussianSamplerDevice(
+        moduli, max_deviation, program_source=shuffled_sampler_source()
+    )

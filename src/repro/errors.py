@@ -1,0 +1,33 @@
+"""Exception hierarchy shared across the reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A cryptographic or simulation parameter is invalid."""
+
+
+class SamplingError(ReproError, RuntimeError):
+    """A random sampler failed to produce a value (e.g. too many rejections)."""
+
+
+class AssemblyError(ReproError, ValueError):
+    """The RISC-V assembler rejected a source program."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The RISC-V core hit an illegal state (bad opcode, unmapped memory...)."""
+
+
+class AttackError(ReproError, RuntimeError):
+    """The side-channel attack pipeline could not complete a stage."""
+
+
+class LatticeError(ReproError, RuntimeError):
+    """Lattice reduction failed (non-full-rank basis, no solution found...)."""
+
+
+class HintError(ReproError, ValueError):
+    """A side-channel hint could not be integrated into a DBDD instance."""

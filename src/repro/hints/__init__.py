@@ -1,0 +1,51 @@
+"""LWE with side information: the DBDD estimator of Dachman-Soled et al.
+
+This package reproduces the paper's section IV-C: side-channel
+measurements become *hints* integrated into a distorted bounded distance
+decoding (DBDD) instance, whose hardness is then reported as the BKZ
+block size ("bikz") required by the primal attack; bit security is
+``bikz / 2.98`` as in the paper.
+
+- :mod:`repro.hints.dbdd` — DBDD instances: a general full-covariance
+  implementation supporting perfect / modular / approximate /
+  short-vector hints, and a fast diagonal implementation for
+  coordinate hints at full SEAL scale;
+- :mod:`repro.hints.estimator` — GSA-intersection beta estimate;
+- :mod:`repro.hints.hintgen` — turning the attack's probability tables
+  (Table II) and sign information into hints;
+- :mod:`repro.hints.security` — the SEAL-128 instances and the paper's
+  reference numbers.
+"""
+
+from repro.hints.dbdd import CoordinateDbdd, DbddInstance
+from repro.hints.estimator import beta_for_dbdd, beta_for_usvp, bikz_to_bits
+from repro.hints.hintgen import (
+    CoefficientHint,
+    hints_from_probability_tables,
+    hints_from_signs,
+    sign_conditional_moments,
+)
+from repro.hints.security import (
+    PAPER_BIKZ_BRANCH_ONLY,
+    PAPER_BIKZ_NO_HINTS,
+    PAPER_BIKZ_WITH_HINTS,
+    seal_128_dbdd,
+    seal_128_parameters,
+)
+
+__all__ = [
+    "CoefficientHint",
+    "CoordinateDbdd",
+    "DbddInstance",
+    "PAPER_BIKZ_BRANCH_ONLY",
+    "PAPER_BIKZ_NO_HINTS",
+    "PAPER_BIKZ_WITH_HINTS",
+    "beta_for_dbdd",
+    "beta_for_usvp",
+    "bikz_to_bits",
+    "hints_from_probability_tables",
+    "hints_from_signs",
+    "seal_128_dbdd",
+    "seal_128_parameters",
+    "sign_conditional_moments",
+]

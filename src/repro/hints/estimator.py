@@ -1,0 +1,122 @@
+"""Hardness estimation: from a DBDD instance to a BKZ block size.
+
+Follows the Dachman-Soled et al. methodology: homogenise and isotropise
+the DBDD instance, then find the smallest (real) block size ``beta``
+for which BKZ solves the resulting uSVP under the geometric series
+assumption:
+
+    sqrt(beta) <= delta_beta^(2*beta - dim - 1) * Vol^(1/dim)
+
+where ``Vol`` is the isotropised volume ``Vol(Lambda) / sqrt(det
+Sigma)`` and ``dim`` includes the homogenisation coordinate.  The
+returned ``beta`` is fractional (the paper reports e.g. 382.25); bit
+security is ``beta / 2.98`` per the paper's footnote 3.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import HintError
+from repro.lattice.gsa import log_bkz_delta
+
+#: The paper's bikz -> bits conversion ("bikz corresponds to 2.98x of
+#: the bit-level security"; 382.25 bikz <-> 128 bits).
+BIKZ_PER_BIT = 2.98
+
+#: Smallest block size the asymptotic delta formula is meaningful for.
+MIN_BETA = 2.0
+
+
+def _success_margin(beta: float, dim: int, log_iso_vol: float) -> float:
+    """log RHS - log LHS of the uSVP success condition (>= 0: success)."""
+    return (
+        (2.0 * beta - dim - 1.0) * log_bkz_delta(beta)
+        + log_iso_vol / dim
+        - 0.5 * math.log(beta)
+    )
+
+
+def beta_for_usvp(dim: int, log_iso_vol: float) -> float:
+    """Smallest (fractional) beta solving the isotropised uSVP.
+
+    Parameters
+    ----------
+    dim:
+        Dimension of the homogenised instance.
+    log_iso_vol:
+        ``ln(Vol(Lambda)) - 0.5 * ln(det Sigma)``.
+
+    Returns ``MIN_BETA`` when even trivial reduction succeeds and
+    ``dim`` when no block size does (the instance gained nothing).
+    """
+    if dim < 2:
+        raise HintError(f"dimension must be >= 2, got {dim}")
+    if _success_margin(MIN_BETA, dim, log_iso_vol) >= 0:
+        return MIN_BETA
+    if _success_margin(float(dim), dim, log_iso_vol) < 0:
+        return float(dim)
+    lo, hi = MIN_BETA, float(dim)
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        if _success_margin(mid, dim, log_iso_vol) >= 0:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def beta_for_usvp_simulated(dim: int, log_iso_vol: float) -> int:
+    """Simulator-based cross-check of :func:`beta_for_usvp`.
+
+    Instead of the closed-form GSA intersection, runs the lightweight
+    BKZ profile simulator of :mod:`repro.lattice.gsa` and declares
+    success when the projected target length ``sqrt(beta)`` falls below
+    the simulated ``||b*_{d-beta}||``.  Integer output; used by the
+    estimator-ablation benchmark.
+    """
+    import math as _math
+
+    from repro.lattice.gsa import gsa_log_profile, simulate_bkz_profile
+
+    if dim < 2:
+        raise HintError(f"dimension must be >= 2, got {dim}")
+
+    def succeeds(beta: int) -> bool:
+        start = gsa_log_profile(dim, log_iso_vol, beta=40)
+        profile = simulate_bkz_profile(start, beta=max(beta, 30), tours=12)
+        index = max(dim - beta, 0)
+        return 0.5 * _math.log(beta) <= profile[index]
+
+    lo, hi = 30, dim
+    if succeeds(lo):
+        return lo
+    if not succeeds(hi):
+        return dim
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if succeeds(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def beta_for_dbdd(instance) -> float:
+    """Block-size estimate for any object exposing the DBDD interface.
+
+    The instance must provide ``homogenised_dim()`` and
+    ``log_isotropic_volume()`` (both DBDD classes do).
+    """
+    return beta_for_usvp(instance.homogenised_dim(), instance.log_isotropic_volume())
+
+
+def bikz_to_bits(beta: float) -> float:
+    """Bit security corresponding to a bikz value (paper's conversion).
+
+    >>> round(bikz_to_bits(382.25), 1)
+    128.3
+    >>> round(bikz_to_bits(12.2), 1)
+    4.1
+    """
+    return beta / BIKZ_PER_BIT

@@ -1,0 +1,166 @@
+"""Turning attack output into DBDD hints (section IV-C of the paper).
+
+"The framework takes the scores of each measurement and creates
+probabilities for each output ... the probability tables for those
+measurements are integrated into the DBDD instance."
+
+Two generators:
+
+- :func:`hints_from_probability_tables` — the full attack: each
+  coefficient's template-probability table becomes its posterior
+  ``(centered, variance)`` pair (exactly the last two columns of
+  Table II); near-zero variance becomes a perfect hint.
+- :func:`hints_from_signs` — the branch-only adversary of Table IV:
+  a recovered zero is a perfect hint, a recovered sign replaces the
+  coordinate's prior with the corresponding half-Gaussian posterior.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import HintError
+from repro.hints.dbdd import CoordinateDbdd
+
+#: Posterior variances below this are "probability ~ 1" perfect hints
+#: (the paper: "some possibilities rounded up to 1 ... because of the
+#: floating-point precision").
+PERFECT_VARIANCE_THRESHOLD = 1e-6
+
+
+@dataclass(frozen=True)
+class CoefficientHint:
+    """Posterior knowledge about one error coefficient."""
+
+    index: int
+    centered: float  # posterior mean (Table II "centered" column)
+    variance: float  # posterior variance (Table II "variance" column)
+
+    @property
+    def is_perfect(self) -> bool:
+        """True when the measurement determines the coefficient."""
+        return self.variance <= PERFECT_VARIANCE_THRESHOLD
+
+
+def moments_of_table(table: Dict[int, float]) -> Tuple[float, float]:
+    """Mean and variance of a value -> probability table.
+
+    >>> moments_of_table({1: 0.5, -1: 0.5})
+    (0.0, 1.0)
+    """
+    if not table:
+        raise HintError("empty probability table")
+    total = sum(table.values())
+    if not math.isclose(total, 1.0, rel_tol=1e-6):
+        raise HintError(f"probability table sums to {total}, expected 1")
+    mean = sum(v * p for v, p in table.items())
+    variance = sum((v - mean) ** 2 * p for v, p in table.items())
+    return mean, variance
+
+
+def hints_from_probability_tables(
+    tables: Sequence[Dict[int, float]]
+) -> List[CoefficientHint]:
+    """One hint per coefficient from the attack's probability tables."""
+    hints = []
+    for index, table in enumerate(tables):
+        mean, variance = moments_of_table(table)
+        hints.append(CoefficientHint(index, mean, variance))
+    return hints
+
+
+# ----------------------------------------------------------------------
+# Branch-only adversary (Table IV)
+# ----------------------------------------------------------------------
+def sign_conditional_moments(
+    sigma: float, sign: int, max_deviation: int = 41
+) -> Tuple[float, float]:
+    """Posterior moments of a discrete Gaussian conditioned on its sign.
+
+    For ``sign=0`` the coefficient is known exactly.  For ``sign=+-1``
+    the posterior is the renormalised positive/negative half of the
+    rounded Gaussian.
+
+    >>> mean, var = sign_conditional_moments(3.2, 1)
+    >>> 2.5 < mean < 3.2 and 3.0 < var < 3.8
+    True
+    """
+    if sign == 0:
+        return 0.0, 0.0
+    weights = {
+        k: math.exp(-(k**2) / (2 * sigma**2)) for k in range(1, max_deviation + 1)
+    }
+    total = sum(weights.values())
+    mean = sum(k * w for k, w in weights.items()) / total
+    second = sum(k * k * w for k, w in weights.items()) / total
+    variance = second - mean**2
+    return (mean if sign > 0 else -mean), variance
+
+
+def hints_from_signs(
+    signs: Sequence[int], sigma: float, max_deviation: int = 41
+) -> List[CoefficientHint]:
+    """Branch-only hints: zeros become perfect, signs become posteriors."""
+    positive = sign_conditional_moments(sigma, 1, max_deviation)
+    negative = sign_conditional_moments(sigma, -1, max_deviation)
+    hints = []
+    for index, sign in enumerate(signs):
+        if sign == 0:
+            hints.append(CoefficientHint(index, 0.0, 0.0))
+        elif sign > 0:
+            hints.append(CoefficientHint(index, positive[0], positive[1]))
+        else:
+            hints.append(CoefficientHint(index, negative[0], negative[1]))
+    return hints
+
+
+# ----------------------------------------------------------------------
+# Integration
+# ----------------------------------------------------------------------
+def apply_hints(
+    dbdd: CoordinateDbdd,
+    hints: Iterable[CoefficientHint],
+    coordinate_offset: int,
+) -> CoordinateDbdd:
+    """Integrate coefficient hints into a DBDD instance.
+
+    ``coordinate_offset`` maps error-coefficient index i to DBDD
+    coordinate ``offset + i`` (n for the standard embedding where the
+    secret occupies the first n coordinates).
+    """
+    for hint in hints:
+        coordinate = coordinate_offset + hint.index
+        if hint.is_perfect:
+            dbdd.integrate_perfect_hint(coordinate, hint.centered)
+        else:
+            dbdd.integrate_aposteriori_hint(
+                coordinate, hint.centered, hint.variance
+            )
+    return dbdd
+
+
+def apply_guesses(
+    dbdd: CoordinateDbdd,
+    hints: Sequence[CoefficientHint],
+    coordinate_offset: int,
+    count: int,
+) -> List[CoefficientHint]:
+    """Guess the ``count`` most-confident unresolved coefficients.
+
+    Reproduces Table IV's "hints & guesses" row: the adversary turns its
+    best remaining approximate hints into perfect ones by guessing the
+    most likely value; the success probability of the combined guess is
+    tracked by the caller.  Returns the guessed hints.
+    """
+    candidates = sorted(
+        (h for h in hints if not h.is_perfect), key=lambda h: h.variance
+    )
+    guessed = []
+    for hint in candidates[:count]:
+        dbdd.integrate_perfect_hint(
+            coordinate_offset + hint.index, round(hint.centered)
+        )
+        guessed.append(hint)
+    return guessed

@@ -1,0 +1,117 @@
+"""The paper's SEAL-128 LWE instance and reference bikz numbers.
+
+The smallest SEAL-128 parameter set attacked in the paper:
+``q = 132120577, n = 1024, sigma = 3.2``; the encryption sample ``u``
+is ternary and the attacked equation is ``c1 = p1 * u + e2`` - a
+Ring-LWE instance with n samples, ternary secret and Gaussian error,
+embedded into dimension ``2n + 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import log
+
+import numpy as np
+
+from repro.hints.dbdd import CoordinateDbdd
+
+#: Table III / IV reference values from the paper.
+PAPER_BIKZ_NO_HINTS = 382.25
+PAPER_BIKZ_WITH_HINTS = 12.2
+PAPER_BIKZ_BRANCH_ONLY = 253.29
+PAPER_BIKZ_BRANCH_AND_GUESS = 252.83
+
+
+@dataclass(frozen=True)
+class LweParameters:
+    """An LWE instance's statistical parameters for the estimator."""
+
+    n: int  # secret dimension
+    m: int  # number of samples
+    q: int  # modulus
+    secret_variance: float
+    error_sigma: float
+
+    @property
+    def error_variance(self) -> float:
+        return self.error_sigma**2
+
+
+def seal_128_parameters(
+    error_sigma: float = 3.2, ternary_secret: bool = False
+) -> LweParameters:
+    """The paper's smallest SEAL-128 set (Table III caption).
+
+    By default the secret (the encryption sample ``u``) is modelled with
+    the *same* Gaussian parameter as the error, which is how the
+    leaky-LWE-estimator the paper applies treats the instance (and what
+    reproduces the paper's 382.25 bikz).  SEAL actually samples ``u``
+    ternary (variance 2/3); pass ``ternary_secret=True`` for that
+    slightly *easier* exact model (~347 bikz) - the gap is discussed in
+    EXPERIMENTS.md.
+    """
+    secret_variance = 2.0 / 3.0 if ternary_secret else error_sigma**2
+    return LweParameters(
+        n=1024,
+        m=1024,
+        q=132120577,
+        secret_variance=secret_variance,
+        error_sigma=error_sigma,
+    )
+
+
+#: Coefficient-modulus bit sizes of SEAL's n=1024 sets per security
+#: level (the 128-bit value is the paper's exact q; the higher levels
+#: shrink q, which *raises* the LWE hardness - paper section V-B).
+_SECURITY_LEVEL_Q_BITS = {128: 27, 192: 19, 256: 14}
+
+
+def higher_security_parameters(
+    level: int, error_sigma: float = 3.2, ternary_secret: bool = False
+) -> LweParameters:
+    """SEAL-style n=1024 parameters for a 128/192/256-bit security level.
+
+    The paper (section V-B) notes that "attacking more secure versions
+    (192-bit or 256-bit) is likely to be harder"; these instances make
+    that quantifiable with the estimator.
+    """
+    from repro.ring.primes import generate_ntt_primes
+
+    if level not in _SECURITY_LEVEL_Q_BITS:
+        raise ValueError(f"level must be one of {sorted(_SECURITY_LEVEL_Q_BITS)}")
+    if level == 128:
+        return seal_128_parameters(error_sigma, ternary_secret)
+    q = generate_ntt_primes(_SECURITY_LEVEL_Q_BITS[level], 1, 1024)[0].value
+    secret_variance = 2.0 / 3.0 if ternary_secret else error_sigma**2
+    return LweParameters(
+        n=1024, m=1024, q=q, secret_variance=secret_variance, error_sigma=error_sigma
+    )
+
+
+def make_dbdd(params: LweParameters) -> CoordinateDbdd:
+    """Embed an LWE instance as a coordinate DBDD.
+
+    Coordinate layout: indices ``0..n-1`` are the secret coordinates,
+    ``n..n+m-1`` the error coordinates (the ones the trace attack hints
+    at).  The embedding lattice has volume ``q^m``.
+    """
+    variances = np.concatenate(
+        [
+            np.full(params.n, params.secret_variance),
+            np.full(params.m, params.error_variance),
+        ]
+    )
+    return CoordinateDbdd(variances, log_lattice_volume=params.m * log(params.q))
+
+
+def seal_128_dbdd(error_sigma: float = 3.2) -> CoordinateDbdd:
+    """DBDD instance for the paper's attacked parameter set."""
+    return make_dbdd(seal_128_parameters(error_sigma))
+
+
+def error_coordinate(params: LweParameters, index: int) -> int:
+    """DBDD coordinate of error coefficient ``index``."""
+    if not 0 <= index < params.m:
+        raise IndexError(f"error index {index} out of range")
+    return params.n + index

@@ -1,0 +1,30 @@
+"""Lattice-reduction substrate.
+
+Provides what the paper's last stage depends on: the BKZ machinery used
+to "explore the remaining search space".  Full-scale BKZ-382 is beyond
+anyone's reach (the paper also only *estimates* it), so this package
+serves two roles:
+
+- actually *solving* toy instances end to end (LLL, SVP enumeration,
+  BKZ, Kannan's embedding) to validate the attack algebra, and
+- the GSA/bikz cost model (:mod:`repro.lattice.gsa`) that the
+  LWE-with-hints estimator uses for Tables III and IV.
+"""
+
+from repro.lattice.bkz import bkz_reduce
+from repro.lattice.embedding import kannan_embedding, solve_lwe_primal
+from repro.lattice.enumeration import shortest_vector
+from repro.lattice.gsa import bkz_delta, gsa_log_profile
+from repro.lattice.gso import gram_schmidt
+from repro.lattice.lll import lll_reduce
+
+__all__ = [
+    "bkz_delta",
+    "bkz_reduce",
+    "gram_schmidt",
+    "gsa_log_profile",
+    "kannan_embedding",
+    "lll_reduce",
+    "shortest_vector",
+    "solve_lwe_primal",
+]

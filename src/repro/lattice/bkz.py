@@ -1,0 +1,110 @@
+"""Block Korkine-Zolotarev (BKZ) reduction.
+
+Textbook BKZ: LLL-reduce, then sweep blocks of size ``beta``; whenever
+the block's exact shortest vector (found by enumeration) beats the
+block's first basis vector, the block is replaced by a unimodular
+transform whose first row realises that vector.  The transform is built
+by completing the (primitive) enumeration coefficients to a unimodular
+matrix, so the lattice is preserved *exactly* and entries stay small -
+no rank-deficient stacking, no precision-destroying HNF detour.
+
+Used by the toy end-to-end attack; the *cost model* for large beta
+lives in :mod:`repro.lattice.gsa`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.errors import LatticeError
+from repro.lattice.enumeration import shortest_vector_with_coefficients
+from repro.lattice.lll import lll_reduce
+
+
+def _unimodular_with_first_row(coeffs: List[int]) -> List[List[int]]:
+    """A unimodular integer matrix whose first row is ``coeffs``.
+
+    ``coeffs`` must be primitive (gcd 1) - true for the coefficients of
+    a shortest lattice vector.  Constructed by running the gcd
+    elimination ``U c = e1`` on the column vector while tracking
+    ``W = U^-1`` (whose first column is then ``c``); the answer is
+    ``W^T``.
+    """
+    k = len(coeffs)
+    c = [int(x) for x in coeffs]
+    if math.gcd(*(abs(x) for x in c)) != 1 if k > 1 else abs(c[0]) != 1:
+        raise LatticeError(f"coefficients are not primitive: {c}")
+    w = [[1 if i == j else 0 for j in range(k)] for i in range(k)]  # U^-1
+
+    def row_op(i: int, j: int, q: int) -> None:
+        """c_i -= q * c_j, mirrored as W col_j += q * col_i."""
+        c[i] -= q * c[j]
+        for r in range(k):
+            w[r][j] += q * w[r][i]
+
+    while True:
+        nonzero = [i for i in range(k) if c[i] != 0]
+        if len(nonzero) == 1:
+            pivot = nonzero[0]
+            break
+        nonzero.sort(key=lambda i: abs(c[i]))
+        small, other = nonzero[0], nonzero[1]
+        row_op(other, small, c[other] // c[small])
+    if pivot != 0:
+        # swap entries 0 and pivot of c; mirror as a W column swap
+        c[0], c[pivot] = c[pivot], c[0]
+        for r in range(k):
+            w[r][0], w[r][pivot] = w[r][pivot], w[r][0]
+    if c[0] == -1:
+        c[0] = 1
+        for r in range(k):
+            w[r][0] = -w[r][0]
+    if c[0] != 1:
+        raise LatticeError("coefficient vector was not primitive")
+    return [[w[r][0] for r in range(k)]] + [
+        [w[r][col] for r in range(k)] for col in range(1, k)
+    ]
+
+
+def bkz_reduce(basis: np.ndarray, beta: int = 10, tours: int = 4) -> np.ndarray:
+    """BKZ-reduce an integer basis with block size ``beta``.
+
+    Raises :class:`LatticeError` for block sizes beyond the enumeration
+    limit (25).
+    """
+    if beta < 2:
+        raise LatticeError(f"beta must be >= 2, got {beta}")
+    if beta > 25:
+        raise LatticeError(f"toy BKZ limited to beta <= 25, got {beta}")
+    reduced = lll_reduce(basis)
+    n = reduced.shape[0]
+    for _ in range(tours):
+        changed = False
+        for start in range(n - 1):
+            stop = min(start + beta, n)
+            block = [list(row) for row in reduced[start:stop]]
+            candidate, coeffs = shortest_vector_with_coefficients(
+                np.array(block, dtype=object)
+            )
+            candidate_norm = sum(int(x) * int(x) for x in candidate)
+            current_norm = sum(int(x) * int(x) for x in reduced[start])
+            if candidate_norm >= current_norm:
+                continue
+            transform = _unimodular_with_first_row([int(x) for x in coeffs])
+            new_block = [
+                [
+                    sum(int(t) * int(block[j][col]) for j, t in enumerate(trow))
+                    for col in range(len(block[0]))
+                ]
+                for trow in transform
+            ]
+            rows = [list(row) for row in reduced]
+            rows[start:stop] = new_block
+            reduced = lll_reduce(np.array(rows, dtype=object))
+            changed = True
+        if not changed:
+            break
+    return reduced

@@ -1,0 +1,233 @@
+"""Primal (Kannan) embedding: solving LWE by unique-SVP.
+
+Builds the standard embedding lattice for an LWE instance
+``b = A s + e (mod q)`` so that ``(e, s, M)`` (up to sign) is its
+unusually short vector, then recovers ``s`` from a reduced basis.  The
+toy end-to-end example uses this to finish the attack when the
+side-channel only yields partial information.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import LatticeError
+from repro.lattice.bkz import bkz_reduce
+from repro.lattice.lll import lll_reduce
+
+
+def kannan_embedding(
+    a_matrix: np.ndarray,
+    b_vector: Sequence[int],
+    q: int,
+    embedding_constant: int = 1,
+) -> np.ndarray:
+    """The (m + n + 1)-dimensional primal embedding basis.
+
+    Rows generate all ``(A s + x q - c b | s | -c M)``; the target
+    ``(e | -s | -M)``-style combination is unusually short.  Column
+    layout: ``m`` error coordinates, ``n`` secret coordinates, 1
+    embedding coordinate.
+    """
+    a_matrix = np.asarray(a_matrix)
+    m, n = a_matrix.shape
+    if len(b_vector) != m:
+        raise LatticeError(f"b has length {len(b_vector)}, expected {m}")
+    dim = m + n + 1
+    basis = np.zeros((dim, dim), dtype=object)
+    # q-vectors on the error block
+    for i in range(m):
+        basis[i, i] = q
+    # secret rows: (A^T)_j on the error block, identity on the secret block
+    for j in range(n):
+        for i in range(m):
+            basis[m + j, i] = int(a_matrix[i, j]) % q
+        basis[m + j, m + j] = 1
+    # embedding row carries b and the embedding constant
+    for i in range(m):
+        basis[m + n, i] = int(b_vector[i]) % q
+    basis[m + n, m + n] = int(embedding_constant)
+    return basis
+
+
+def solve_lwe_primal(
+    a_matrix: np.ndarray,
+    b_vector: Sequence[int],
+    q: int,
+    beta: Optional[int] = None,
+    error_bound: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Recover ``(s, e)`` from a (toy) LWE instance by lattice reduction.
+
+    Uses LLL, escalating to BKZ-``beta`` when given.  Returns ``(s, e)``
+    with ``b = A s + e (mod q)``; raises :class:`LatticeError` when no
+    plausibly short solution emerges (instance too hard for the given
+    reduction effort).
+    """
+    a_matrix = np.asarray(a_matrix)
+    m, n = a_matrix.shape
+    basis = kannan_embedding(a_matrix, b_vector, q)
+    reduced = lll_reduce(basis)
+    if beta is not None:
+        reduced = bkz_reduce(reduced, beta=beta, tours=4)
+    for row in reduced:
+        candidate = _extract_solution(row, a_matrix, b_vector, q, error_bound)
+        if candidate is not None:
+            return candidate
+    raise LatticeError(
+        "no short embedding vector found; increase beta or shrink the instance"
+    )
+
+
+def negacyclic_matrix(coeffs: Sequence[int], q: int) -> np.ndarray:
+    """Matrix form of multiplication by ``p`` in ``Z_q[x]/(x^n + 1)``.
+
+    Row i gives the coefficient of ``x^i`` in ``p * u`` as a linear form
+    in ``u``: ``A[i, j] = +-p_{i-j mod n}`` with a sign flip on wrap -
+    this turns the attacked ring equation ``c1 = p1 u + e2`` into a
+    standard LWE system for the lattice stage.
+
+    >>> negacyclic_matrix([1, 2], 17).tolist()  # p = 1 + 2x, n = 2
+    [[1, 15], [2, 1]]
+    """
+    n = len(coeffs)
+    matrix = np.zeros((n, n), dtype=object)
+    for i in range(n):
+        for j in range(n):
+            k = i - j
+            if k >= 0:
+                matrix[i, j] = int(coeffs[k]) % q
+            else:
+                matrix[i, j] = (-int(coeffs[k + n])) % q
+    return matrix
+
+
+def eliminate_known_errors(
+    a_matrix: np.ndarray,
+    b_vector: Sequence[int],
+    q: int,
+    known_errors: dict,
+) -> Tuple[np.ndarray, np.ndarray, "SecretReconstructor"]:
+    """Exploit perfectly hinted error coefficients by modular elimination.
+
+    Every equation whose error is known exactly becomes a linear
+    constraint ``<a_i, s> = b_i - e_i (mod q)``; Gaussian elimination
+    over ``Z_q`` (q prime) solves ``r`` secret coordinates in terms of
+    the others, shrinking the residual LWE instance to ``n - r``
+    unknowns and ``m - |known|`` noisy equations.  Returns the reduced
+    instance plus a :class:`SecretReconstructor` mapping the reduced
+    solution back to the full secret.
+    """
+    a_matrix = np.asarray(a_matrix)
+    m, n = a_matrix.shape
+    exact_rows = []
+    exact_rhs = []
+    noisy_rows = []
+    noisy_rhs = []
+    for i in range(m):
+        if i in known_errors:
+            exact_rows.append([int(x) % q for x in a_matrix[i]])
+            exact_rhs.append((int(b_vector[i]) - int(known_errors[i])) % q)
+        else:
+            noisy_rows.append([int(x) % q for x in a_matrix[i]])
+            noisy_rhs.append(int(b_vector[i]) % q)
+
+    # row-reduce [exact_rows | rhs] mod q
+    pivots: list = []  # (row index in echelon, column)
+    echelon = [row + [rhs] for row, rhs in zip(exact_rows, exact_rhs)]
+    rank = 0
+    for col in range(n):
+        pivot = next(
+            (r for r in range(rank, len(echelon)) if echelon[r][col] % q != 0), None
+        )
+        if pivot is None:
+            continue
+        echelon[rank], echelon[pivot] = echelon[pivot], echelon[rank]
+        inv = pow(echelon[rank][col], -1, q)
+        echelon[rank] = [(x * inv) % q for x in echelon[rank]]
+        for r in range(len(echelon)):
+            if r != rank and echelon[r][col] % q:
+                factor = echelon[r][col]
+                echelon[r] = [
+                    (x - factor * y) % q for x, y in zip(echelon[r], echelon[rank])
+                ]
+        pivots.append(col)
+        rank += 1
+        if rank == n:
+            break
+    free_columns = [c for c in range(n) if c not in pivots]
+
+    # express pivot secrets: s_pivot = rhs' - sum_free coeff * s_free
+    # substitute into the noisy equations
+    reduced_rows = []
+    reduced_rhs = []
+    for row, rhs in zip(noisy_rows, noisy_rhs):
+        new_row = [row[c] for c in free_columns]
+        new_rhs = rhs
+        for r, col in enumerate(pivots):
+            coeff = row[col]
+            if coeff:
+                new_rhs = (new_rhs - coeff * echelon[r][n]) % q
+                for j, free_col in enumerate(free_columns):
+                    new_row[j] = (new_row[j] - coeff * echelon[r][free_col]) % q
+        reduced_rows.append(new_row)
+        reduced_rhs.append(new_rhs)
+
+    reconstructor = SecretReconstructor(q, n, pivots, free_columns, echelon)
+    return (
+        np.array(reduced_rows, dtype=object).reshape(len(reduced_rows), len(free_columns)),
+        np.array(reduced_rhs, dtype=object),
+        reconstructor,
+    )
+
+
+class SecretReconstructor:
+    """Maps a reduced-instance secret back to the full secret (centered)."""
+
+    def __init__(self, q, n, pivots, free_columns, echelon):
+        self.q = q
+        self.n = n
+        self.pivots = pivots
+        self.free_columns = free_columns
+        self.echelon = echelon
+
+    @property
+    def reduced_dimension(self) -> int:
+        """Number of remaining secret unknowns."""
+        return len(self.free_columns)
+
+    def full_secret(self, reduced_secret: Sequence[int]) -> np.ndarray:
+        """Reassemble the full secret from the free coordinates."""
+        if len(reduced_secret) != len(self.free_columns):
+            raise LatticeError("reduced secret has the wrong length")
+        q = self.q
+        s = [0] * self.n
+        for j, col in enumerate(self.free_columns):
+            s[col] = int(reduced_secret[j]) % q
+        for r, col in enumerate(self.pivots):
+            value = self.echelon[r][self.n]
+            for free_col in self.free_columns:
+                value = (value - self.echelon[r][free_col] * s[free_col]) % q
+            s[col] = value
+        centered = [v - q if v > q // 2 else v for v in s]
+        return np.array(centered, dtype=object)
+
+
+def _extract_solution(row, a_matrix, b_vector, q, error_bound):
+    m, n = a_matrix.shape
+    marker = int(row[m + n])
+    if abs(marker) != 1:
+        return None
+    # row = c * (e | -s | 1) with c = marker = +-1
+    e = np.array([marker * int(x) for x in row[:m]], dtype=object)
+    s = np.array([-marker * int(x) for x in row[m : m + n]], dtype=object)
+    if error_bound is not None and any(abs(int(x)) > error_bound for x in e):
+        return None
+    # verify b = A s + e (mod q)
+    for i in range(m):
+        lhs = (sum(int(a_matrix[i, j]) * int(s[j]) for j in range(n)) + int(e[i])) % q
+        if lhs != int(b_vector[i]) % q:
+            return None
+    return s, e

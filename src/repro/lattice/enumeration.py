@@ -1,0 +1,116 @@
+"""SVP enumeration (Schnorr-Euchner) over a Gram-Schmidt profile.
+
+Exact shortest-vector search in small dimensions: the workhorse inside
+the BKZ blocks of :mod:`repro.lattice.bkz` and of the toy end-to-end
+attacks.  Exponential in the dimension - keep blocks below ~25.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import LatticeError
+from repro.lattice.lll import _float_gso
+
+
+def _enumerate_coefficients(
+    mu: np.ndarray, norms: np.ndarray, radius_sq: float
+) -> Optional[np.ndarray]:
+    """Schnorr-Euchner depth-first search for the shortest combination.
+
+    Returns integer coefficients of a nonzero vector strictly shorter
+    than ``sqrt(radius_sq)`` in the basis spanned by the GSO data, or
+    None when the first basis vector is already shortest.
+    """
+    n = len(norms)
+    best: Optional[np.ndarray] = None
+    best_sq = radius_sq
+
+    # state per level
+    x = np.zeros(n, dtype=np.int64)  # current coefficients
+    centers = np.zeros(n)
+    partial = np.zeros(n + 1)  # accumulated squared length above level i
+    deltas = np.zeros(n, dtype=np.int64)
+    signs = np.ones(n, dtype=np.int64)
+
+    level = n - 1
+    centers[level] = 0.0
+    x[level] = 0
+    deltas[level] = 0
+    signs[level] = 1
+    moving_down = True
+
+    while True:
+        length = partial[level + 1] + (x[level] - centers[level]) ** 2 * norms[level]
+        if length < best_sq:
+            if level == 0:
+                if any(x):
+                    best = x.copy()
+                    best_sq = length
+                # continue scanning siblings at level 0
+                x[0], deltas[0], signs[0] = _next_candidate(
+                    x[0], centers[0], deltas[0], signs[0]
+                )
+            else:
+                partial[level] = length
+                level -= 1
+                centers[level] = -float(
+                    np.dot(x[level + 1 :], mu[level + 1 :, level])
+                )
+                x[level] = round(centers[level])
+                deltas[level] = 0
+                signs[level] = 1
+        else:
+            level += 1
+            if level == n:
+                return best
+            x[level], deltas[level], signs[level] = _next_candidate(
+                x[level], centers[level], deltas[level], signs[level]
+            )
+
+
+def _next_candidate(
+    value: int, center: float, delta: int, sign: int
+) -> Tuple[int, int, int]:
+    """Zig-zag enumeration around the center: c, c+1, c-1, c+2, ..."""
+    delta += 1
+    offset = delta if sign > 0 else -delta
+    nxt = round(center) + offset
+    return int(nxt), delta, -sign
+
+
+def shortest_vector_with_coefficients(
+    basis: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact shortest nonzero lattice vector and its basis coefficients.
+
+    The basis should be LLL-reduced first for performance.  Raises
+    :class:`LatticeError` above dimension 30 (exponential search).
+    """
+    rows = [np.array([int(v) for v in row], dtype=object) for row in np.asarray(basis)]
+    n = len(rows)
+    if n > 30:
+        raise LatticeError(f"enumeration limited to dim <= 30, got {n}")
+    mu, norms = _float_gso(rows)
+    lengths = [sum(int(v) * int(v) for v in r) for r in rows]
+    radius = float(min(lengths))
+    coeffs = _enumerate_coefficients(mu, norms, radius * (1 + 1e-9))
+    if coeffs is None:
+        # the shortest basis row is already optimal
+        index = int(np.argmin(lengths))
+        unit = np.zeros(n, dtype=np.int64)
+        unit[index] = 1
+        return rows[index], unit
+    vector = np.zeros(len(rows[0]), dtype=object)
+    for c, row in zip(coeffs, rows):
+        if c:
+            vector = vector + int(c) * row
+    return vector, coeffs
+
+
+def shortest_vector(basis: np.ndarray) -> np.ndarray:
+    """Exact shortest nonzero lattice vector of an (integer) basis."""
+    vector, _ = shortest_vector_with_coefficients(basis)
+    return vector

@@ -1,0 +1,45 @@
+"""Gram-Schmidt orthogonalisation for lattice bases."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import LatticeError
+
+
+def gram_schmidt(basis: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(B*, mu)`` with ``B = mu @ B*`` and ``B*`` orthogonal.
+
+    ``basis`` rows are the lattice vectors.  Raises
+    :class:`LatticeError` when the rows are linearly dependent.
+    """
+    basis = np.asarray(basis, dtype=np.float64)
+    rows, cols = basis.shape
+    if rows > cols:
+        raise LatticeError(f"basis has {rows} rows in dimension {cols}")
+    orthogonal = np.zeros_like(basis)
+    mu = np.eye(rows)
+    norms = np.zeros(rows)
+    for i in range(rows):
+        vector = basis[i].copy()
+        for j in range(i):
+            mu[i, j] = basis[i] @ orthogonal[j] / norms[j]
+            vector -= mu[i, j] * orthogonal[j]
+        norms[i] = vector @ vector
+        if norms[i] <= 1e-12:
+            raise LatticeError(f"basis row {i} is linearly dependent")
+        orthogonal[i] = vector
+    return orthogonal, mu
+
+
+def gso_norms(basis: np.ndarray) -> np.ndarray:
+    """Squared Gram-Schmidt norms ``||b_i*||^2`` of a basis."""
+    orthogonal, _ = gram_schmidt(basis)
+    return np.einsum("ij,ij->i", orthogonal, orthogonal)
+
+
+def log_volume(basis: np.ndarray) -> float:
+    """Natural log of the lattice volume (product of GSO norms)."""
+    return 0.5 * float(np.sum(np.log(gso_norms(basis))))

@@ -1,0 +1,88 @@
+"""LLL lattice basis reduction (integer rows, floating-point GSO).
+
+Standard Lenstra-Lenstra-Lovasz with incremental Gram-Schmidt updates
+(size reduction adjusts one ``mu`` row; a swap uses the classic local
+update formulas), sufficient for the toy primal attacks in the examples
+and tests (dimensions up to ~100).  Basis rows stay exact Python
+integers; only the GSO bookkeeping is floating point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LatticeError
+
+
+def _float_gso(rows):
+    n = len(rows)
+    fb = np.array([[float(x) for x in row] for row in rows])
+    mu = np.eye(n)
+    norms = np.zeros(n)
+    ortho = np.zeros_like(fb)
+    for i in range(n):
+        v = fb[i].copy()
+        for j in range(i):
+            mu[i, j] = fb[i] @ ortho[j] / norms[j]
+            v -= mu[i, j] * ortho[j]
+        norms[i] = float(v @ v)
+        if norms[i] <= 0:
+            raise LatticeError(f"dependent basis row {i}")
+        ortho[i] = v
+    return mu, norms
+
+
+def lll_reduce(basis: np.ndarray, delta: float = 0.99) -> np.ndarray:
+    """Return an LLL-reduced basis (new integer array; input untouched).
+
+    Raises :class:`LatticeError` on dependent rows or a bad ``delta``.
+    """
+    if not (0.25 < delta <= 1.0):
+        raise LatticeError(f"delta must be in (0.25, 1], got {delta}")
+    b = [np.array([int(x) for x in row], dtype=object) for row in np.asarray(basis)]
+    n = len(b)
+    if n == 1:
+        return np.array([list(b[0])], dtype=object)
+    mu, norms = _float_gso(b)
+
+    k = 1
+    while k < n:
+        # size-reduce b_k against b_{k-1} .. b_0
+        for j in range(k - 1, -1, -1):
+            q = round(mu[k, j])
+            if q:
+                b[k] = b[k] - q * b[j]
+                mu[k, : j + 1] -= q * mu[j, : j + 1]
+        if norms[k] >= (delta - mu[k, k - 1] ** 2) * norms[k - 1]:
+            k += 1
+            continue
+        # swap rows k-1 and k with local GSO updates
+        b[k - 1], b[k] = b[k], b[k - 1]
+        mu_kk1 = mu[k, k - 1]
+        new_norm = norms[k] + mu_kk1**2 * norms[k - 1]
+        mu[k, k - 1] = mu_kk1 * norms[k - 1] / new_norm
+        norms[k] = norms[k - 1] * norms[k] / new_norm
+        norms[k - 1] = new_norm
+        for j in range(k - 1):
+            mu[k - 1, j], mu[k, j] = mu[k, j], mu[k - 1, j]
+        for i in range(k + 1, n):
+            t = mu[i, k]
+            mu[i, k] = mu[i, k - 1] - mu_kk1 * t
+            mu[i, k - 1] = t + mu[k, k - 1] * mu[i, k]
+        k = max(k - 1, 1)
+    return np.array([list(row) for row in b], dtype=object)
+
+
+def is_size_reduced(basis: np.ndarray, tolerance: float = 0.5001) -> bool:
+    """Check ``|mu_ij| <= 1/2`` for all i > j (test helper)."""
+    mu, _ = _float_gso([np.array([int(x) for x in row], dtype=object) for row in basis])
+    n = len(basis)
+    return all(
+        abs(mu[i, j]) <= tolerance for i in range(n) for j in range(i)
+    )
+
+
+def shortest_basis_vector(basis: np.ndarray) -> np.ndarray:
+    """The shortest nonzero row of a (reduced) basis."""
+    best = min(basis, key=lambda row: sum(int(x) * int(x) for x in row))
+    return np.array([int(x) for x in best], dtype=object)

@@ -1,0 +1,33 @@
+"""Synthetic power-trace acquisition for the simulated device.
+
+Substitutes the paper's SAKURA-G shunt-resistor + PicoScope setup with a
+first-order CMOS power model: every execution cycle dissipates power
+proportional to the Hamming weight of the data being moved and the
+Hamming distance of state transitions, plus Gaussian amplifier noise.
+
+- :mod:`repro.power.leakage` — expands CPU execution events into
+  per-cycle power samples;
+- :mod:`repro.power.scope` — oscilloscope front-end effects (noise,
+  bandwidth, gain, quantisation);
+- :mod:`repro.power.trace` — trace containers;
+- :mod:`repro.power.capture` — the acquisition harness binding a
+  device, a leakage model and a scope.
+"""
+
+from repro.power.capture import CapturedTrace, TraceAcquisition
+from repro.power.leakage import LeakageModel
+from repro.power.scope import Oscilloscope
+from repro.power.trace import Trace, TraceSet
+from repro.power.visualize import ascii_trace, ascii_trace_with_windows, sparkline
+
+__all__ = [
+    "CapturedTrace",
+    "LeakageModel",
+    "Oscilloscope",
+    "Trace",
+    "TraceSet",
+    "TraceAcquisition",
+    "ascii_trace",
+    "ascii_trace_with_windows",
+    "sparkline",
+]

@@ -1,0 +1,90 @@
+"""Trace acquisition harness: device -> leakage model -> oscilloscope.
+
+``TraceAcquisition`` is the reproduction's measurement bench.  One
+:meth:`~TraceAcquisition.capture` call corresponds to arming the scope
+and triggering one execution of the sampling kernel; the returned
+:class:`CapturedTrace` carries the measured trace plus ground truth
+(the sampled values) that the *evaluation* uses to score the attack —
+the attack itself only ever sees ``trace``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.power.leakage import LeakageModel
+from repro.power.scope import Oscilloscope
+from repro.power.trace import Trace
+from repro.riscv.device import GaussianSamplerDevice
+from repro.utils.rng import new_rng
+
+
+@dataclass
+class CapturedTrace:
+    """One armed-and-triggered measurement."""
+
+    trace: Trace
+    values: List[int]  # ground-truth sampled coefficients
+    seed: int
+    cycle_count: int
+    event_starts: np.ndarray = field(repr=False, default=None)
+
+
+class TraceAcquisition:
+    """Binds a device, a leakage model and a scope into a capture bench.
+
+    Parameters
+    ----------
+    device:
+        The simulated PicoRV32 running the Gaussian kernel.
+    leakage:
+        CMOS leakage weights; defaults are calibrated for the paper's
+        accuracy regime.
+    scope:
+        Acquisition front end (noise etc.).
+    rng:
+        Seed/generator for measurement noise (independent of the
+        device's PRNG).
+    """
+
+    def __init__(
+        self,
+        device: GaussianSamplerDevice,
+        leakage: Optional[LeakageModel] = None,
+        scope: Optional[Oscilloscope] = None,
+        rng=None,
+    ) -> None:
+        self.device = device
+        self.leakage = leakage if leakage is not None else LeakageModel()
+        self.scope = scope if scope is not None else Oscilloscope()
+        self._rng = new_rng(rng)
+
+    # ------------------------------------------------------------------
+    def capture(self, seed: int, count: int) -> CapturedTrace:
+        """Run the kernel for ``count`` coefficients and measure it."""
+        run = self.device.run(seed, count=count, record_events=True)
+        noiseless, starts = self.leakage.expand(run.events)
+        measured = self.scope.capture(noiseless, rng=self._rng)
+        return CapturedTrace(
+            trace=Trace(measured, metadata={"seed": seed, "count": count}),
+            values=run.values,
+            seed=seed,
+            cycle_count=run.cycle_count,
+            event_starts=starts,
+        )
+
+    def capture_single(self, seed: int) -> CapturedTrace:
+        """One-coefficient capture (the profiling workload)."""
+        return self.capture(seed, count=1)
+
+    def capture_batch(
+        self, trace_count: int, coeffs_per_trace: int = 1, first_seed: int = 1
+    ) -> List[CapturedTrace]:
+        """Capture ``trace_count`` runs with consecutive device seeds."""
+        return [
+            self.capture(first_seed + i, coeffs_per_trace)
+            for i in range(trace_count)
+        ]

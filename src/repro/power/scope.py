@@ -1,0 +1,69 @@
+"""Oscilloscope front-end model.
+
+The paper measures the SAKURA-G's 1-ohm shunt with a PicoScope 6424E at
+1 GS/s while the core runs at 1.5 MHz, i.e. hundreds of scope samples
+per clock cycle which are effectively averaged per-cycle by the analog
+bandwidth.  We therefore model the acquisition chain at one sample per
+clock cycle: gain, band limiting (moving average), additive Gaussian
+amplifier/quantisation noise and an optional ADC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.rng import new_rng
+
+
+@dataclass
+class Oscilloscope:
+    """Acquisition-chain parameters.
+
+    Parameters
+    ----------
+    noise_std:
+        Standard deviation of the additive Gaussian noise, in the same
+        unit as the leakage model output (Hamming weights).  This is the
+        main knob controlling attack difficulty.
+    gain:
+        Linear gain applied before quantisation.
+    bandwidth_window:
+        Length of the moving-average filter modelling the analog
+        bandwidth; 1 disables filtering.
+    adc_bits:
+        When set, quantise to this many bits over the observed range
+        (the PicoScope's 8..12-bit vertical resolution).
+    """
+
+    noise_std: float = 1.0
+    gain: float = 1.0
+    bandwidth_window: int = 1
+    adc_bits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.noise_std < 0:
+            raise ParameterError("noise_std must be non-negative")
+        if self.bandwidth_window < 1:
+            raise ParameterError("bandwidth_window must be >= 1")
+        if self.adc_bits is not None and not (4 <= self.adc_bits <= 16):
+            raise ParameterError("adc_bits must be in [4, 16]")
+
+    def capture(self, samples: np.ndarray, rng=None) -> np.ndarray:
+        """Apply the acquisition chain to noiseless leakage samples."""
+        rng = new_rng(rng)
+        out = np.asarray(samples, dtype=np.float64) * self.gain
+        if self.bandwidth_window > 1:
+            kernel = np.ones(self.bandwidth_window) / self.bandwidth_window
+            out = np.convolve(out, kernel, mode="same")
+        if self.noise_std > 0:
+            out = out + rng.normal(0.0, self.noise_std, out.shape)
+        if self.adc_bits is not None:
+            lo, hi = float(out.min()), float(out.max())
+            span = max(hi - lo, 1e-9)
+            levels = (1 << self.adc_bits) - 1
+            out = np.round((out - lo) / span * levels) / levels * span + lo
+        return out

@@ -1,0 +1,96 @@
+"""Power-trace containers (with ``.npz`` persistence for campaigns)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+@dataclass
+class Trace:
+    """One power measurement: a 1-D sample vector plus metadata."""
+
+    samples: np.ndarray
+    metadata: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.samples = np.asarray(self.samples, dtype=np.float64)
+        if self.samples.ndim != 1:
+            raise ParameterError("trace samples must be one-dimensional")
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A sub-trace view with inherited metadata."""
+        return Trace(self.samples[start:stop], dict(self.metadata))
+
+
+class TraceSet:
+    """A labelled collection of equal-length traces (profiling corpus)."""
+
+    def __init__(self) -> None:
+        self._traces: List[np.ndarray] = []
+        self._labels: List[int] = []
+
+    def add(self, samples: np.ndarray, label: int) -> None:
+        """Append one trace with its class label."""
+        samples = np.asarray(samples, dtype=np.float64)
+        if self._traces and samples.shape != self._traces[0].shape:
+            raise ParameterError(
+                f"trace length {samples.shape} does not match set {self._traces[0].shape}"
+            )
+        self._traces.append(samples)
+        self._labels.append(int(label))
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Class label per trace."""
+        return np.asarray(self._labels, dtype=np.int64)
+
+    def matrix(self) -> np.ndarray:
+        """All traces stacked as a (count, length) matrix."""
+        if not self._traces:
+            raise ParameterError("trace set is empty")
+        return np.vstack(self._traces)
+
+    def by_label(self) -> Dict[int, np.ndarray]:
+        """Traces grouped per label as (count_label, length) matrices."""
+        matrix = self.matrix()
+        labels = self.labels
+        return {
+            int(label): matrix[labels == label] for label in np.unique(labels)
+        }
+
+    def classes(self) -> List[int]:
+        """Sorted distinct labels."""
+        return sorted(set(self._labels))
+
+    def __iter__(self) -> Iterator:
+        return iter(zip(self._traces, self._labels))
+
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the whole corpus to a compressed ``.npz`` archive."""
+        if not self._traces:
+            raise ParameterError("refusing to save an empty trace set")
+        np.savez_compressed(
+            Path(path), traces=self.matrix(), labels=self.labels
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TraceSet":
+        """Read a corpus written by :meth:`save`."""
+        archive = np.load(Path(path), allow_pickle=False)
+        trace_set = cls()
+        for row, label in zip(archive["traces"], archive["labels"]):
+            trace_set.add(row, int(label))
+        return trace_set

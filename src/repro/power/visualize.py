@@ -1,0 +1,82 @@
+"""Terminal visualisation of power traces (Fig. 3 without matplotlib).
+
+Pure-text rendering so the paper's trace figures can be eyeballed in a
+terminal or a CI log: a max-pooled amplitude plot plus optional window
+and anchor markers from the segmentation stage.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def ascii_trace(
+    samples: Sequence[float], width: int = 100, height: int = 10
+) -> str:
+    """Render a trace as a ``height``-row character plot.
+
+    Columns are max-pooled buckets (peaks stay visible - they are the
+    point of Fig. 3a); rows are amplitude bands, top row = maximum.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 1 or len(samples) == 0:
+        raise ParameterError("need a non-empty 1-D trace")
+    if width < 2 or height < 2:
+        raise ParameterError("width and height must be >= 2")
+    edges = np.linspace(0, len(samples), width + 1).astype(int)
+    pooled = np.array(
+        [samples[a:b].max() if b > a else samples[min(a, len(samples) - 1)]
+         for a, b in zip(edges[:-1], edges[1:])]
+    )
+    lo, hi = float(pooled.min()), float(pooled.max())
+    span = max(hi - lo, 1e-12)
+    levels = ((pooled - lo) / span * (height - 1)).round().astype(int)
+    rows = []
+    for row in range(height - 1, -1, -1):
+        line = "".join("█" if level >= row else " " for level in levels)
+        rows.append(line)
+    return "\n".join(rows)
+
+
+def ascii_trace_with_windows(
+    samples: Sequence[float],
+    boundaries: Sequence[int],
+    anchors: Optional[Sequence[int]] = None,
+    width: int = 100,
+    height: int = 10,
+) -> str:
+    """The amplitude plot plus a marker row: ``|`` boundaries, ``^`` anchors."""
+    samples = np.asarray(samples, dtype=np.float64)
+    plot = ascii_trace(samples, width=width, height=height)
+    scale = width / len(samples)
+    marker_row = [" "] * width
+    for boundary in boundaries:
+        column = min(int(boundary * scale), width - 1)
+        marker_row[column] = "|"
+    for anchor in anchors or []:
+        column = min(int(anchor * scale), width - 1)
+        marker_row[column] = "^"
+    return plot + "\n" + "".join(marker_row)
+
+
+def sparkline(samples: Sequence[float], width: int = 60) -> str:
+    """A one-line summary using eighth-block characters."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 1 or len(samples) == 0:
+        raise ParameterError("need a non-empty 1-D trace")
+    blocks = "▁▂▃▄▅▆▇█"
+    edges = np.linspace(0, len(samples), width + 1).astype(int)
+    pooled = np.array(
+        [samples[a:b].mean() if b > a else samples[min(a, len(samples) - 1)]
+         for a, b in zip(edges[:-1], edges[1:])]
+    )
+    lo, hi = float(pooled.min()), float(pooled.max())
+    span = max(hi - lo, 1e-12)
+    indices = ((pooled - lo) / span * (len(blocks) - 1)).round().astype(int)
+    return "".join(blocks[i] for i in indices)

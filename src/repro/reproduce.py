@@ -1,0 +1,177 @@
+"""Command-line reproduction of the paper's tables and figures.
+
+Usage::
+
+    python -m repro.reproduce table3          # fast (estimator only)
+    python -m repro.reproduce table4
+    python -m repro.reproduce fig3            # needs ~10 s of simulation
+    python -m repro.reproduce table1 --traces 80
+    python -m repro.reproduce table2 --traces 40
+    python -m repro.reproduce all
+
+The pytest benchmarks in ``benchmarks/`` are the full-fidelity
+regeneration path; this module is the quick look.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+
+def _make_bench(noise: float = 1.0):
+    from repro.power.capture import TraceAcquisition
+    from repro.power.scope import Oscilloscope
+    from repro.riscv.device import GaussianSamplerDevice
+
+    device = GaussianSamplerDevice([132120577])
+    return TraceAcquisition(device, scope=Oscilloscope(noise_std=noise), rng=0)
+
+
+def _profiled_attack(bench, traces: int):
+    from repro.attack.pipeline import SingleTraceAttack
+
+    attack = SingleTraceAttack(bench, poi_count=24)
+    attack.profile(num_traces=max(traces, 60), coeffs_per_trace=8, first_seed=100_000)
+    return attack
+
+
+def run_fig3() -> None:
+    from repro.attack.segmentation import Segmenter
+
+    bench = _make_bench()
+    captured = bench.capture(seed=3, count=3)
+    print("Fig. 3(a): one trace, three coefficient samplings")
+    print(f"  sampled coefficients: {captured.values}")
+    for window in Segmenter().windows(captured.trace.samples):
+        print(f"  window {window.index}: [{window.start}, {window.end}) "
+              f"anchor {window.anchor}")
+
+
+def run_table1(traces: int) -> None:
+    from repro.attack.metrics import ConfusionMatrix
+
+    bench = _make_bench()
+    attack = _profiled_attack(bench, traces)
+    matrix = ConfusionMatrix()
+    sign_hits = total = 0
+    for seed in range(1, traces + 1):
+        captured = bench.capture(seed, 8)
+        result = attack.attack(captured)
+        matrix.record_many(captured.values, result.estimates)
+        for value, sign in zip(captured.values, result.signs):
+            total += 1
+            sign_hits += int(np.sign(value)) == sign
+    labels = [v for v in range(-5, 6) if matrix.total(v) >= 3]
+    print("Table I (condensed):")
+    print(matrix.format_table(labels))
+    print(f"sign accuracy {100 * sign_hits / total:.2f}% [paper: 100%]")
+
+
+def run_table2(traces: int) -> None:
+    from repro.hints.hintgen import moments_of_table
+
+    bench = _make_bench()
+    attack = _profiled_attack(bench, traces)
+    print("Table II: probability tables (centered / variance):")
+    shown = set()
+    for seed in range(1, traces + 1):
+        captured = bench.capture(seed, 8)
+        result = attack.attack(captured)
+        for value, table in zip(captured.values, result.probabilities):
+            if value in shown or not (-2 <= value <= 2):
+                continue
+            shown.add(value)
+            mean, variance = moments_of_table(table)
+            print(f"  secret {value:3d}: centered {mean:7.3f}  variance {variance:.3e}")
+        if len(shown) == 5:
+            break
+
+
+def run_table3() -> None:
+    from repro.hints.estimator import beta_for_dbdd, bikz_to_bits
+    from repro.hints.security import (
+        PAPER_BIKZ_NO_HINTS,
+        PAPER_BIKZ_WITH_HINTS,
+        seal_128_dbdd,
+        seal_128_parameters,
+    )
+
+    params = seal_128_parameters()
+    rng = np.random.default_rng(0)
+    e2 = np.rint(np.clip(rng.normal(0, params.error_sigma, params.m), -41, 41))
+    beta0 = beta_for_dbdd(seal_128_dbdd())
+    instance = seal_128_dbdd()
+    for i, value in enumerate(e2):
+        instance.integrate_perfect_hint(params.n + i, float(value))
+    beta1 = beta_for_dbdd(instance)
+    print("Table III (SEAL-128):")
+    print(f"  without hints: {beta0:7.2f} bikz = 2^{bikz_to_bits(beta0):.2f} "
+          f"[paper {PAPER_BIKZ_NO_HINTS}]")
+    print(f"  with hints:    {beta1:7.2f} bikz = 2^{bikz_to_bits(beta1):.2f} "
+          f"[paper {PAPER_BIKZ_WITH_HINTS}] -> complete break")
+
+
+def run_table4() -> None:
+    from repro.hints.estimator import beta_for_dbdd, bikz_to_bits
+    from repro.hints.hintgen import apply_guesses, apply_hints, hints_from_signs
+    from repro.hints.security import (
+        PAPER_BIKZ_BRANCH_AND_GUESS,
+        PAPER_BIKZ_BRANCH_ONLY,
+        PAPER_BIKZ_NO_HINTS,
+        seal_128_dbdd,
+        seal_128_parameters,
+    )
+
+    params = seal_128_parameters()
+    rng = np.random.default_rng(7)
+    e2 = np.rint(np.clip(rng.normal(0, params.error_sigma, params.m), -41, 41))
+    signs = np.sign(e2.astype(int))
+    beta0 = beta_for_dbdd(seal_128_dbdd())
+    instance = seal_128_dbdd()
+    hints = hints_from_signs(signs, params.error_sigma)
+    apply_hints(instance, hints, params.n)
+    beta1 = beta_for_dbdd(instance)
+    apply_guesses(instance, hints, params.n, count=1)
+    beta2 = beta_for_dbdd(instance)
+    print("Table IV (branch vulnerability only):")
+    print(f"  without hints:        {beta0:7.2f} [paper {PAPER_BIKZ_NO_HINTS}]")
+    print(f"  with hints:           {beta1:7.2f} [paper {PAPER_BIKZ_BRANCH_ONLY}]")
+    print(f"  with hints & 1 guess: {beta2:7.2f} [paper {PAPER_BIKZ_BRANCH_AND_GUESS}]")
+    print(f"  -> {bikz_to_bits(beta1):.1f} bits remain: signs alone cannot "
+          f"recover the message")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.reproduce",
+        description="Quick reproduction of the RevEAL paper's tables/figures.",
+    )
+    parser.add_argument(
+        "target",
+        choices=["fig3", "table1", "table2", "table3", "table4", "all"],
+    )
+    parser.add_argument(
+        "--traces",
+        type=int,
+        default=60,
+        help="attack/profiling trace budget for table1/table2 (default 60)",
+    )
+    args = parser.parse_args(argv)
+    runners = {
+        "fig3": run_fig3,
+        "table1": lambda: run_table1(args.traces),
+        "table2": lambda: run_table2(args.traces),
+        "table3": run_table3,
+        "table4": run_table4,
+    }
+    targets = list(runners) if args.target == "all" else [args.target]
+    for index, name in enumerate(targets):
+        if index:
+            print()
+        runners[name]()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Polynomial-ring arithmetic over ``R_q = Z_q[x] / (x^n + 1)``.
+
+This is the substrate under the BFV scheme: word-sized prime moduli
+(:mod:`repro.ring.modulus`), NTT-friendly prime generation
+(:mod:`repro.ring.primes`), the negacyclic number-theoretic transform
+(:mod:`repro.ring.ntt`), residue-number-system composition
+(:mod:`repro.ring.rns`) and the :class:`~repro.ring.poly.RingPoly`
+polynomial container (:mod:`repro.ring.poly`).
+"""
+
+from repro.ring.modulus import Modulus
+from repro.ring.ntt import NttContext
+from repro.ring.poly import RingPoly
+from repro.ring.primes import default_coeff_modulus_128, generate_ntt_primes, is_prime
+from repro.ring.rns import RnsBasis
+
+__all__ = [
+    "Modulus",
+    "NttContext",
+    "RingPoly",
+    "RnsBasis",
+    "default_coeff_modulus_128",
+    "generate_ntt_primes",
+    "is_prime",
+]

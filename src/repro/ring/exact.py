@@ -1,0 +1,63 @@
+"""Exact (unreduced) negacyclic polynomial multiplication over Z.
+
+BFV's homomorphic multiplication scales tensor products by ``t/q``
+*before* reduction, so the cross products ``c_i * d_j`` must be computed
+exactly over the integers.  We do this with a CRT of word-sized NTT
+primes: enough limbs are drawn so the true coefficients (bounded by
+``n * max|a| * max|b|``) are recovered unambiguously from their residues.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.ring.ntt import NttContext
+from repro.ring.primes import generate_ntt_primes
+from repro.ring.rns import RnsBasis
+
+_context_cache: Dict[Tuple[int, int], Tuple[RnsBasis, List[NttContext]]] = {}
+
+
+def _exact_basis(n: int, bound_bits: int) -> Tuple[RnsBasis, List[NttContext]]:
+    """A cached CRT basis with > bound_bits + 1 total bits for degree n."""
+    limb_bits = 28
+    count = (bound_bits + 2 + limb_bits - 1) // limb_bits
+    key = (n, count)
+    if key not in _context_cache:
+        moduli = generate_ntt_primes(limb_bits, count, n)
+        basis = RnsBasis(moduli)
+        ntts = [NttContext(m, n) for m in moduli]
+        _context_cache[key] = (basis, ntts)
+    return _context_cache[key]
+
+
+def exact_negacyclic_multiply(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Product of two integer coefficient vectors modulo ``x^n + 1`` over Z.
+
+    Inputs may be signed and arbitrarily large; the result is exact
+    (signed integers, no modular reduction).
+
+    >>> exact_negacyclic_multiply([0, 1], [0, 1])  # x * x = x^2 = -1 for n=2
+    [-1, 0]
+    """
+    n = len(a)
+    if len(b) != n:
+        raise ValueError("operands must have equal length")
+    if n & (n - 1):
+        raise ValueError("length must be a power of two")
+    max_a = max((abs(int(x)) for x in a), default=0)
+    max_b = max((abs(int(x)) for x in b), default=0)
+    if max_a == 0 or max_b == 0:
+        return [0] * n
+    bound = n * max_a * max_b
+    basis, ntts = _exact_basis(n, bound.bit_length())
+    result_residues = []
+    for m, ntt in zip(basis.moduli, ntts):
+        ra = [int(x) % m.value for x in a]
+        rb = [int(x) % m.value for x in b]
+        result_residues.append(ntt.multiply(ra, rb))
+    out: List[int] = []
+    for j in range(n):
+        value = basis.compose_int([int(r[j]) for r in result_residues])
+        out.append(basis.centered(value))
+    return out

@@ -1,0 +1,72 @@
+"""Galois automorphisms of ``R_q = Z_q[x]/(x^n + 1)``.
+
+The maps ``tau_g : a(x) -> a(x^g)`` for odd ``g`` permute (and
+sign-flip) coefficients; they are ring automorphisms and the engine
+behind SEAL's batched slot rotations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.ring.poly import RingPoly
+
+_map_cache: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+
+
+def galois_index_map(n: int, g: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Destination index and sign for ``x^i -> x^(i*g) mod (x^n + 1)``.
+
+    Returns ``(targets, signs)``: coefficient i of the input lands at
+    ``targets[i]`` with sign ``signs[i]``.
+    """
+    if n <= 0 or n & (n - 1):
+        raise ParameterError(f"n must be a power of two, got {n}")
+    if g % 2 == 0 or not (0 < g < 2 * n):
+        raise ParameterError(f"Galois element must be odd in (0, 2n), got {g}")
+    key = (n, g)
+    if key not in _map_cache:
+        targets = np.empty(n, dtype=np.int64)
+        signs = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            j = (i * g) % (2 * n)
+            if j < n:
+                targets[i] = j
+                signs[i] = 1
+            else:
+                targets[i] = j - n
+                signs[i] = -1
+        _map_cache[key] = (targets, signs)
+    return _map_cache[key]
+
+
+def apply_galois(poly: RingPoly, g: int) -> RingPoly:
+    """Apply ``tau_g`` to a ring element.
+
+    >>> # tau_3 on x gives x^3
+    """
+    targets, signs = galois_index_map(poly.n, g)
+    out = np.empty_like(poly.residues)
+    for limb, modulus in enumerate(poly.basis.moduli):
+        values = poly.residues[limb]
+        transformed = np.zeros(poly.n, dtype=np.int64)
+        transformed[targets] = np.where(signs > 0, values, (-values) % modulus.value)
+        out[limb] = transformed
+    return RingPoly(poly.basis, poly.n, out)
+
+
+def rotation_group_generator(n: int) -> int:
+    """The generator (3) of the slot-rotation subgroup of ``Z_2n^*``."""
+    return 3
+
+
+def galois_elements_for_rotations(n: int, steps: List[int]) -> List[int]:
+    """Galois elements realising the given slot-rotation step counts."""
+    elements = []
+    for step in steps:
+        g = pow(rotation_group_generator(n), step % (n // 2), 2 * n)
+        elements.append(g)
+    return elements

@@ -1,0 +1,105 @@
+"""Word-sized modulus type, the analogue of SEAL's ``SmallModulus``.
+
+All residue arithmetic in the reproduction is done against ``Modulus``
+instances.  Values are kept below 2**31 so that a product of two
+residues fits in a signed 64-bit word, which lets the NTT and polynomial
+arithmetic run on vectorised numpy ``int64`` arrays without
+multi-precision fallbacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+#: Upper bound (exclusive) on modulus values; keeps a*b inside int64.
+MODULUS_BOUND = 1 << 31
+
+
+@dataclass(frozen=True)
+class Modulus:
+    """An odd prime modulus below 2**31.
+
+    Parameters
+    ----------
+    value:
+        The modulus value.  Must be a prime in ``[3, 2**31)``; primality
+        is the caller's responsibility (use :func:`repro.ring.primes.is_prime`)
+        but basic sanity is enforced here.
+    """
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, int):
+            raise ParameterError(f"modulus value must be int, got {type(self.value)}")
+        if not (3 <= self.value < MODULUS_BOUND):
+            raise ParameterError(
+                f"modulus must be in [3, 2**31), got {self.value}"
+            )
+        if self.value % 2 == 0:
+            raise ParameterError(f"modulus must be odd, got {self.value}")
+
+    @property
+    def bit_count(self) -> int:
+        """Bit length of the modulus value."""
+        return self.value.bit_length()
+
+    def reduce(self, x: int) -> int:
+        """Reduce an arbitrary integer into ``[0, q)``."""
+        return x % self.value
+
+    def reduce_array(self, values: np.ndarray) -> np.ndarray:
+        """Reduce an int64 numpy array into ``[0, q)`` elementwise."""
+        return np.mod(np.asarray(values, dtype=np.int64), self.value)
+
+    def add(self, a: int, b: int) -> int:
+        """Modular addition of two residues."""
+        s = a + b
+        return s - self.value if s >= self.value else s
+
+    def sub(self, a: int, b: int) -> int:
+        """Modular subtraction of two residues."""
+        d = a - b
+        return d + self.value if d < 0 else d
+
+    def mul(self, a: int, b: int) -> int:
+        """Modular multiplication of two residues."""
+        return (a * b) % self.value
+
+    def pow(self, base: int, exponent: int) -> int:
+        """Modular exponentiation."""
+        return pow(base, exponent, self.value)
+
+    def inv(self, a: int) -> int:
+        """Modular inverse of ``a``; raises if not invertible."""
+        a = a % self.value
+        if a == 0:
+            raise ParameterError(f"0 has no inverse modulo {self.value}")
+        return pow(a, -1, self.value)
+
+    def neg(self, a: int) -> int:
+        """Modular negation of a residue."""
+        return 0 if a == 0 else self.value - a
+
+    def centered(self, a: int) -> int:
+        """Map a residue to its centered representative in ``(-q/2, q/2]``."""
+        a = a % self.value
+        if a > self.value // 2:
+            return a - self.value
+        return a
+
+    def centered_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`centered` for an int64 array of residues."""
+        values = np.asarray(values, dtype=np.int64)
+        half = self.value // 2
+        return np.where(values > half, values - self.value, values)
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Modulus({self.value})"

@@ -1,0 +1,147 @@
+"""Negacyclic number-theoretic transform over a word-sized prime.
+
+Implements the standard in-place iterative Cooley-Tukey (decimation in
+time) forward transform and Gentleman-Sande inverse, merged with the
+``psi``-power twist so that pointwise multiplication in the transform
+domain realises multiplication modulo ``x^n + 1`` (negacyclic
+convolution), exactly as in SEAL's ``SmallNTT``.
+
+All butterflies run on numpy ``int64`` vectors; with ``q < 2**31`` every
+intermediate product fits without overflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.ring.modulus import Modulus
+from repro.utils.bitops import bit_reverse
+
+
+def _find_primitive_root(modulus: Modulus, order: int) -> int:
+    """Find a primitive ``order``-th root of unity modulo ``q``.
+
+    ``order`` must divide ``q - 1``.  The search is deterministic: generator
+    candidates are tried in increasing order.
+    """
+    q = modulus.value
+    if (q - 1) % order != 0:
+        raise ParameterError(f"{order} does not divide q-1 for q={q}")
+    cofactor = (q - 1) // order
+    for candidate in range(2, q):
+        root = pow(candidate, cofactor, q)
+        # root has order dividing `order`; check it is exactly `order`
+        # by verifying root^(order/2) != 1 (order is a power of two here).
+        if pow(root, order // 2, q) != 1:
+            return root
+    raise ParameterError(f"no primitive root of order {order} mod {q}")
+
+
+class NttContext:
+    """Precomputed tables for the negacyclic NTT of length ``n`` mod ``q``.
+
+    Parameters
+    ----------
+    modulus:
+        Word-sized prime with ``q ≡ 1 (mod 2n)``.
+    n:
+        Transform length; a power of two.
+    """
+
+    def __init__(self, modulus: Modulus, n: int) -> None:
+        if n <= 0 or n & (n - 1):
+            raise ParameterError(f"n must be a power of two, got {n}")
+        q = modulus.value
+        if (q - 1) % (2 * n) != 0:
+            raise ParameterError(f"q={q} is not NTT-friendly for n={n} (need q=1 mod 2n)")
+        self.modulus = modulus
+        self.n = n
+        self._log_n = n.bit_length() - 1
+
+        psi = _find_primitive_root(modulus, 2 * n)
+        self.psi = psi
+        self.psi_inv = modulus.inv(psi)
+        self.n_inv = modulus.inv(n)
+
+        # Powers of psi in bit-reversed order (forward), and of psi^-1
+        # (inverse), per the classic Longa-Naehrig layout.
+        powers = np.empty(n, dtype=np.int64)
+        inv_powers = np.empty(n, dtype=np.int64)
+        acc = 1
+        acc_inv = 1
+        plain = np.empty(n, dtype=np.int64)
+        plain_inv = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            plain[i] = acc
+            plain_inv[i] = acc_inv
+            acc = (acc * psi) % q
+            acc_inv = (acc_inv * self.psi_inv) % q
+        for i in range(n):
+            j = bit_reverse(i, self._log_n)
+            powers[i] = plain[j]
+            inv_powers[i] = plain_inv[j]
+        self._root_powers = powers
+        self._inv_root_powers = inv_powers
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Forward negacyclic NTT of an int64 residue vector.
+
+        Input is in standard (coefficient) order, output in bit-reversed
+        order; :meth:`inverse` consumes that layout, and pointwise products
+        commute with the permutation, so callers never need to reorder.
+        """
+        q = self.modulus.value
+        a = np.array(coeffs, dtype=np.int64)
+        if a.shape != (self.n,):
+            raise ParameterError(f"expected shape ({self.n},), got {a.shape}")
+        t = self.n
+        m = 1
+        while m < self.n:
+            t //= 2
+            for i in range(m):
+                w = int(self._root_powers[m + i])
+                j1 = 2 * i * t
+                lo = a[j1 : j1 + t]
+                hi = a[j1 + t : j1 + 2 * t]
+                prod = (hi * w) % q
+                hi_new = (lo - prod) % q
+                lo_new = (lo + prod) % q
+                a[j1 : j1 + t] = lo_new
+                a[j1 + t : j1 + 2 * t] = hi_new
+            m *= 2
+        return a
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Inverse negacyclic NTT; returns coefficients in standard order."""
+        q = self.modulus.value
+        a = np.array(values, dtype=np.int64)
+        if a.shape != (self.n,):
+            raise ParameterError(f"expected shape ({self.n},), got {a.shape}")
+        t = 1
+        m = self.n
+        while m > 1:
+            j1 = 0
+            h = m // 2
+            for i in range(h):
+                w = int(self._inv_root_powers[h + i])
+                lo = a[j1 : j1 + t]
+                hi = a[j1 + t : j1 + 2 * t]
+                lo_new = (lo + hi) % q
+                hi_new = ((lo - hi) * w) % q
+                a[j1 : j1 + t] = lo_new
+                a[j1 + t : j1 + 2 * t] = hi_new
+                j1 += 2 * t
+            t *= 2
+            m = h
+        a = (a * self.n_inv) % q
+        return a
+
+    def multiply(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """Negacyclic product of two coefficient vectors mod ``q``."""
+        fa = self.forward(lhs)
+        fb = self.forward(rhs)
+        return self.inverse((fa * fb) % self.modulus.value)
+
+    def __repr__(self) -> str:
+        return f"NttContext(q={self.modulus.value}, n={self.n})"

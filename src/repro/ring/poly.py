@@ -1,0 +1,165 @@
+"""Ring polynomial container over an RNS basis.
+
+A :class:`RingPoly` stores one element of ``R_q = Z_q[x]/(x^n + 1)`` as a
+``(k, n)`` ``int64`` matrix of residues (one row per RNS limb), exactly
+like SEAL's strided ``poly`` buffers (``poly[i + j * coeff_count]``).
+Arithmetic is vectorised; multiplication goes through per-limb negacyclic
+NTTs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.ring.ntt import NttContext
+from repro.ring.rns import RnsBasis
+
+
+class RingPoly:
+    """An element of ``R_q`` in RNS (limb-wise) representation.
+
+    Instances are immutable by convention: arithmetic returns new objects.
+    """
+
+    def __init__(self, basis: RnsBasis, n: int, residues: np.ndarray) -> None:
+        residues = np.asarray(residues, dtype=np.int64)
+        if residues.shape != (basis.size, n):
+            raise ParameterError(
+                f"residue matrix must be ({basis.size}, {n}), got {residues.shape}"
+            )
+        self.basis = basis
+        self.n = n
+        self.residues = residues
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, basis: RnsBasis, n: int) -> "RingPoly":
+        """The zero polynomial."""
+        return cls(basis, n, np.zeros((basis.size, n), dtype=np.int64))
+
+    @classmethod
+    def from_int_coeffs(
+        cls, basis: RnsBasis, n: int, coeffs: Sequence[int]
+    ) -> "RingPoly":
+        """Build from signed integer coefficients (reduced per limb).
+
+        This is how small polynomials (secrets, errors, plaintexts) enter
+        the ring: a coefficient ``c < 0`` becomes ``q_i - |c|`` in limb i,
+        matching lines 20-23 of the paper's Fig. 2.
+        """
+        coeffs = list(coeffs)
+        if len(coeffs) != n:
+            raise ParameterError(f"expected {n} coefficients, got {len(coeffs)}")
+        rows = []
+        for m in basis.moduli:
+            rows.append([c % m.value for c in coeffs])
+        return cls(basis, n, np.array(rows, dtype=np.int64))
+
+    @classmethod
+    def from_bigint_coeffs(
+        cls, basis: RnsBasis, n: int, coeffs: Sequence[int]
+    ) -> "RingPoly":
+        """Build from arbitrary-precision coefficients modulo the product."""
+        return cls(basis, n, basis.decompose_array(list(coeffs)))
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_bigint_coeffs(self) -> List[int]:
+        """CRT-compose into big-integer coefficients in ``[0, Q)``."""
+        return self.basis.compose_array(self.residues)
+
+    def to_centered_coeffs(self) -> List[int]:
+        """CRT-compose into centered coefficients in ``(-Q/2, Q/2]``."""
+        return [self.basis.centered(c) for c in self.to_bigint_coeffs()]
+
+    def copy(self) -> "RingPoly":
+        """Deep copy."""
+        return RingPoly(self.basis, self.n, self.residues.copy())
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "RingPoly") -> None:
+        if self.basis is not other.basis and [m.value for m in self.basis.moduli] != [
+            m.value for m in other.basis.moduli
+        ]:
+            raise ParameterError("polynomials live in different rings")
+        if self.n != other.n:
+            raise ParameterError("polynomials have different degrees")
+
+    def __add__(self, other: "RingPoly") -> "RingPoly":
+        self._check_compatible(other)
+        out = np.empty_like(self.residues)
+        for i, m in enumerate(self.basis.moduli):
+            out[i] = (self.residues[i] + other.residues[i]) % m.value
+        return RingPoly(self.basis, self.n, out)
+
+    def __sub__(self, other: "RingPoly") -> "RingPoly":
+        self._check_compatible(other)
+        out = np.empty_like(self.residues)
+        for i, m in enumerate(self.basis.moduli):
+            out[i] = (self.residues[i] - other.residues[i]) % m.value
+        return RingPoly(self.basis, self.n, out)
+
+    def __neg__(self) -> "RingPoly":
+        out = np.empty_like(self.residues)
+        for i, m in enumerate(self.basis.moduli):
+            out[i] = (-self.residues[i]) % m.value
+        return RingPoly(self.basis, self.n, out)
+
+    def multiply(self, other: "RingPoly", ntts: Sequence[NttContext]) -> "RingPoly":
+        """Negacyclic product using per-limb NTT contexts."""
+        self._check_compatible(other)
+        if len(ntts) != self.basis.size:
+            raise ParameterError("need one NTT context per limb")
+        out = np.empty_like(self.residues)
+        for i, ntt in enumerate(ntts):
+            out[i] = ntt.multiply(self.residues[i], other.residues[i])
+        return RingPoly(self.basis, self.n, out)
+
+    def scalar_mul(self, scalar: int) -> "RingPoly":
+        """Multiply every coefficient by an integer scalar."""
+        out = np.empty_like(self.residues)
+        for i, m in enumerate(self.basis.moduli):
+            out[i] = (self.residues[i] * (scalar % m.value)) % m.value
+        return RingPoly(self.basis, self.n, out)
+
+    def scalar_mul_bigint(self, scalar: int) -> "RingPoly":
+        """Multiply by an arbitrary-precision scalar (reduced per limb)."""
+        return self.scalar_mul_per_limb([scalar % m.value for m in self.basis.moduli])
+
+    def scalar_mul_per_limb(self, scalars: Iterable[int]) -> "RingPoly":
+        """Multiply limb ``i`` by ``scalars[i]`` (already reduced)."""
+        out = np.empty_like(self.residues)
+        for i, (m, s) in enumerate(zip(self.basis.moduli, scalars)):
+            out[i] = (self.residues[i] * (int(s) % m.value)) % m.value
+        return RingPoly(self.basis, self.n, out)
+
+    # ------------------------------------------------------------------
+    # Comparisons / misc
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RingPoly):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and [m.value for m in self.basis.moduli]
+            == [m.value for m in other.basis.moduli]
+            and bool(np.array_equal(self.residues, other.residues))
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - polys are not dict keys
+        raise TypeError("RingPoly is not hashable")
+
+    def is_zero(self) -> bool:
+        """True when every residue is zero."""
+        return not self.residues.any()
+
+    def __repr__(self) -> str:
+        return f"RingPoly(n={self.n}, limbs={self.basis.size})"

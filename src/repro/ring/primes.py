@@ -1,0 +1,130 @@
+"""Primality testing and NTT-friendly prime generation.
+
+The negacyclic NTT over ``Z_q[x]/(x^n + 1)`` needs a primitive 2n-th
+root of unity modulo q, which exists exactly when ``q ≡ 1 (mod 2n)``.
+SEAL ships hard-coded default coefficient-modulus chains per polynomial
+degree; we pin the paper's exact n=1024 modulus (q = 132120577, the
+smallest SEAL-128 parameter set attacked in Table III) and generate
+NTT-friendly word-sized primes for the larger degrees.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ParameterError
+from repro.ring.modulus import MODULUS_BOUND, Modulus
+
+#: Deterministic Miller-Rabin witnesses, sufficient for all n < 3.3e24.
+_MILLER_RABIN_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+#: Total coefficient-modulus bit counts of SEAL's 128-bit security tables
+#: (SEAL v3.2 ``coeff_modulus_128``), per polynomial degree.
+SEAL_128_TOTAL_BITS = {
+    1024: 27,
+    2048: 54,
+    4096: 109,
+    8192: 218,
+    16384: 438,
+    32768: 881,
+}
+
+#: The exact modulus used by the paper for the smallest SEAL-128 set.
+PAPER_Q_1024 = 132120577
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin primality test for 64-bit integers.
+
+    >>> is_prime(132120577)
+    True
+    >>> is_prime(1)
+    False
+    """
+    if n < 2:
+        return False
+    small_primes = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+    for p in small_primes:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MILLER_RABIN_WITNESSES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_ntt_primes(bit_size: int, count: int, poly_degree: int) -> List[Modulus]:
+    """Generate ``count`` distinct primes of ``bit_size`` bits, ``≡ 1 mod 2n``.
+
+    Primes are searched downward from ``2**bit_size`` so results are
+    deterministic.  Raises :class:`ParameterError` when the request cannot
+    be satisfied within the word-size bound.
+    """
+    if bit_size < 2 or (1 << bit_size) > MODULUS_BOUND:
+        raise ParameterError(f"bit_size must be in [2, 31], got {bit_size}")
+    if poly_degree <= 0 or poly_degree & (poly_degree - 1):
+        raise ParameterError(f"poly_degree must be a power of two, got {poly_degree}")
+    step = 2 * poly_degree
+    # Largest candidate of the requested size that is 1 mod 2n.
+    candidate = ((1 << bit_size) - 1) // step * step + 1
+    found: List[Modulus] = []
+    while len(found) < count and candidate > (1 << (bit_size - 1)):
+        if is_prime(candidate):
+            found.append(Modulus(candidate))
+        candidate -= step
+    if len(found) < count:
+        raise ParameterError(
+            f"could not find {count} NTT primes of {bit_size} bits for n={poly_degree}"
+        )
+    return found
+
+
+def _partition_bits(total_bits: int) -> List[int]:
+    """Split a total modulus bit budget into word-sized limb bit counts.
+
+    Limbs are kept between 20 and 30 bits; the split is deterministic and
+    sums exactly to ``total_bits``.
+    """
+    if total_bits <= 30:
+        return [total_bits]
+    count = (total_bits + 29) // 30
+    base = total_bits // count
+    extra = total_bits - base * count
+    return [base + 1] * extra + [base] * (count - extra)
+
+
+def default_coeff_modulus_128(poly_degree: int) -> List[Modulus]:
+    """Return the default 128-bit-security coefficient modulus chain.
+
+    For n=1024 this is exactly the paper's ``q = 132120577``.  For larger
+    degrees, NTT-friendly word-sized primes are generated so that the total
+    bit count matches SEAL v3.2's ``coeff_modulus_128`` table, preserving
+    the security-vs-noise budget trade-off of the original library.
+    """
+    if poly_degree not in SEAL_128_TOTAL_BITS:
+        raise ParameterError(
+            f"no default 128-bit parameters for n={poly_degree}; "
+            f"supported: {sorted(SEAL_128_TOTAL_BITS)}"
+        )
+    if poly_degree == 1024:
+        return [Modulus(PAPER_Q_1024)]
+    limbs: List[Modulus] = []
+    bits = _partition_bits(SEAL_128_TOTAL_BITS[poly_degree])
+    for bit_size in sorted(set(bits)):
+        needed = bits.count(bit_size)
+        limbs.extend(generate_ntt_primes(bit_size, needed, poly_degree))
+    return limbs

@@ -1,0 +1,94 @@
+"""Residue number system (RNS) over a chain of word-sized primes.
+
+BFV's ciphertext modulus ``q = q_1 * ... * q_k`` is represented limb-wise;
+this module provides exact CRT composition back to Python integers, which
+the decryptor needs for the ``round(t/q * .)`` scaling step, and
+decomposition of big integers into limbs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.ring.modulus import Modulus
+
+
+class RnsBasis:
+    """A CRT basis ``(q_1, ..., q_k)`` of pairwise-distinct primes."""
+
+    def __init__(self, moduli: Sequence[Modulus]) -> None:
+        if not moduli:
+            raise ParameterError("RNS basis needs at least one modulus")
+        values = [m.value for m in moduli]
+        if len(set(values)) != len(values):
+            raise ParameterError("RNS basis moduli must be distinct")
+        self.moduli: List[Modulus] = list(moduli)
+        self.product: int = 1
+        for value in values:
+            self.product *= value
+        # Punctured products Q/q_i and their inverses mod q_i, for CRT.
+        self._punctured = [self.product // m.value for m in self.moduli]
+        self._punctured_inv = [
+            m.inv(punc % m.value) for m, punc in zip(self.moduli, self._punctured)
+        ]
+
+    @property
+    def size(self) -> int:
+        """Number of limbs in the basis."""
+        return len(self.moduli)
+
+    @property
+    def total_bits(self) -> int:
+        """Bit length of the full modulus product."""
+        return self.product.bit_length()
+
+    def decompose_int(self, value: int) -> List[int]:
+        """Residues of a (possibly negative) integer in each limb."""
+        return [value % m.value for m in self.moduli]
+
+    def decompose_array(self, values: Sequence[int]) -> np.ndarray:
+        """Decompose an iterable of big integers into a ``(k, n)`` array."""
+        values = list(values)
+        out = np.empty((self.size, len(values)), dtype=np.int64)
+        for i, m in enumerate(self.moduli):
+            out[i] = [v % m.value for v in values]
+        return out
+
+    def compose_int(self, residues: Sequence[int]) -> int:
+        """Exact CRT composition of one residue tuple into ``[0, Q)``."""
+        if len(residues) != self.size:
+            raise ParameterError(
+                f"expected {self.size} residues, got {len(residues)}"
+            )
+        acc = 0
+        for res, m, punc, punc_inv in zip(
+            residues, self.moduli, self._punctured, self._punctured_inv
+        ):
+            acc += punc * ((int(res) * punc_inv) % m.value)
+        return acc % self.product
+
+    def compose_array(self, residues: np.ndarray) -> List[int]:
+        """CRT-compose a ``(k, n)`` residue matrix into n big integers."""
+        residues = np.asarray(residues)
+        if residues.shape[0] != self.size:
+            raise ParameterError(
+                f"expected {self.size} limbs, got shape {residues.shape}"
+            )
+        n = residues.shape[1]
+        out: List[int] = []
+        for j in range(n):
+            out.append(self.compose_int([int(residues[i, j]) for i in range(self.size)]))
+        return out
+
+    def centered(self, value: int) -> int:
+        """Centered representative of a residue of the full product."""
+        value %= self.product
+        if value > self.product // 2:
+            value -= self.product
+        return value
+
+    def __repr__(self) -> str:
+        return f"RnsBasis({[m.value for m in self.moduli]})"

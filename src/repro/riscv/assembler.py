@@ -1,0 +1,298 @@
+"""Two-pass RV32IM assembler.
+
+Supports labels, decimal/hex immediates, ``%lo``-free ``li`` expansion,
+the common pseudo-instructions, and ``.word`` data directives.  This is
+enough to express the Gaussian-sampling kernel of
+:mod:`repro.riscv.programs` the way a C compiler would have lowered
+SEAL's inner loop.
+
+Syntax::
+
+    loop:
+        addi  t0, t0, -1      # comment
+        bnez  t0, loop
+        li    a0, 0x12345678  # expands to lui+addi when needed
+        lw    a1, 8(sp)
+        .word 0xdeadbeef
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.errors import AssemblyError
+from repro.riscv.isa import encode, register_number
+
+_MASK32 = 0xFFFFFFFF
+
+# Pseudo-instructions that expand to exactly one real instruction.
+# Each entry maps mnemonic -> (real mnemonic, argument template).
+_SIMPLE_PSEUDO = {
+    "nop": ("addi", ["zero", "zero", "0"]),
+    "ret": ("jalr", ["zero", "ra", "0"]),
+}
+
+
+def _parse_int(token: str) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"expected integer, got {token!r}") from None
+
+
+def _split_operands(rest: str) -> List[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+_MEM_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+class _Line:
+    """One source line after pass 1: mnemonic, operands, address."""
+
+    def __init__(self, mnemonic: str, operands: List[str], address: int, source: str):
+        self.mnemonic = mnemonic
+        self.operands = operands
+        self.address = address
+        self.source = source
+
+
+def _expansion_size(mnemonic: str, operands: List[str]) -> int:
+    """How many words a (pseudo-)instruction occupies."""
+    if mnemonic == "li":
+        if len(operands) != 2:
+            raise AssemblyError(f"li expects 2 operands, got {operands}")
+        value = _parse_int(operands[1]) & _MASK32
+        signed = value - (1 << 32) if value & 0x80000000 else value
+        if -2048 <= signed <= 2047:
+            return 1
+        return 1 if (value & 0xFFF) == 0 else 2
+    if mnemonic == "call":
+        return 1  # jal ra, label
+    return 1
+
+
+class Program:
+    """Assembled machine code plus its symbol table."""
+
+    def __init__(self, words: List[int], symbols: Dict[str, int], listing: List[str]):
+        self.words = words
+        self.symbols = symbols
+        self.listing = listing
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+
+def assemble(source: str, base_address: int = 0) -> Program:
+    """Assemble RV32IM source into a :class:`Program`.
+
+    Raises :class:`AssemblyError` with the offending line on any syntax
+    problem, undefined label or out-of-range immediate.
+    """
+    symbols: Dict[str, int] = {}
+    lines: List[_Line] = []
+    address = base_address
+
+    # ---------------- pass 1: addresses and labels ----------------
+    for raw in source.splitlines():
+        text = raw.split("#", 1)[0].strip()
+        if not text:
+            continue
+        while True:
+            match = re.match(r"^([A-Za-z_]\w*):\s*(.*)$", text)
+            if not match:
+                break
+            label = match.group(1)
+            if label in symbols:
+                raise AssemblyError(f"duplicate label {label!r}")
+            symbols[label] = address
+            text = match.group(2).strip()
+        if not text:
+            continue
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        if mnemonic == ".word":
+            size = len(operands)
+        else:
+            size = _expansion_size(mnemonic, operands)
+        lines.append(_Line(mnemonic, operands, address, raw.strip()))
+        address += 4 * size
+
+    # ---------------- pass 2: encoding ----------------
+    words: List[int] = []
+    listing: List[str] = []
+
+    def resolve(token: str, pc: int, pc_relative: bool) -> int:
+        token = token.strip()
+        if token in symbols:
+            return symbols[token] - pc if pc_relative else symbols[token]
+        return _parse_int(token)
+
+    for line in lines:
+        try:
+            encoded = _encode_line(line, symbols, resolve)
+        except AssemblyError as exc:
+            raise AssemblyError(f"{exc} (in: {line.source!r})") from None
+        for word in encoded:
+            listing.append(f"{line.address + 4 * (len(listing) - len(words)):#06x}: {line.source}")
+            words.append(word)
+
+    return Program(words, symbols, listing)
+
+
+def _encode_line(line: _Line, symbols: Dict[str, int], resolve) -> List[int]:
+    m = line.mnemonic
+    ops = line.operands
+    pc = line.address
+
+    if m == ".word":
+        return [_parse_int(tok) & _MASK32 for tok in ops]
+
+    if m in _SIMPLE_PSEUDO:
+        real, template = _SIMPLE_PSEUDO[m]
+        return _encode_line(_Line(real, list(template), pc, line.source), symbols, resolve)
+
+    # --- pseudo-instructions ---
+    if m == "li":
+        rd = register_number(ops[0])
+        value = _parse_int(ops[1]) & _MASK32
+        signed = value - (1 << 32) if value & 0x80000000 else value
+        if -2048 <= signed <= 2047:
+            return [encode("addi", rd=rd, rs1=0, imm=signed)]
+        upper = (value + 0x800) >> 12
+        lower = value - ((upper << 12) & _MASK32)
+        lower = ((lower + (1 << 31)) & _MASK32) - (1 << 31)
+        if (value & 0xFFF) == 0:
+            return [encode("lui", rd=rd, imm=(value >> 12) & 0xFFFFF)]
+        return [
+            encode("lui", rd=rd, imm=upper & 0xFFFFF),
+            encode("addi", rd=rd, rs1=rd, imm=lower),
+        ]
+    if m == "mv":
+        return [encode("addi", rd=register_number(ops[0]), rs1=register_number(ops[1]), imm=0)]
+    if m == "not":
+        return [encode("xori", rd=register_number(ops[0]), rs1=register_number(ops[1]), imm=-1)]
+    if m == "neg":
+        return [encode("sub", rd=register_number(ops[0]), rs1=0, rs2=register_number(ops[1]))]
+    if m == "seqz":
+        return [encode("sltiu", rd=register_number(ops[0]), rs1=register_number(ops[1]), imm=1)]
+    if m == "snez":
+        return [encode("sltu", rd=register_number(ops[0]), rs1=0, rs2=register_number(ops[1]))]
+    if m == "j":
+        return [encode("jal", rd=0, imm=resolve(ops[0], pc, True))]
+    if m == "call":
+        return [encode("jal", rd=1, imm=resolve(ops[0], pc, True))]
+    if m == "jr":
+        return [encode("jalr", rd=0, rs1=register_number(ops[0]), imm=0)]
+    if m in ("beqz", "bnez", "bltz", "bgez", "bgtz", "blez"):
+        rs = register_number(ops[0])
+        offset = resolve(ops[1], pc, True)
+        table = {
+            "beqz": ("beq", rs, 0),
+            "bnez": ("bne", rs, 0),
+            "bltz": ("blt", rs, 0),
+            "bgez": ("bge", rs, 0),
+            "bgtz": ("blt", 0, rs),
+            "blez": ("bge", 0, rs),
+        }
+        real, rs1, rs2 = table[m]
+        return [encode(real, rs1=rs1, rs2=rs2, imm=offset)]
+    if m in ("bgt", "ble", "bgtu", "bleu"):
+        rs1 = register_number(ops[0])
+        rs2 = register_number(ops[1])
+        offset = resolve(ops[2], pc, True)
+        real = {"bgt": "blt", "ble": "bge", "bgtu": "bltu", "bleu": "bgeu"}[m]
+        return [encode(real, rs1=rs2, rs2=rs1, imm=offset)]
+
+    # --- real instructions ---
+    if m in ("lui", "auipc"):
+        return [encode(m, rd=register_number(ops[0]), imm=_parse_int(ops[1]) & 0xFFFFF)]
+    if m == "jal":
+        if len(ops) == 1:
+            return [encode(m, rd=1, imm=resolve(ops[0], pc, True))]
+        return [encode(m, rd=register_number(ops[0]), imm=resolve(ops[1], pc, True))]
+    if m == "jalr":
+        if len(ops) == 3:
+            return [
+                encode(
+                    m,
+                    rd=register_number(ops[0]),
+                    rs1=register_number(ops[1]),
+                    imm=_parse_int(ops[2]),
+                )
+            ]
+        mem = _MEM_RE.match(ops[1])
+        if mem:
+            return [
+                encode(
+                    m,
+                    rd=register_number(ops[0]),
+                    rs1=register_number(mem.group(2)),
+                    imm=_parse_int(mem.group(1)),
+                )
+            ]
+        return [encode(m, rd=register_number(ops[0]), rs1=register_number(ops[1]), imm=0)]
+    if m in ("lb", "lh", "lw", "lbu", "lhu"):
+        mem = _MEM_RE.match(ops[1])
+        if not mem:
+            raise AssemblyError(f"{m}: expected offset(base), got {ops[1]!r}")
+        return [
+            encode(
+                m,
+                rd=register_number(ops[0]),
+                rs1=register_number(mem.group(2)),
+                imm=_parse_int(mem.group(1)),
+            )
+        ]
+    if m in ("sb", "sh", "sw"):
+        mem = _MEM_RE.match(ops[1])
+        if not mem:
+            raise AssemblyError(f"{m}: expected offset(base), got {ops[1]!r}")
+        return [
+            encode(
+                m,
+                rs2=register_number(ops[0]),
+                rs1=register_number(mem.group(2)),
+                imm=_parse_int(mem.group(1)),
+            )
+        ]
+    if m in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+        return [
+            encode(
+                m,
+                rs1=register_number(ops[0]),
+                rs2=register_number(ops[1]),
+                imm=resolve(ops[2], pc, True),
+            )
+        ]
+    if m in ("addi", "slti", "sltiu", "xori", "ori", "andi", "slli", "srli", "srai"):
+        return [
+            encode(
+                m,
+                rd=register_number(ops[0]),
+                rs1=register_number(ops[1]),
+                imm=_parse_int(ops[2]),
+            )
+        ]
+    if m in (
+        "add sub sll slt sltu xor srl sra or and "
+        "mul mulh mulhsu mulhu div divu rem remu"
+    ).split():
+        return [
+            encode(
+                m,
+                rd=register_number(ops[0]),
+                rs1=register_number(ops[1]),
+                rs2=register_number(ops[2]),
+            )
+        ]
+    if m in ("ebreak", "ecall"):
+        return [encode(m)]
+    raise AssemblyError(f"unknown mnemonic {m!r}")

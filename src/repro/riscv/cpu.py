@@ -1,0 +1,296 @@
+"""The RV32IM interpreter with execution-event recording.
+
+The core executes pre-decoded instructions and, when
+``record_events=True``, appends one :class:`ExecutionEvent` per retired
+instruction.  Events carry everything the CMOS power model needs:
+the fetched instruction word, both operand values, the result, the
+overwritten destination value (for Hamming-distance leakage) and the
+memory address/data where applicable.  The expansion of events into
+per-cycle power samples lives in :mod:`repro.power.leakage`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional
+
+from repro.errors import SimulationError
+from repro.riscv import cycles as cy
+from repro.riscv.isa import Decoded, decode
+from repro.riscv.memory import Memory
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+class ExecutionEvent(NamedTuple):
+    """Everything observable about one retired instruction."""
+
+    op_class: int  # cy.OP_* constant
+    word: int  # the fetched instruction encoding
+    rs1_value: int
+    rs2_value: int
+    result: int  # rd value written / store data / branch target
+    old_rd: int  # destination register's previous content
+    address: int  # memory address for loads/stores, else 0
+    pc: int
+
+
+class Cpu:
+    """A PicoRV32-like RV32IM core.
+
+    Parameters
+    ----------
+    memory:
+        The attached RAM; defaults to 1 MiB.
+    record_events:
+        When True, :attr:`events` collects one entry per instruction;
+        turn this off for functional-only runs (it is the dominant cost).
+    """
+
+    def __init__(
+        self, memory: Optional[Memory] = None, record_events: bool = True
+    ) -> None:
+        self.memory = memory if memory is not None else Memory()
+        self.registers: List[int] = [0] * 32
+        self.pc = 0
+        self.cycle_count = 0
+        self.instruction_count = 0
+        self.halted = False
+        self.record_events = record_events
+        self.events: List[ExecutionEvent] = []
+        self._decoded_cache: Dict[int, Decoded] = {}
+
+    # ------------------------------------------------------------------
+    def load_program(self, words: List[int], base_address: int = 0) -> None:
+        """Write a program into memory, reset state, and point pc at it."""
+        self.memory.load_program(words, base_address)
+        self.registers = [0] * 32
+        self.pc = base_address
+        self.cycle_count = 0
+        self.instruction_count = 0
+        self.halted = False
+        self.events = []
+        self._decoded_cache = {}
+
+    def write_register(self, index: int, value: int) -> None:
+        """Set a register (used to pass arguments into kernels)."""
+        if index != 0:
+            self.registers[index] = value & _MASK32
+
+    def read_register(self, index: int) -> int:
+        """Read a register value (unsigned 32-bit)."""
+        return self.registers[index]
+
+    # ------------------------------------------------------------------
+    def run(self, max_instructions: int = 10_000_000) -> int:
+        """Execute until ``ebreak`` or the instruction budget runs out.
+
+        Returns the number of instructions retired.  Raises
+        :class:`SimulationError` if the budget is exhausted (runaway
+        program) or an illegal instruction is hit.
+        """
+        executed = 0
+        while not self.halted:
+            if executed >= max_instructions:
+                raise SimulationError(
+                    f"instruction budget {max_instructions} exhausted at pc={self.pc:#x}"
+                )
+            self.step()
+            executed += 1
+        return executed
+
+    def step(self) -> None:
+        """Fetch, decode and execute a single instruction."""
+        pc = self.pc
+        word = self.memory.load_word(pc)
+        ins = self._decoded_cache.get(pc)
+        if ins is None or ins.word != word:
+            ins = decode(word)
+            self._decoded_cache[pc] = ins
+        regs = self.registers
+        m = ins.mnemonic
+        rs1 = regs[ins.rs1]
+        rs2 = regs[ins.rs2]
+        rd = ins.rd
+        imm = ins.imm
+        next_pc = pc + 4
+        op_class = cy.OP_ALU
+        result = 0
+        old_rd = regs[rd]
+        address = 0
+
+        if m == "addi":
+            result = (rs1 + imm) & _MASK32
+        elif m == "add":
+            result = (rs1 + rs2) & _MASK32
+        elif m == "sub":
+            result = (rs1 - rs2) & _MASK32
+        elif m == "lw":
+            address = (rs1 + imm) & _MASK32
+            result = self.memory.load_word(address)
+            op_class = cy.OP_LOAD
+        elif m == "sw":
+            address = (rs1 + imm) & _MASK32
+            self.memory.store_word(address, rs2)
+            result = rs2
+            op_class = cy.OP_STORE
+            rd = 0
+        elif m in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            taken = self._branch_taken(m, rs1, rs2)
+            if taken:
+                next_pc = (pc + imm) & _MASK32
+                op_class = cy.OP_BRANCH_TAKEN
+            else:
+                op_class = cy.OP_BRANCH_NOT_TAKEN
+            result = next_pc
+            rd = 0
+        elif m == "andi":
+            result = rs1 & (imm & _MASK32)
+        elif m == "ori":
+            result = rs1 | (imm & _MASK32)
+        elif m == "xori":
+            result = rs1 ^ (imm & _MASK32)
+        elif m == "slli":
+            result = (rs1 << imm) & _MASK32
+        elif m == "srli":
+            result = rs1 >> imm
+        elif m == "srai":
+            result = (_signed(rs1) >> imm) & _MASK32
+        elif m == "slti":
+            result = 1 if _signed(rs1) < imm else 0
+        elif m == "sltiu":
+            result = 1 if rs1 < (imm & _MASK32) else 0
+        elif m == "and":
+            result = rs1 & rs2
+        elif m == "or":
+            result = rs1 | rs2
+        elif m == "xor":
+            result = rs1 ^ rs2
+        elif m == "sll":
+            result = (rs1 << (rs2 & 31)) & _MASK32
+        elif m == "srl":
+            result = rs1 >> (rs2 & 31)
+        elif m == "sra":
+            result = (_signed(rs1) >> (rs2 & 31)) & _MASK32
+        elif m == "slt":
+            result = 1 if _signed(rs1) < _signed(rs2) else 0
+        elif m == "sltu":
+            result = 1 if rs1 < rs2 else 0
+        elif m == "mul":
+            result = (_signed(rs1) * _signed(rs2)) & _MASK32
+            op_class = cy.OP_MUL
+        elif m == "mulh":
+            result = ((_signed(rs1) * _signed(rs2)) >> 32) & _MASK32
+            op_class = cy.OP_MUL
+        elif m == "mulhsu":
+            result = ((_signed(rs1) * rs2) >> 32) & _MASK32
+            op_class = cy.OP_MUL
+        elif m == "mulhu":
+            result = ((rs1 * rs2) >> 32) & _MASK32
+            op_class = cy.OP_MUL
+        elif m == "div":
+            op_class = cy.OP_DIV
+            a, b = _signed(rs1), _signed(rs2)
+            if b == 0:
+                result = _MASK32
+            elif a == -(1 << 31) and b == -1:
+                result = a & _MASK32
+            else:
+                result = int(abs(a) // abs(b))
+                if (a < 0) != (b < 0):
+                    result = -result
+                result &= _MASK32
+        elif m == "divu":
+            op_class = cy.OP_DIV
+            result = _MASK32 if rs2 == 0 else (rs1 // rs2) & _MASK32
+        elif m == "rem":
+            op_class = cy.OP_DIV
+            a, b = _signed(rs1), _signed(rs2)
+            if b == 0:
+                result = rs1
+            elif a == -(1 << 31) and b == -1:
+                result = 0
+            else:
+                result = abs(a) % abs(b)
+                if a < 0:
+                    result = -result
+                result &= _MASK32
+        elif m == "remu":
+            op_class = cy.OP_DIV
+            result = rs1 if rs2 == 0 else (rs1 % rs2) & _MASK32
+        elif m == "lui":
+            result = (imm << 12) & _MASK32
+        elif m == "auipc":
+            result = (pc + (imm << 12)) & _MASK32
+        elif m == "jal":
+            result = next_pc
+            next_pc = (pc + imm) & _MASK32
+            op_class = cy.OP_JUMP
+        elif m == "jalr":
+            result = next_pc
+            next_pc = (rs1 + imm) & _MASK32 & ~1
+            op_class = cy.OP_JUMP
+        elif m == "lb":
+            address = (rs1 + imm) & _MASK32
+            byte = self.memory.load_byte(address)
+            result = (byte - 256 if byte & 0x80 else byte) & _MASK32
+            op_class = cy.OP_LOAD
+        elif m == "lbu":
+            address = (rs1 + imm) & _MASK32
+            result = self.memory.load_byte(address)
+            op_class = cy.OP_LOAD
+        elif m == "lh":
+            address = (rs1 + imm) & _MASK32
+            half = self.memory.load_half(address)
+            result = (half - 65536 if half & 0x8000 else half) & _MASK32
+            op_class = cy.OP_LOAD
+        elif m == "lhu":
+            address = (rs1 + imm) & _MASK32
+            result = self.memory.load_half(address)
+            op_class = cy.OP_LOAD
+        elif m == "sh":
+            address = (rs1 + imm) & _MASK32
+            self.memory.store_half(address, rs2)
+            result = rs2 & 0xFFFF
+            op_class = cy.OP_STORE
+            rd = 0
+        elif m == "sb":
+            address = (rs1 + imm) & _MASK32
+            self.memory.store_byte(address, rs2)
+            result = rs2 & 0xFF
+            op_class = cy.OP_STORE
+            rd = 0
+        elif m == "ebreak" or m == "ecall":
+            self.halted = True
+            op_class = cy.OP_SYSTEM
+            rd = 0
+        else:  # pragma: no cover - decode() rejects unknown mnemonics
+            raise SimulationError(f"unhandled mnemonic {m}")
+
+        if rd != 0:
+            regs[rd] = result
+        self.pc = next_pc
+        self.cycle_count += cy.CYCLES[op_class]
+        self.instruction_count += 1
+        if self.record_events:
+            self.events.append(
+                ExecutionEvent(op_class, word, rs1, rs2, result, old_rd, address, pc)
+            )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _branch_taken(mnemonic: str, rs1: int, rs2: int) -> bool:
+        if mnemonic == "beq":
+            return rs1 == rs2
+        if mnemonic == "bne":
+            return rs1 != rs2
+        if mnemonic == "blt":
+            return _signed(rs1) < _signed(rs2)
+        if mnemonic == "bge":
+            return _signed(rs1) >= _signed(rs2)
+        if mnemonic == "bltu":
+            return rs1 < rs2
+        return rs1 >= rs2  # bgeu

@@ -1,0 +1,46 @@
+"""PicoRV32-like cycle costs per instruction class.
+
+PicoRV32 is a non-pipelined multi-cycle core; these counts follow the
+orders of magnitude of its documentation (regular instructions a few
+cycles, memory accesses slightly more, and the sequential
+multiplier/divider of the ``PCPI_MUL``/``PCPI_DIV`` co-processors taking
+tens of cycles).  The *relative* costs are what matters for the attack:
+the long multiply/divide bursts are the "distinguishable and visible
+peaks" (Fig. 3a) the segmentation stage locks onto.
+"""
+
+#: Dispatch classes used by the CPU and the power model.
+OP_ALU = 0
+OP_MUL = 1
+OP_DIV = 2
+OP_LOAD = 3
+OP_STORE = 4
+OP_BRANCH_NOT_TAKEN = 5
+OP_BRANCH_TAKEN = 6
+OP_JUMP = 7
+OP_SYSTEM = 8
+
+#: Cycles spent per instruction class.
+CYCLES = {
+    OP_ALU: 3,
+    OP_MUL: 40,
+    OP_DIV: 40,
+    OP_LOAD: 5,
+    OP_STORE: 5,
+    OP_BRANCH_NOT_TAKEN: 3,
+    OP_BRANCH_TAKEN: 5,
+    OP_JUMP: 5,
+    OP_SYSTEM: 1,
+}
+
+CLASS_NAMES = {
+    OP_ALU: "alu",
+    OP_MUL: "mul",
+    OP_DIV: "div",
+    OP_LOAD: "load",
+    OP_STORE: "store",
+    OP_BRANCH_NOT_TAKEN: "branch",
+    OP_BRANCH_TAKEN: "branch-taken",
+    OP_JUMP: "jump",
+    OP_SYSTEM: "system",
+}

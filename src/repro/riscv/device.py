@@ -1,0 +1,115 @@
+"""The "device": a simulated PicoRV32 running the Gaussian sampler.
+
+``GaussianSamplerDevice`` is the reproduction's stand-in for the
+paper's SAKURA-G target.  One ``run`` is one execution of SEAL's
+``set_poly_coeffs_normal`` for ``count`` coefficients; it yields both
+the functional output (the sampled noise values / the RNS polynomial
+buffer) and the microarchitectural events that the power model turns
+into a trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.riscv.assembler import assemble
+from repro.riscv.cpu import Cpu, ExecutionEvent
+from repro.riscv.memory import Memory
+from repro.riscv.programs.gaussian import gaussian_sampler_source
+
+#: Fixed memory map: code | modulus table | output buffer.
+_CODE_BASE = 0x0000
+_MOD_TABLE = 0x4000
+_OUT_BASE = 0x5000
+
+
+@dataclass
+class DeviceRun:
+    """Result of one kernel execution."""
+
+    values: List[int]  # the signed sampled coefficients (ground truth)
+    residues: List[List[int]]  # output buffer content per limb
+    events: List[ExecutionEvent]
+    cycle_count: int
+    instruction_count: int
+
+
+class GaussianSamplerDevice:
+    """Executes the sampling kernel for a given modulus chain.
+
+    Parameters
+    ----------
+    moduli:
+        Values of the RNS coefficient moduli (``coeff_modulus`` in
+        Fig. 2).
+    max_deviation:
+        The clipping bound (41 for the paper's configuration).
+    """
+
+    def __init__(
+        self,
+        moduli: Sequence[int],
+        max_deviation: int = 41,
+        program_source: Optional[str] = None,
+    ) -> None:
+        if not moduli:
+            raise SimulationError("need at least one modulus")
+        self.moduli = [int(m) for m in moduli]
+        self.max_deviation = int(max_deviation)
+        source = program_source if program_source is not None else gaussian_sampler_source()
+        self.program = assemble(source, base_address=_CODE_BASE)
+        if 4 * len(self.program.words) > _MOD_TABLE:
+            raise SimulationError("kernel does not fit below the modulus table")
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        seed: int,
+        count: int,
+        record_events: bool = True,
+        max_instructions: Optional[int] = None,
+    ) -> DeviceRun:
+        """Sample ``count`` coefficients with PRNG seed ``seed``.
+
+        ``record_events=False`` skips event collection for functional-only
+        runs (about 2x faster).
+        """
+        if count < 1:
+            raise SimulationError("count must be >= 1")
+        k = len(self.moduli)
+        memory = Memory(size_bytes=_next_pow2(_OUT_BASE + 4 * k * count + 4096))
+        cpu = Cpu(memory, record_events=record_events)
+        cpu.load_program(self.program.words, _CODE_BASE)
+        for j, m in enumerate(self.moduli):
+            memory.store_word(_MOD_TABLE + 4 * j, m)
+        cpu.write_register(10, _OUT_BASE)  # a0
+        cpu.write_register(11, count)  # a1
+        cpu.write_register(12, k)  # a2
+        cpu.write_register(13, _MOD_TABLE)  # a3
+        cpu.write_register(14, seed & 0xFFFFFFFF)  # a4
+        cpu.write_register(15, self.max_deviation)  # a5
+        budget = max_instructions if max_instructions else 4000 * count + 10_000
+        cpu.run(max_instructions=budget)
+
+        residues = [
+            memory.read_words(_OUT_BASE + 4 * j * count, count) for j in range(k)
+        ]
+        q0 = self.moduli[0]
+        values = [r - q0 if r > q0 // 2 else r for r in residues[0]]
+        return DeviceRun(
+            values=values,
+            residues=residues,
+            events=cpu.events,
+            cycle_count=cpu.cycle_count,
+            instruction_count=cpu.instruction_count,
+        )
+
+    def sample_one(self, seed: int, record_events: bool = True) -> DeviceRun:
+        """Sample a single coefficient (the profiling workload)."""
+        return self.run(seed, count=1, record_events=record_events)
+
+
+def _next_pow2(value: int) -> int:
+    return 1 << (value - 1).bit_length()

@@ -1,0 +1,54 @@
+"""RV32IM disassembler: decoded instructions back to assembly text.
+
+Round-trips with the assembler (useful when debugging kernel variants
+and when inspecting what the leakage model "sees" per fetch).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.riscv.isa import ABI_NAMES, Decoded, decode
+
+
+def _reg(index: int) -> str:
+    return ABI_NAMES[index]
+
+
+def format_instruction(ins: Decoded, address: int = 0) -> str:
+    """One instruction as assembler-compatible text.
+
+    Branch/jump targets are rendered as absolute-address comments since
+    labels are gone after encoding.
+    """
+    m = ins.mnemonic
+    if m in ("lui", "auipc"):
+        return f"{m} {_reg(ins.rd)}, {ins.imm:#x}"
+    if m == "jal":
+        return f"jal {_reg(ins.rd)}, {address + ins.imm:#x}"
+    if m == "jalr":
+        return f"jalr {_reg(ins.rd)}, {ins.imm}({_reg(ins.rs1)})"
+    if m in ("lb", "lh", "lw", "lbu", "lhu"):
+        return f"{m} {_reg(ins.rd)}, {ins.imm}({_reg(ins.rs1)})"
+    if m in ("sb", "sh", "sw"):
+        return f"{m} {_reg(ins.rs2)}, {ins.imm}({_reg(ins.rs1)})"
+    if m in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+        return f"{m} {_reg(ins.rs1)}, {_reg(ins.rs2)}, {address + ins.imm:#x}"
+    if m in ("slli", "srli", "srai"):
+        return f"{m} {_reg(ins.rd)}, {_reg(ins.rs1)}, {ins.imm}"
+    if m in ("addi", "slti", "sltiu", "xori", "ori", "andi"):
+        return f"{m} {_reg(ins.rd)}, {_reg(ins.rs1)}, {ins.imm}"
+    if m in ("ebreak", "ecall"):
+        return m
+    # R-type
+    return f"{m} {_reg(ins.rd)}, {_reg(ins.rs1)}, {_reg(ins.rs2)}"
+
+
+def disassemble(words: List[int], base_address: int = 0) -> List[str]:
+    """Disassemble a word list into ``address: text`` lines."""
+    lines = []
+    for i, word in enumerate(words):
+        address = base_address + 4 * i
+        text = format_instruction(decode(word), address)
+        lines.append(f"{address:#06x}: {text}")
+    return lines

@@ -1,0 +1,9 @@
+"""RV32IM kernels executed by the simulated PicoRV32 core."""
+
+from repro.riscv.programs.gaussian import (
+    GOLDEN_SIGMA_Q16,
+    GoldenPolarSampler,
+    gaussian_sampler_source,
+)
+
+__all__ = ["GOLDEN_SIGMA_Q16", "GoldenPolarSampler", "gaussian_sampler_source"]

@@ -1,0 +1,347 @@
+"""The SEAL Gaussian-sampling kernel in RV32IM assembly.
+
+This is the device-side realisation of Fig. 2 of the paper: an outer
+loop over ``coeff_count`` coefficients, each iteration drawing one
+clipped Gaussian sample (the "distribution function call") and then
+assigning it through the *vulnerable* ``if noise > 0 / elif noise < 0 /
+else`` branch structure, including the ``noise = -noise`` negation and
+the ``coeff_modulus[j] - noise`` subtraction on the negative path.
+
+The continuous sampling of ``std::normal_distribution`` (libstdc++ uses
+the Marsaglia polar method, a *time-variant* rejection loop) is realised
+in 32-bit fixed point:
+
+1. draw ``u, v`` uniform in Q15 from a xorshift32 PRNG;
+2. ``s = u^2 + v^2`` (Q30); reject unless ``0 < s < 1``;
+3. ``G = sqrt(-2 ln(s) / s)`` via a binary log (12 squaring iterations)
+   and an integer Newton square root;
+4. ``z = u * G`` is a standard normal sample; ``noise = round(sigma*z)``;
+5. reject when ``|noise|`` exceeds the clipping bound (SEAL's
+   ``noise_max_deviation``) and resample.
+
+The rejection loops and the data-dependent normalisation make execution
+time-variant, exactly the property that forces the attack's trace
+segmentation stage (section III-C of the paper).
+
+``GoldenPolarSampler`` is a bit-exact Python model of the same integer
+pipeline; tests assert that the CPU and the model agree sample for
+sample, and that the output distribution matches the clipped rounded
+Gaussian.
+
+Register allocation::
+
+    a0 out base   a1 n      a2 k (limbs)   a3 modulus table
+    a4 seed       a5 max_deviation
+    s0 PRNG state s1 u      s2 mantissa    s3 frac bits
+    s4 p (msb)    s5 noise  s6 i           s7 L / T
+    s8 G          s9 2^30   s10 2^29       s11 sigma_Q16
+    a7 saved mantissa
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+#: sigma = 3.19 in Q16 fixed point (round(3.19 * 65536)).
+GOLDEN_SIGMA_Q16 = 209060
+
+#: ln(2) in Q14 fixed point.
+_LN2_Q14 = 11357
+
+_MASK32 = 0xFFFFFFFF
+
+
+def gaussian_sampler_source(sigma_q16: int = GOLDEN_SIGMA_Q16) -> str:
+    """Return the kernel's assembly source.
+
+    The caller passes runtime parameters in registers (see module doc).
+    """
+    return f"""
+# --- setup -------------------------------------------------------------
+start:
+    bnez  a4, seed_ok
+    li    a4, 1                 # xorshift32 state must be nonzero
+seed_ok:
+    mv    s0, a4
+    li    s9, 0x40000000        # 2^30
+    li    s10, 0x20000000       # 2^29
+    li    s11, {sigma_q16}      # sigma in Q16
+    li    s6, 0                 # i = 0
+
+# --- outer loop: one coefficient per iteration ---------------------------
+outer_loop:
+
+# --- Marsaglia polar rejection loop (the "distribution function call") --
+sample_loop:
+    # u <- next 16-bit draw, sign-extended (Q15 in [-1, 1))
+    slli  t0, s0, 13
+    xor   s0, s0, t0
+    srli  t0, s0, 17
+    xor   s0, s0, t0
+    slli  t0, s0, 5
+    xor   s0, s0, t0
+    slli  s1, s0, 16
+    srai  s1, s1, 16            # u
+    # v <- next draw
+    slli  t0, s0, 13
+    xor   s0, s0, t0
+    srli  t0, s0, 17
+    xor   s0, s0, t0
+    slli  t0, s0, 5
+    xor   s0, s0, t0
+    slli  t3, s0, 16
+    srai  t3, t3, 16            # v
+    # s = u*u + v*v  (Q30)
+    mul   t4, s1, s1
+    mul   t5, t3, t3
+    add   t4, t4, t5
+    bgeu  t4, s9, sample_loop   # reject s >= 1 (unsigned also catches 2^31)
+    beqz  t4, sample_loop       # reject s == 0
+
+# --- normalise s: mantissa in [2^29, 2^30), p = msb index ---------------
+    mv    s2, t4
+    li    s4, 29
+norm_loop:
+    bgeu  s2, s10, norm_done
+    slli  s2, s2, 1
+    addi  s4, s4, -1
+    j     norm_loop
+norm_done:
+    li    t0, 14
+    blt   s4, t0, sample_loop   # reject implausibly tiny s (p < 14)
+    mv    a7, s2                # save mantissa for the division below
+
+# --- frac = fractional bits of log2(mantissa), 12 squaring rounds -------
+    li    s3, 0
+    li    t5, 12
+frac_loop:
+    mulhu t2, s2, s2
+    mul   t3, s2, s2
+    slli  t2, t2, 3
+    srli  t3, t3, 29
+    or    t2, t2, t3            # y^2 in Q29
+    slli  s3, s3, 1
+    bltu  t2, s9, frac_nocarry
+    srli  t2, t2, 1
+    ori   s3, s3, 1
+frac_nocarry:
+    mv    s2, t2
+    addi  t5, t5, -1
+    bnez  t5, frac_loop
+
+# --- L = -ln(s/2^30) in Q12 ---------------------------------------------
+    li    t0, 30
+    sub   t0, t0, s4
+    slli  t0, t0, 12
+    sub   t0, t0, s3            # -log2(x) in Q12
+    li    t1, {_LN2_Q14}
+    mul   t0, t0, t1
+    srli  t0, t0, 14
+    mv    s7, t0                # L_Q12
+
+# --- T = 2L/x in Q14 (saturating) ----------------------------------------
+    slli  t0, s7, 14
+    srli  t1, a7, 15
+    divu  t2, t0, t1            # Q0 = (L<<14) / (mantissa>>15)
+    li    t3, 33
+    sub   t3, t3, s4            # shift = 33 - p
+    li    t4, 0x7FFFFFFF
+    srl   t5, t4, t3
+    bltu  t2, t5, t_nosat
+    mv    t6, t4                # saturate huge T (tiny s; clipped later)
+    j     t_done
+t_nosat:
+    sll   t6, t2, t3
+t_done:
+    mv    s7, t6                # T_Q14
+
+# --- G = isqrt(T_Q14)  (= sqrt(T) in Q7) ---------------------------------
+    mv    t0, s7
+    li    t1, 0
+bitlen_loop:
+    beqz  t0, bitlen_done
+    srli  t0, t0, 1
+    addi  t1, t1, 1
+    j     bitlen_loop
+bitlen_done:
+    addi  t1, t1, 1
+    srli  t1, t1, 1
+    li    s8, 1
+    sll   s8, s8, t1            # x0 >= sqrt(T)
+newton_loop:
+    divu  t2, s7, s8
+    add   t2, t2, s8
+    srli  t2, t2, 1
+    bgeu  t2, s8, newton_done
+    mv    s8, t2
+    j     newton_loop
+newton_done:
+
+# --- noise = round(sigma * u * G)  ---------------------------------------
+    mul   t0, s1, s8            # z in Q22 (u Q15 * G Q7)
+    mulh  t1, t0, s11           # high word of z * sigma_Q16 (Q38)
+    addi  t1, t1, 32
+    srai  t1, t1, 6             # round(z*sigma)
+    mv    s5, t1                # <-- vulnerability 2: value assignment
+
+# --- clipping (SEAL resamples when |x| > max_deviation) ------------------
+    bgt   s5, a5, sample_loop
+    neg   t0, a5
+    blt   s5, t0, sample_loop
+
+# --- Fig. 2 sign assignment (vulnerability 1: the branches) --------------
+    bgtz  s5, pos_branch        # if (noise > 0)
+    bltz  s5, neg_branch        # else if (noise < 0)
+
+zero_branch:                    # else: coefficient = 0
+    li    t0, 0
+    slli  t1, s6, 2
+    add   t1, t1, a0
+    slli  t2, a1, 2
+zero_loop:
+    sw    zero, 0(t1)
+    add   t1, t1, t2
+    addi  t0, t0, 1
+    blt   t0, a2, zero_loop
+    j     assign_done
+
+pos_branch:                     # poly[i + j*n] = noise
+    li    t0, 0
+    slli  t1, s6, 2
+    add   t1, t1, a0
+    slli  t2, a1, 2
+pos_loop:
+    sw    s5, 0(t1)
+    add   t1, t1, t2
+    addi  t0, t0, 1
+    blt   t0, a2, pos_loop
+    j     assign_done
+
+neg_branch:
+    neg   s5, s5                # <-- vulnerability 3: the negation
+    li    t0, 0
+    slli  t1, s6, 2
+    add   t1, t1, a0
+    slli  t2, a1, 2
+    mv    t6, a3
+neg_loop:
+    lw    t4, 0(t6)
+    sub   t4, t4, s5            # coeff_modulus[j] - noise
+    sw    t4, 0(t1)
+    add   t1, t1, t2
+    addi  t6, t6, 4
+    addi  t0, t0, 1
+    blt   t0, a2, neg_loop
+
+assign_done:
+    addi  s6, s6, 1
+    blt   s6, a1, outer_loop
+
+# --- epilogue: the encryption continues after the sampler returns ---------
+# (keeps the last coefficient's post-assignment trace populated, like the
+# real set_poly_coeffs_normal which is followed by further encryption code)
+    li    t5, 40
+epilogue:
+    slli  t0, s0, 13
+    xor   s0, s0, t0
+    srli  t0, s0, 17
+    xor   s0, s0, t0
+    slli  t0, s0, 5
+    xor   s0, s0, t0
+    addi  t5, t5, -1
+    bnez  t5, epilogue
+    ebreak
+"""
+
+
+class GoldenPolarSampler:
+    """Bit-exact Python model of the assembly kernel's sampling pipeline.
+
+    Used to (a) verify the CPU executes the kernel correctly and (b)
+    generate device-identical values quickly on the host.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        max_deviation: int = 41,
+        sigma_q16: int = GOLDEN_SIGMA_Q16,
+    ) -> None:
+        self.state = seed & _MASK32 or 1
+        self.max_deviation = max_deviation
+        self.sigma_q16 = sigma_q16
+
+    # -- xorshift32, identical to the assembly ---------------------------
+    def _next_rand(self) -> int:
+        x = self.state
+        x ^= (x << 13) & _MASK32
+        x ^= x >> 17
+        x ^= (x << 5) & _MASK32
+        self.state = x
+        return x
+
+    def _draw_q15(self) -> int:
+        value = self._next_rand() & 0xFFFF
+        return value - 0x10000 if value & 0x8000 else value
+
+    # --------------------------------------------------------------------
+    def sample(self) -> int:
+        """Draw one clipped, rounded Gaussian integer, exactly as the device."""
+        while True:
+            u = self._draw_q15()
+            v = self._draw_q15()
+            s = u * u + v * v
+            if s >= 1 << 30 or s == 0:
+                continue
+            # normalise
+            mantissa = s
+            p = 29
+            while mantissa < 1 << 29:
+                mantissa <<= 1
+                p -= 1
+            if p < 14:
+                continue
+            # binary log fractional bits
+            y = mantissa
+            frac = 0
+            for _ in range(12):
+                ysq = y * y
+                y2 = ysq >> 29
+                frac <<= 1
+                if y2 >= 1 << 30:
+                    y2 >>= 1
+                    frac |= 1
+                y = y2
+            neg_log2 = ((30 - p) << 12) - frac
+            l_q12 = (neg_log2 * _LN2_Q14) >> 14
+            # T = 2L/x in Q14, saturating
+            q0 = (l_q12 << 14) // (mantissa >> 15)
+            shift = 33 - p
+            if q0 >= (0x7FFFFFFF >> shift):
+                t_q14 = 0x7FFFFFFF
+            else:
+                t_q14 = q0 << shift
+            g = _isqrt_newton(t_q14)
+            z_q22 = u * g
+            prod = z_q22 * self.sigma_q16
+            hi = prod >> 32
+            noise = (hi + 32) >> 6
+            if -self.max_deviation <= noise <= self.max_deviation:
+                return noise
+
+    def sample_vector(self, count: int) -> List[int]:
+        """Draw ``count`` samples."""
+        return [self.sample() for _ in range(count)]
+
+
+def _isqrt_newton(value: int) -> int:
+    """Integer square root with the same iteration as the assembly."""
+    if value == 0:
+        # mirrors the assembly: the Newton loop on T=0 settles at 0
+        return 0
+    x = 1 << ((value.bit_length() + 1) >> 1)
+    while True:
+        nxt = (value // x + x) >> 1
+        if nxt >= x:
+            return x
+        x = nxt

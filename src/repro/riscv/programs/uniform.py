@@ -1,0 +1,146 @@
+"""On-device uniform and ternary sampling kernels.
+
+SEAL's encryption also samples the uniform public polynomial ``a``
+(key generation) and the ternary encryption sample ``u`` on the target;
+these kernels complete the device-side picture so a whole encryption's
+randomness can run on the simulated PicoRV32.
+
+The ternary kernel mirrors SEAL's ``sample_poly_ternary``: draw a
+uniform word, reduce modulo 3, map {0,1,2} -> {0,1,q-1}.  Note that the
+mapping uses *branches* on the sampled value - a deliberate fidelity
+choice: the paper attacks the Gaussian sampler, but nothing makes the
+ternary sampler constant-flow either (a natural future-work target the
+repository keeps observable).
+
+Register use mirrors the Gaussian kernel: a0 out base, a1 n, a2 k,
+a3 modulus table, a4 seed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_MASK32 = 0xFFFFFFFF
+
+
+def ternary_sampler_source() -> str:
+    """RV32IM source sampling n ternary coefficients into the buffer."""
+    return """
+start:
+    bnez  a4, seed_ok
+    li    a4, 1
+seed_ok:
+    mv    s0, a4
+    li    s6, 0                 # i = 0
+outer_loop:
+    # xorshift32 draw
+    slli  t0, s0, 13
+    xor   s0, s0, t0
+    srli  t0, s0, 17
+    xor   s0, s0, t0
+    slli  t0, s0, 5
+    xor   s0, s0, t0
+    li    t1, 3
+    remu  t2, s0, t1            # t2 in {0, 1, 2}
+    li    t3, 2
+    beq   t2, t3, minus_one     # 2 -> q_j - 1
+    # 0 or 1: store the value directly in every limb
+    li    t0, 0
+    slli  t1, s6, 2
+    add   t1, t1, a0
+    slli  t4, a1, 2
+direct_loop:
+    sw    t2, 0(t1)
+    add   t1, t1, t4
+    addi  t0, t0, 1
+    blt   t0, a2, direct_loop
+    j     next
+minus_one:
+    li    t0, 0
+    slli  t1, s6, 2
+    add   t1, t1, a0
+    slli  t4, a1, 2
+    mv    t6, a3
+minus_loop:
+    lw    t5, 0(t6)
+    addi  t5, t5, -1            # q_j - 1
+    sw    t5, 0(t1)
+    add   t1, t1, t4
+    addi  t6, t6, 4
+    addi  t0, t0, 1
+    blt   t0, a2, minus_loop
+next:
+    addi  s6, s6, 1
+    blt   s6, a1, outer_loop
+    ebreak
+"""
+
+
+def uniform_sampler_source() -> str:
+    """RV32IM source sampling n uniform residues per limb.
+
+    Rejection sampling per limb: draw 32-bit words until one falls below
+    the largest multiple of q_j (avoiding modulo bias), then reduce.
+    """
+    return """
+start:
+    bnez  a4, seed_ok
+    li    a4, 1
+seed_ok:
+    mv    s0, a4
+    li    s6, 0                 # i = 0
+outer_loop:
+    li    s7, 0                 # j = 0
+    slli  s8, s6, 2
+    add   s8, s8, a0            # &poly[0][i]
+    slli  s9, a1, 2             # stride
+    mv    s10, a3               # modulus pointer
+limb_loop:
+    lw    s11, 0(s10)           # q_j
+    # bound = floor(2^32 / q_j) * q_j, computed as 2^32 - (2^32 mod q_j)
+    neg   t0, s11
+    remu  t0, t0, s11           # (2^32 - q_j) mod q_j == 2^32 mod q_j
+    neg   t1, t0                # bound = 2^32 - (2^32 mod q_j) (mod 2^32)
+draw:
+    slli  t2, s0, 13
+    xor   s0, s0, t2
+    srli  t2, s0, 17
+    xor   s0, s0, t2
+    slli  t2, s0, 5
+    xor   s0, s0, t2
+    beqz  t1, accept            # bound == 2^32: no rejection needed
+    bgeu  s0, t1, draw          # biased region: redraw
+accept:
+    remu  t3, s0, s11
+    sw    t3, 0(s8)
+    add   s8, s8, s9
+    addi  s10, s10, 4
+    addi  s7, s7, 1
+    blt   s7, a2, limb_loop
+    addi  s6, s6, 1
+    blt   s6, a1, outer_loop
+    ebreak
+"""
+
+
+class GoldenTernarySampler:
+    """Host model of the ternary kernel (same PRNG, same mapping)."""
+
+    def __init__(self, seed: int) -> None:
+        self.state = seed & _MASK32 or 1
+
+    def _next(self) -> int:
+        x = self.state
+        x ^= (x << 13) & _MASK32
+        x ^= x >> 17
+        x ^= (x << 5) & _MASK32
+        self.state = x
+        return x
+
+    def sample_vector(self, count: int) -> List[int]:
+        """Signed values in {-1, 0, 1}."""
+        out = []
+        for _ in range(count):
+            draw = self._next() % 3
+            out.append(-1 if draw == 2 else draw)
+        return out

@@ -1,0 +1,30 @@
+"""Small shared utilities: bit manipulation, RNG plumbing, validation."""
+
+from repro.utils.bitops import (
+    bit_length,
+    bit_reverse,
+    hamming_distance,
+    hamming_weight,
+    hamming_weight_array,
+)
+from repro.utils.rng import derive_rng, new_rng
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+    check_type,
+)
+
+__all__ = [
+    "bit_length",
+    "bit_reverse",
+    "hamming_distance",
+    "hamming_weight",
+    "hamming_weight_array",
+    "derive_rng",
+    "new_rng",
+    "check_in_range",
+    "check_positive",
+    "check_power_of_two",
+    "check_type",
+]

@@ -1,0 +1,70 @@
+"""Bit-level helpers used by the NTT, the RISC-V core and the power model.
+
+The power model in :mod:`repro.power.leakage` is built on Hamming weights
+and Hamming distances of 32-bit words, so these helpers are deliberately
+fast for both scalars and numpy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_WORD_MASK = 0xFFFFFFFF
+
+
+def hamming_weight(value: int) -> int:
+    """Return the number of set bits of a non-negative integer.
+
+    Values are masked to 32 bits first, matching the word size of the
+    PicoRV32 target: the paper's leakage comes from 32-bit datapath
+    activity.
+
+    >>> hamming_weight(0)
+    0
+    >>> hamming_weight(0xFFFFFFFF)
+    32
+    >>> hamming_weight(-1)  # two's complement on 32 bits
+    32
+    """
+    return int(value & _WORD_MASK).bit_count()
+
+
+def hamming_distance(first: int, second: int) -> int:
+    """Return the Hamming distance between two 32-bit words.
+
+    >>> hamming_distance(0b1010, 0b0110)
+    2
+    """
+    return hamming_weight(first ^ second)
+
+
+def hamming_weight_array(values: np.ndarray) -> np.ndarray:
+    """Vectorised 32-bit Hamming weight for an integer numpy array."""
+    words = np.asarray(values).astype(np.int64) & _WORD_MASK
+    counts = np.zeros(words.shape, dtype=np.int64)
+    for shift in range(0, 32, 8):
+        counts += _BYTE_POPCOUNT[(words >> shift) & 0xFF]
+    return counts
+
+
+_BYTE_POPCOUNT = np.array([int(i).bit_count() for i in range(256)], dtype=np.int64)
+
+
+def bit_length(value: int) -> int:
+    """Return the bit length of ``value`` (0 for 0)."""
+    return int(value).bit_length()
+
+
+def bit_reverse(value: int, width: int) -> int:
+    """Reverse the lowest ``width`` bits of ``value``.
+
+    Used to build the bit-reversed twiddle tables of the iterative NTT.
+
+    >>> bit_reverse(0b001, 3)
+    4
+    """
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result

@@ -1,0 +1,55 @@
+"""Deterministic randomness plumbing.
+
+Everything stochastic in the reproduction (key generation, noise
+sampling, leakage noise, attack trace selection) goes through numpy
+``Generator`` objects created here, so that every experiment is
+reproducible from a single integer seed.  ``derive_rng`` plays the role
+of SEAL's ``RandomToStandardAdapter``: it turns one master source into
+independent per-purpose streams.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def new_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Create a numpy ``Generator`` from a seed, sequence or existing rng.
+
+    Passing an existing ``Generator`` returns it unchanged so call sites
+    can accept either a seed or a ready-made stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_rng(rng: np.random.Generator, label: str) -> np.random.Generator:
+    """Derive an independent child stream from ``rng`` tagged by ``label``.
+
+    The label is hashed into the spawn key so that e.g. the "public key"
+    stream and the "noise" stream of one encryption are decorrelated but
+    still fully determined by the parent seed.
+    """
+    material = [b for b in label.encode("utf-8")]
+    child_seed = np.random.SeedSequence(
+        entropy=int(rng.integers(0, 2**63 - 1)), spawn_key=tuple(material)
+    )
+    return np.random.default_rng(child_seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list:
+    """Return ``count`` independent generators derived from one seed."""
+    sequence = np.random.SeedSequence(seed if isinstance(seed, int) else None)
+    return [np.random.default_rng(s) for s in sequence.spawn(count)]
+
+
+def rng_from_optional(seed: Optional[SeedLike], default_seed: int) -> np.random.Generator:
+    """Like :func:`new_rng` but with an explicit fallback seed."""
+    if seed is None:
+        return np.random.default_rng(default_seed)
+    return new_rng(seed)

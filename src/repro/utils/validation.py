@@ -1,0 +1,33 @@
+"""Argument validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ParameterError
+
+
+def check_type(name: str, value: Any, expected: type) -> None:
+    """Raise :class:`ParameterError` unless ``value`` is an ``expected``."""
+    if not isinstance(value, expected):
+        raise ParameterError(
+            f"{name} must be {expected.__name__}, got {type(value).__name__}"
+        )
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise :class:`ParameterError` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ParameterError(f"{name} must be positive, got {value!r}")
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> None:
+    """Raise :class:`ParameterError` unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ParameterError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Raise :class:`ParameterError` unless ``value`` is a power of two."""
+    if value <= 0 or value & (value - 1):
+        raise ParameterError(f"{name} must be a power of two, got {value!r}")

@@ -1,0 +1,32 @@
+"""Shared attack fixtures: one profiled attack instance reused by tests.
+
+Profiling takes a few seconds, so the expensive fixtures are
+session-scoped and deliberately small; the benchmarks run the
+full-scale versions.
+"""
+
+import pytest
+
+from repro.attack.pipeline import SingleTraceAttack
+from repro.power.capture import TraceAcquisition
+from repro.power.scope import Oscilloscope
+from repro.riscv.device import GaussianSamplerDevice
+
+PAPER_Q = 132120577
+
+
+@pytest.fixture(scope="session")
+def device():
+    return GaussianSamplerDevice([PAPER_Q])
+
+
+@pytest.fixture(scope="session")
+def bench(device):
+    return TraceAcquisition(device, scope=Oscilloscope(noise_std=1.0), rng=0)
+
+
+@pytest.fixture(scope="session")
+def profiled_attack(bench):
+    attack = SingleTraceAttack(bench, poi_count=24)
+    attack.profile(num_traces=120, coeffs_per_trace=6, first_seed=50_000)
+    return attack

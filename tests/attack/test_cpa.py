@@ -1,0 +1,90 @@
+"""Tests for the CPA utilities."""
+
+import numpy as np
+import pytest
+
+from repro.attack.cpa import (
+    correlation_trace,
+    hamming_weight_predictions,
+    locate_value_leakage,
+)
+from repro.errors import AttackError
+
+
+class TestCorrelationTrace:
+    def test_finds_synthetic_leak(self):
+        rng = np.random.default_rng(0)
+        predictions = rng.integers(0, 32, 200).astype(float)
+        traces = rng.normal(0, 1, (200, 50))
+        traces[:, 17] += 0.8 * predictions
+        rho = correlation_trace(traces, predictions)
+        assert int(np.argmax(np.abs(rho))) == 17
+        assert abs(rho[17]) > 0.9
+
+    def test_negative_correlation_detected(self):
+        rng = np.random.default_rng(1)
+        predictions = rng.integers(0, 32, 200).astype(float)
+        traces = rng.normal(0, 1, (200, 20))
+        traces[:, 4] -= 0.9 * predictions
+        rho = correlation_trace(traces, predictions)
+        assert rho[4] < -0.9
+
+    def test_constant_column_is_zero(self):
+        rng = np.random.default_rng(2)
+        predictions = rng.normal(size=50)
+        traces = rng.normal(size=(50, 3))
+        traces[:, 1] = 7.0
+        rho = correlation_trace(traces, predictions)
+        assert rho[1] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(AttackError):
+            correlation_trace(np.zeros((3, 4, 5)), [1, 2, 3])
+        with pytest.raises(AttackError):
+            correlation_trace(np.zeros((3, 4)), [1, 2])
+        with pytest.raises(AttackError):
+            correlation_trace(np.zeros((2, 4)), [1, 2])
+        with pytest.raises(AttackError):
+            correlation_trace(np.ones((5, 4)), [3, 3, 3, 3, 3])
+
+
+class TestHwPredictions:
+    def test_values(self):
+        assert hamming_weight_predictions([0, 1, 3, -1]) == [0, 1, 2, 32]
+
+
+class TestDeviceLeakage:
+    """CPA confirms the paper's vulnerabilities on real device slices."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self, bench, profiled_attack):
+        slices, values = [], []
+        for seed in range(9000, 9060):
+            captured = bench.capture(seed, 4)
+            aligned = profiled_attack.segmenter.aligned_slices(
+                captured.trace.samples, refiner=profiled_attack.refiner
+            )
+            slices.extend(aligned)
+            values.extend(captured.values)
+        return np.vstack(slices), values
+
+    def test_value_model_finds_leakage(self, corpus):
+        slices, values = corpus
+        rho, peaks = locate_value_leakage(slices, values, model="value")
+        assert np.max(np.abs(rho)) > 0.5
+
+    def test_negation_model_leaks_for_negatives(self, corpus):
+        """HW(-v) correlates on the negative subset (vulnerability 3)."""
+        slices, values = corpus
+        mask = np.array([v < 0 for v in values])
+        if mask.sum() < 10:
+            pytest.skip("too few negative coefficients in corpus")
+        rho, _ = locate_value_leakage(
+            slices[mask], [v for v in values if v < 0], model="hw_negated"
+        )
+        assert np.max(np.abs(rho)) > 0.4
+
+    def test_unknown_model_rejected(self, corpus):
+        slices, values = corpus
+        with pytest.raises(AttackError):
+            locate_value_leakage(slices, values, model="magic")

@@ -1,0 +1,52 @@
+"""Tests for attack-state serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.attack.persistence import load_attack, save_attack
+from repro.attack.pipeline import SingleTraceAttack
+from repro.errors import AttackError
+
+
+class TestPersistence:
+    def test_save_requires_profiling(self, bench, tmp_path):
+        attack = SingleTraceAttack(bench)
+        with pytest.raises(AttackError):
+            save_attack(attack, tmp_path / "attack.npz")
+
+    def test_roundtrip_identical_decisions(self, bench, profiled_attack, tmp_path):
+        path = tmp_path / "attack.npz"
+        save_attack(profiled_attack, path)
+        restored = load_attack(bench, path)
+
+        for seed in (1234, 1235, 1236):
+            captured = bench.capture(seed, 4)
+            original = profiled_attack.attack(captured)
+            loaded = restored.attack(captured)
+            assert original.signs == loaded.signs
+            assert original.estimates == loaded.estimates
+            for a, b in zip(original.probabilities, loaded.probabilities):
+                assert set(a) == set(b)
+                for label in a:
+                    assert a[label] == pytest.approx(b[label], rel=1e-9)
+
+    def test_roundtrip_preserves_configuration(self, bench, profiled_attack, tmp_path):
+        path = tmp_path / "attack.npz"
+        save_attack(profiled_attack, path)
+        restored = load_attack(bench, path)
+        assert restored.poi_method == profiled_attack.poi_method
+        assert restored.poi_count == profiled_attack.poi_count
+        assert restored.sigma == profiled_attack.sigma
+        assert restored.templates.pois == profiled_attack.templates.pois
+        assert (
+            restored.segmenter.config == profiled_attack.segmenter.config
+        )
+
+    def test_version_check(self, bench, profiled_attack, tmp_path):
+        path = tmp_path / "attack.npz"
+        save_attack(profiled_attack, path)
+        data = dict(np.load(path, allow_pickle=False))
+        data["version"] = np.array([99])
+        np.savez_compressed(path, **data)
+        with pytest.raises(AttackError):
+            load_attack(bench, path)

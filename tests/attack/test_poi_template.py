@@ -1,0 +1,131 @@
+"""Unit tests for POI selection and template matching on synthetic data."""
+
+import numpy as np
+import pytest
+
+from repro.attack.poi import (
+    dom_scores,
+    select_pois_dom,
+    select_pois_sosd,
+    select_pois_sost,
+    sosd_scores,
+    sost_scores,
+)
+from repro.attack.template import TemplateSet, gaussian_priors
+from repro.errors import AttackError
+
+
+def synthetic_classes(rng, informative=(5, 20), length=40, per_class=60, noise=0.5):
+    """Two classes differing only at the informative indices."""
+    by_label = {}
+    for label in (0, 1):
+        base = np.zeros(length)
+        for idx in informative:
+            base[idx] = 3.0 * label
+        traces = base + rng.normal(0, noise, (per_class, length))
+        by_label[label] = traces
+    return by_label
+
+
+class TestPoiSelection:
+    def test_sosd_finds_informative_samples(self):
+        rng = np.random.default_rng(0)
+        by_label = synthetic_classes(rng)
+        pois = select_pois_sosd(by_label, 2)
+        assert set(pois) == {5, 20}
+
+    def test_sost_finds_informative_samples(self):
+        rng = np.random.default_rng(1)
+        by_label = synthetic_classes(rng)
+        assert set(select_pois_sost(by_label, 2)) == {5, 20}
+
+    def test_dom_finds_informative_samples(self):
+        rng = np.random.default_rng(2)
+        by_label = synthetic_classes(rng)
+        assert set(select_pois_dom(by_label, 2)) == {5, 20}
+
+    def test_min_distance_spacing(self):
+        rng = np.random.default_rng(3)
+        by_label = synthetic_classes(rng, informative=(5, 6, 7, 30))
+        pois = select_pois_sosd(by_label, 3, min_distance=3)
+        assert len(pois) == 3
+        for a, b in zip(pois, pois[1:]):
+            assert b - a >= 3
+
+    def test_scores_nonnegative(self):
+        rng = np.random.default_rng(4)
+        by_label = synthetic_classes(rng)
+        for scores in (sosd_scores(by_label), sost_scores(by_label), dom_scores(by_label)):
+            assert (scores >= 0).all()
+
+    def test_empty_raises(self):
+        with pytest.raises(AttackError):
+            select_pois_sosd({}, 2)
+
+
+class TestTemplateSet:
+    def test_classifies_clean_separation(self):
+        rng = np.random.default_rng(5)
+        by_label = synthetic_classes(rng, noise=0.3)
+        templates = TemplateSet.build(by_label, [5, 20])
+        correct = 0
+        for label in (0, 1):
+            fresh = synthetic_classes(np.random.default_rng(100 + label), noise=0.3)
+            for trace in fresh[label][:20]:
+                correct += templates.classify(trace) == label
+        assert correct >= 38  # 95%+
+
+    def test_probabilities_sum_to_one(self):
+        rng = np.random.default_rng(6)
+        by_label = synthetic_classes(rng)
+        templates = TemplateSet.build(by_label, [5, 20])
+        probs = templates.probabilities(by_label[1][0])
+        assert sum(probs.values()) == pytest.approx(1.0)
+        assert set(probs) == {0, 1}
+
+    def test_restriction(self):
+        rng = np.random.default_rng(7)
+        by_label = synthetic_classes(rng)
+        templates = TemplateSet.build(by_label, [5, 20])
+        probs = templates.probabilities(by_label[0][0], restrict=[1])
+        assert probs == {1: 1.0}
+
+    def test_restriction_to_nothing_raises(self):
+        rng = np.random.default_rng(8)
+        templates = TemplateSet.build(synthetic_classes(rng), [5, 20])
+        with pytest.raises(AttackError):
+            templates.probabilities(np.zeros(40), restrict=[99])
+
+    def test_priors_shift_decision(self):
+        rng = np.random.default_rng(9)
+        by_label = synthetic_classes(rng, noise=3.0)  # noisy: prior matters
+        strong_prior = {0: 0.999, 1: 0.001}
+        templates = TemplateSet.build(by_label, [5, 20], priors=strong_prior)
+        decisions = [templates.classify(t) for t in by_label[1][:20]]
+        assert decisions.count(0) > 5  # the prior drags decisions to 0
+
+    def test_needs_two_traces_per_class(self):
+        with pytest.raises(AttackError):
+            TemplateSet.build({0: np.zeros((1, 10))}, [0])
+
+    def test_empty_raises(self):
+        with pytest.raises(AttackError):
+            TemplateSet.build({}, [0])
+
+    def test_log_likelihood_ranks_own_class_higher(self):
+        rng = np.random.default_rng(10)
+        by_label = synthetic_classes(rng, noise=0.3)
+        templates = TemplateSet.build(by_label, [5, 20])
+        lls = templates.log_likelihoods(by_label[1][0])
+        assert lls[1] > lls[0]
+
+
+class TestGaussianPriors:
+    def test_normalised(self):
+        priors = gaussian_priors(range(-5, 6), 3.19)
+        assert sum(priors.values()) == pytest.approx(1.0)
+
+    def test_symmetric_and_peaked_at_zero(self):
+        priors = gaussian_priors(range(-5, 6), 3.19)
+        assert priors[0] == max(priors.values())
+        assert priors[-3] == pytest.approx(priors[3])

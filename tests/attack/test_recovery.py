@@ -1,0 +1,115 @@
+"""Tests for the algebraic message recovery (equations 2-3)."""
+
+import numpy as np
+import pytest
+
+from repro.attack.recovery import (
+    recover_message,
+    recover_u,
+    recovery_is_plausible,
+    residual_e1,
+)
+from repro.bfv.decryptor import Decryptor
+from repro.bfv.encryptor import Encryptor
+from repro.bfv.keygen import KeyGenerator
+from repro.bfv.params import BfvContext
+from repro.bfv.plaintext import Plaintext
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ctx = BfvContext.toy(poly_degree=64, plain_modulus=17)
+    keygen = KeyGenerator(ctx, rng=3)
+    pk = keygen.public_key()
+    return ctx, pk, Encryptor(ctx, pk), Decryptor(ctx, keygen.secret_key())
+
+
+def encrypt_with_artifacts(setup, seed=0):
+    ctx, pk, encryptor, _ = setup
+    rng = np.random.default_rng(seed)
+    m = Plaintext(rng.integers(0, ctx.t, ctx.n), ctx.t)
+    ct, art = encryptor.encrypt_with_artifacts(m, rng=seed + 100)
+    return m, ct, art
+
+
+class TestRecoverU:
+    def test_exact_recovery(self, setup):
+        ctx, pk, _, _ = setup
+        m, ct, art = encrypt_with_artifacts(setup, 1)
+        u = recover_u(ctx, ct, pk, art.e2)
+        assert u.to_centered_coeffs() == art.u
+
+    def test_wrong_e2_gives_non_ternary_u(self, setup):
+        ctx, pk, _, _ = setup
+        m, ct, art = encrypt_with_artifacts(setup, 2)
+        wrong = list(art.e2)
+        wrong[0] += 1
+        u = recover_u(ctx, ct, pk, wrong)
+        assert any(abs(c) > 1 for c in u.to_centered_coeffs())
+
+
+class TestRecoverMessage:
+    def test_message_recovered_exactly(self, setup):
+        ctx, pk, _, _ = setup
+        for seed in range(5):
+            m, ct, art = encrypt_with_artifacts(setup, seed)
+            recovered = recover_message(ctx, ct, pk, art.e2)
+            assert recovered == m
+
+    def test_e1_never_needed(self, setup):
+        """e1 is absorbed by rounding - recovery uses only e2."""
+        ctx, pk, _, _ = setup
+        m, ct, art = encrypt_with_artifacts(setup, 7)
+        recovered = recover_message(ctx, ct, pk, art.e2)
+        assert recovered == m
+        implied_e1 = residual_e1(ctx, ct, pk, art.e2, recovered)
+        assert implied_e1 == art.e1
+
+    def test_wrong_e2_gives_wrong_message(self, setup):
+        ctx, pk, _, _ = setup
+        m, ct, art = encrypt_with_artifacts(setup, 8)
+        wrong = [e + 50 for e in art.e2]
+        assert recover_message(ctx, ct, pk, wrong) != m
+
+    def test_paper_parameters(self):
+        ctx = BfvContext.default()
+        keygen = KeyGenerator(ctx, rng=5)
+        pk = keygen.public_key()
+        encryptor = Encryptor(ctx, pk)
+        rng = np.random.default_rng(0)
+        m = Plaintext(rng.integers(0, ctx.t, ctx.n), ctx.t)
+        ct, art = encryptor.encrypt_with_artifacts(m, rng=1)
+        assert recover_message(ctx, ct, pk, art.e2) == m
+
+
+class TestPlausibility:
+    def test_correct_e2_plausible(self, setup):
+        ctx, pk, _, _ = setup
+        m, ct, art = encrypt_with_artifacts(setup, 9)
+        assert recovery_is_plausible(ctx, ct, pk, art.e2)
+
+    def test_wrong_e2_implausible(self, setup):
+        ctx, pk, _, _ = setup
+        m, ct, art = encrypt_with_artifacts(setup, 10)
+        wrong = list(art.e2)
+        wrong[3] += 2
+        assert not recovery_is_plausible(ctx, ct, pk, wrong)
+
+
+class TestEndToEndWithDevice:
+    """Device-sampled noise -> encryption -> trace attack -> message."""
+
+    def test_device_noise_feeds_encryption(self, setup):
+        from repro.riscv.device import GaussianSamplerDevice
+
+        ctx, pk, encryptor, decryptor = setup
+        device = GaussianSamplerDevice([m.value for m in ctx.basis.moduli])
+        run1 = device.run(seed=11, count=ctx.n, record_events=False)
+        run2 = device.run(seed=12, count=ctx.n, record_events=False)
+        rng = np.random.default_rng(1)
+        m = Plaintext(rng.integers(0, ctx.t, ctx.n), ctx.t)
+        u = [int(c) for c in rng.integers(-1, 2, ctx.n)]
+        ct = encryptor.encrypt_with_randomness(m, u, run1.values, run2.values)
+        # decrypts correctly and e2 recovery works
+        assert decryptor.decrypt(ct) == m
+        assert recover_message(ctx, ct, pk, run2.values) == m

@@ -1,0 +1,109 @@
+"""Tests for the best-first search over the remaining space."""
+
+import numpy as np
+import pytest
+
+from repro.attack.search import (
+    enumerate_candidates,
+    expected_search_effort,
+    search_message,
+)
+from repro.bfv.decryptor import Decryptor
+from repro.bfv.encryptor import Encryptor
+from repro.bfv.keygen import KeyGenerator
+from repro.bfv.params import BfvContext
+from repro.bfv.plaintext import Plaintext
+from repro.errors import AttackError
+
+
+class TestEnumeration:
+    def test_order_is_nonincreasing(self):
+        tables = [{0: 0.6, 1: 0.4}, {2: 0.9, 3: 0.1}, {5: 0.5, 6: 0.3, 7: 0.2}]
+        scores = [s for s, _ in enumerate_candidates(tables, limit=12)]
+        assert all(a >= b - 1e-12 for a, b in zip(scores, scores[1:]))
+
+    def test_enumerates_all_combinations(self):
+        tables = [{0: 0.6, 1: 0.4}, {2: 0.7, 3: 0.3}]
+        candidates = [tuple(c) for _, c in enumerate_candidates(tables, limit=10)]
+        assert len(candidates) == 4
+        assert len(set(candidates)) == 4
+
+    def test_first_candidate_is_argmax(self):
+        tables = [{0: 0.6, 1: 0.4}, {3: 0.3, 2: 0.7}]
+        _, first = next(enumerate_candidates(tables))
+        assert first == [0, 2]
+
+    def test_limit_respected(self):
+        tables = [{v: 1 / 5 for v in range(5)}] * 4
+        assert len(list(enumerate_candidates(tables, limit=17))) == 17
+
+    def test_empty_tables_rejected(self):
+        with pytest.raises(AttackError):
+            next(enumerate_candidates([]))
+        with pytest.raises(AttackError):
+            next(enumerate_candidates([{}]))
+
+
+class TestSearchMessage:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        ctx = BfvContext.toy(poly_degree=32, plain_modulus=17)
+        keygen = KeyGenerator(ctx, rng=0)
+        pk = keygen.public_key()
+        return ctx, pk, Encryptor(ctx, pk)
+
+    def _tables_with_uncertainty(self, e2, rng, flip_count):
+        """Exact tables except flip_count coefficients get 2-way doubt."""
+        tables = []
+        uncertain = set(rng.choice(len(e2), size=flip_count, replace=False))
+        for i, v in enumerate(e2):
+            if i in uncertain:
+                tables.append({int(v): 0.55, int(v) + 1: 0.45})
+            else:
+                tables.append({int(v): 1.0})
+        return tables
+
+    def test_recovers_with_exact_tables(self, setup):
+        ctx, pk, encryptor = setup
+        m = Plaintext.constant(5, ctx.n, ctx.t)
+        ct, art = encryptor.encrypt_with_artifacts(m, rng=1)
+        tables = [{int(v): 1.0} for v in art.e2]
+        result = search_message(ctx, ct, pk, tables)
+        assert result.message == m
+        assert result.candidates_tried == 1
+        assert result.e2 == art.e2
+
+    def test_recovers_with_uncertain_tables(self, setup):
+        ctx, pk, encryptor = setup
+        rng = np.random.default_rng(2)
+        m = Plaintext(rng.integers(0, ctx.t, ctx.n), ctx.t)
+        ct, art = encryptor.encrypt_with_artifacts(m, rng=3)
+        tables = self._tables_with_uncertainty(art.e2, rng, flip_count=8)
+        result = search_message(ctx, ct, pk, tables, budget=2000)
+        assert result.message == m
+        assert result.e2 == art.e2
+        assert result.candidates_tried >= 1
+
+    def test_budget_exhaustion_raises(self, setup):
+        ctx, pk, encryptor = setup
+        m = Plaintext.constant(1, ctx.n, ctx.t)
+        ct, art = encryptor.encrypt_with_artifacts(m, rng=4)
+        # tables that exclude the true value everywhere
+        tables = [{int(v) + 1: 0.5, int(v) + 2: 0.5} for v in art.e2]
+        with pytest.raises(AttackError):
+            search_message(ctx, ct, pk, tables, budget=50)
+
+    def test_table_count_validated(self, setup):
+        ctx, pk, encryptor = setup
+        ct = encryptor.encrypt(Plaintext.zero(ctx.n, ctx.t), rng=5)
+        with pytest.raises(AttackError):
+            search_message(ctx, ct, pk, [{0: 1.0}])
+
+
+class TestEffort:
+    def test_certain_tables_zero_effort(self):
+        assert expected_search_effort([{1: 1.0}] * 10) == 0.0
+
+    def test_uniform_tables_full_entropy(self):
+        tables = [{0: 0.5, 1: 0.5}] * 8
+        assert expected_search_effort(tables) == pytest.approx(8.0)

@@ -1,0 +1,128 @@
+"""Tests for trace segmentation and anchor alignment."""
+
+import numpy as np
+import pytest
+
+from repro.attack.segmentation import (
+    AnchorRefiner,
+    Segmenter,
+    SegmenterConfig,
+    _active_regions,
+    _moving_average,
+)
+from repro.errors import AttackError
+from repro.riscv import cycles as cy
+
+
+def true_anchor_ends(device, cap, run):
+    """Ground-truth anchor = end of the z*sigma mulh event."""
+    starts = cap.event_starts
+    return [
+        int(starts[i + 1])
+        for i, e in enumerate(run.events[:-1])
+        if e.op_class == cy.OP_MUL and e.rs2_value == 209060
+    ]
+
+
+class TestHelpers:
+    def test_moving_average_identity(self):
+        x = np.arange(5, dtype=float)
+        assert np.array_equal(_moving_average(x, 1), x)
+
+    def test_moving_average_smooths(self):
+        x = np.zeros(20)
+        x[10] = 10.0
+        y = _moving_average(x, 5)
+        assert y.max() == pytest.approx(2.0)
+
+    def test_active_regions_merging(self):
+        mask = np.array([1, 1, 0, 0, 1, 1, 0, 0, 0, 0, 1], dtype=bool)
+        regions = _active_regions(mask, merge_gap=2, min_length=1)
+        assert regions == [(0, 6), (10, 11)]
+
+    def test_active_regions_min_length(self):
+        mask = np.array([1, 0, 0, 0, 1, 1, 1], dtype=bool)
+        regions = _active_regions(mask, merge_gap=0, min_length=2)
+        assert regions == [(4, 7)]
+
+    def test_active_regions_empty(self):
+        assert _active_regions(np.zeros(5, dtype=bool), 1, 1) == []
+
+
+class TestWindows:
+    def test_window_count_matches_coefficients(self, bench):
+        for seed in (11, 22, 33):
+            cap = bench.capture(seed, 5)
+            windows = Segmenter().windows(cap.trace.samples)
+            assert len(windows) == 5
+
+    def test_windows_are_ordered_and_disjoint(self, bench):
+        cap = bench.capture(7, 6)
+        windows = Segmenter().windows(cap.trace.samples)
+        for a, b in zip(windows, windows[1:]):
+            assert a.end == b.start
+            assert a.start < a.anchor <= a.end
+
+    def test_flat_trace_raises(self):
+        with pytest.raises(AttackError):
+            Segmenter().windows(np.zeros(5000))
+
+    def test_single_coefficient(self, bench):
+        cap = bench.capture(77, 1)
+        windows = Segmenter().windows(cap.trace.samples)
+        assert len(windows) == 1
+
+
+class TestAnchors:
+    def test_coarse_anchor_majority_near_truth(self, device, bench):
+        errors = []
+        for seed in range(300, 312):
+            cap = bench.capture(seed, 4)
+            run = device.run(seed, count=4)
+            truth = true_anchor_ends(device, cap, run)
+            windows = Segmenter().windows(cap.trace.samples)
+            assert len(windows) == len(truth)
+            errors.extend(w.anchor - t for w, t in zip(windows, truth))
+        close = sum(1 for e in errors if -20 <= e <= 5)
+        assert close / len(errors) > 0.75
+
+    def test_refined_anchor_constant_offset(self, device, bench):
+        seg = Segmenter()
+        pool = [bench.capture(800 + i, 4).trace.samples for i in range(10)]
+        refiner = AnchorRefiner.learn(seg, pool)
+        errors = []
+        for seed in range(300, 315):
+            cap = bench.capture(seed, 4)
+            run = device.run(seed, count=4)
+            truth = true_anchor_ends(device, cap, run)
+            for window, t in zip(seg.windows(cap.trace.samples), truth):
+                errors.append(refiner.refine(cap.trace.samples, window) - t)
+        # all refined anchors within +-2 samples of one constant offset
+        mode = max(set(errors), key=errors.count)
+        assert all(abs(e - mode) <= 2 for e in errors)
+
+    def test_refiner_needs_enough_windows(self, bench):
+        seg = Segmenter()
+        with pytest.raises(AttackError):
+            AnchorRefiner.learn(seg, [bench.capture(1, 2).trace.samples])
+
+    def test_refiner_reference_length_checked(self):
+        with pytest.raises(AttackError):
+            AnchorRefiner(np.zeros(10), before=160, after=60)
+
+
+class TestAlignedSlices:
+    def test_fixed_length(self, bench):
+        seg = Segmenter()
+        cap = bench.capture(5, 4)
+        slices = seg.aligned_slices(cap.trace.samples)
+        assert len(slices) == 4
+        assert all(len(s) == seg.slice_length for s in slices)
+
+    def test_time_variance_forces_segmentation(self, bench):
+        """Windows have varying lengths (the rejection loops), so fixed
+        strides cannot work - the premise of section III-C."""
+        cap = bench.capture(9, 8)
+        windows = Segmenter().windows(cap.trace.samples)
+        lengths = {w.end - w.start for w in windows}
+        assert len(lengths) > 1

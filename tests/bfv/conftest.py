@@ -1,0 +1,50 @@
+"""Shared BFV fixtures: a small fast context and its key material."""
+
+import pytest
+
+from repro.bfv.decryptor import Decryptor
+from repro.bfv.encryptor import Encryptor
+from repro.bfv.evaluator import Evaluator
+from repro.bfv.keygen import KeyGenerator
+from repro.bfv.params import BfvContext
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return BfvContext.toy(poly_degree=64, plain_modulus=17)
+
+
+@pytest.fixture(scope="session")
+def keygen(ctx):
+    return KeyGenerator(ctx, rng=1234)
+
+
+@pytest.fixture(scope="session")
+def public_key(keygen):
+    return keygen.public_key()
+
+
+@pytest.fixture(scope="session")
+def secret_key(keygen):
+    return keygen.secret_key()
+
+
+@pytest.fixture(scope="session")
+def encryptor(ctx, public_key):
+    return Encryptor(ctx, public_key)
+
+
+@pytest.fixture(scope="session")
+def decryptor(ctx, secret_key):
+    return Decryptor(ctx, secret_key)
+
+
+@pytest.fixture(scope="session")
+def evaluator(ctx):
+    return Evaluator(ctx)
+
+
+@pytest.fixture(scope="session")
+def paper_ctx():
+    """The paper's exact attacked parameter set (n=1024, q=132120577)."""
+    return BfvContext.default()

@@ -1,0 +1,77 @@
+"""Integration tests: encryption with device-sampled noise + traces."""
+
+import numpy as np
+import pytest
+
+from repro.bfv.device_encryptor import DeviceBackedEncryptor
+from repro.bfv.decryptor import Decryptor
+from repro.bfv.keygen import KeyGenerator
+from repro.bfv.params import BfvContext
+from repro.bfv.plaintext import Plaintext
+from repro.errors import ParameterError
+from repro.power.capture import TraceAcquisition
+from repro.power.scope import Oscilloscope
+from repro.riscv.device import GaussianSamplerDevice
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ctx = BfvContext.toy(poly_degree=32, plain_modulus=17)
+    device = GaussianSamplerDevice(
+        [m.value for m in ctx.basis.moduli],
+        max_deviation=int(ctx.params.noise_max_deviation),
+    )
+    acquisition = TraceAcquisition(device, scope=Oscilloscope(noise_std=1.0), rng=0)
+    keygen = KeyGenerator(ctx, rng=1)
+    victim = DeviceBackedEncryptor(ctx, keygen.public_key(), acquisition)
+    return ctx, keygen, victim
+
+
+class TestDeviceBackedEncryption:
+    def test_decrypts_correctly(self, setup):
+        ctx, keygen, victim = setup
+        rng = np.random.default_rng(0)
+        plain = Plaintext(rng.integers(0, ctx.t, ctx.n), ctx.t)
+        traced = victim.encrypt(plain, rng=2)
+        decryptor = Decryptor(ctx, keygen.secret_key())
+        assert decryptor.decrypt(traced.ciphertext) == plain
+
+    def test_traces_cover_both_polynomials(self, setup):
+        ctx, _, victim = setup
+        traced = victim.encrypt(Plaintext.zero(ctx.n, ctx.t), rng=3)
+        assert len(traced.e1) == ctx.n
+        assert len(traced.e2) == ctx.n
+        assert len(traced.e1_capture.trace) > 1000
+        assert traced.e1_capture.seed != traced.e2_capture.seed
+
+    def test_ground_truth_matches_ciphertext(self, setup):
+        """Recovering e2 from the capture recovers the message."""
+        from repro.attack.recovery import recover_message
+
+        ctx, keygen, victim = setup
+        rng = np.random.default_rng(4)
+        plain = Plaintext(rng.integers(0, ctx.t, ctx.n), ctx.t)
+        traced = victim.encrypt(plain, rng=5)
+        pk = victim._host_encryptor.public_key
+        assert recover_message(ctx, traced.ciphertext, pk, traced.e2) == plain
+
+    def test_reproducible_by_seed(self, setup):
+        ctx, _, victim = setup
+        plain = Plaintext.constant(3, ctx.n, ctx.t)
+        a = victim.encrypt(plain, rng=7)
+        b = victim.encrypt(plain, rng=7)
+        assert a.ciphertext == b.ciphertext
+
+    def test_fresh_randomness_differs(self, setup):
+        ctx, _, victim = setup
+        plain = Plaintext.constant(3, ctx.n, ctx.t)
+        assert victim.encrypt(plain, rng=8).ciphertext != victim.encrypt(
+            plain, rng=9
+        ).ciphertext
+
+    def test_mismatched_device_rejected(self, setup):
+        ctx, keygen, _ = setup
+        wrong_device = GaussianSamplerDevice([132120577])  # paper q != toy q
+        acquisition = TraceAcquisition(wrong_device, rng=0)
+        with pytest.raises(ParameterError):
+            DeviceBackedEncryptor(ctx, keygen.public_key(), acquisition)

@@ -1,0 +1,102 @@
+"""Unit tests for the integer and batch encoders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bfv.encoder import BatchEncoder, IntegerEncoder, find_batching_plain_modulus
+from repro.bfv.params import BfvContext
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def batch_ctx():
+    # The ~17-bit batching prime needs a wide (2-limb) modulus for the
+    # slot-wise multiplication test to have noise budget.
+    n = 64
+    t = find_batching_plain_modulus(n)
+    return BfvContext.toy(poly_degree=n, plain_modulus=t, limbs=2)
+
+
+class TestIntegerEncoder:
+    @pytest.mark.parametrize("value", [0, 1, -1, 5, -5, 255, -255, 2**30])
+    def test_roundtrip(self, ctx, value):
+        enc = IntegerEncoder(ctx)
+        assert enc.decode(enc.encode(value)) == value
+
+    @settings(max_examples=50, deadline=None)
+    @given(value=st.integers(-(2**40), 2**40))
+    def test_property_roundtrip(self, value, ctx):
+        enc = IntegerEncoder(ctx)
+        assert enc.decode(enc.encode(value)) == value
+
+    def test_rejects_oversized(self, ctx):
+        enc = IntegerEncoder(ctx)
+        with pytest.raises(ParameterError):
+            enc.encode(1 << ctx.n)
+
+    def test_homomorphic_add(self, ctx, encryptor, decryptor, evaluator):
+        enc = IntegerEncoder(ctx)
+        ct = evaluator.add(
+            encryptor.encrypt(enc.encode(5), rng=0),
+            encryptor.encrypt(enc.encode(7), rng=1),
+        )
+        assert enc.decode(decryptor.decrypt(ct)) == 12
+
+    def test_homomorphic_multiply(self, ctx, encryptor, decryptor, evaluator):
+        enc = IntegerEncoder(ctx)
+        ct = evaluator.multiply(
+            encryptor.encrypt(enc.encode(3), rng=2),
+            encryptor.encrypt(enc.encode(4), rng=3),
+        )
+        assert enc.decode(decryptor.decrypt(ct)) == 12
+
+
+class TestBatchEncoder:
+    def test_modulus_finder(self):
+        t = find_batching_plain_modulus(64)
+        assert t % 128 == 1
+
+    def test_requires_batching_modulus(self, ctx):
+        with pytest.raises(ParameterError):
+            BatchEncoder(ctx)  # toy t=17 is not 1 mod 128
+
+    def test_roundtrip(self, batch_ctx):
+        enc = BatchEncoder(batch_ctx)
+        rng = np.random.default_rng(0)
+        slots = [int(v) for v in rng.integers(0, batch_ctx.t, enc.slot_count)]
+        assert enc.decode(enc.encode(slots)) == slots
+
+    def test_short_input_padded(self, batch_ctx):
+        enc = BatchEncoder(batch_ctx)
+        decoded = enc.decode(enc.encode([1, 2, 3]))
+        assert decoded[:3] == [1, 2, 3]
+        assert all(v == 0 for v in decoded[3:])
+
+    def test_too_many_slots(self, batch_ctx):
+        enc = BatchEncoder(batch_ctx)
+        with pytest.raises(ParameterError):
+            enc.encode([0] * (enc.slot_count + 1))
+
+    def test_slotwise_homomorphic_ops(self, batch_ctx):
+        from repro.bfv.decryptor import Decryptor
+        from repro.bfv.encryptor import Encryptor
+        from repro.bfv.evaluator import Evaluator
+        from repro.bfv.keygen import KeyGenerator
+
+        enc = BatchEncoder(batch_ctx)
+        keygen = KeyGenerator(batch_ctx, rng=0)
+        encryptor = Encryptor(batch_ctx, keygen.public_key())
+        decryptor = Decryptor(batch_ctx, keygen.secret_key())
+        evaluator = Evaluator(batch_ctx)
+
+        a = list(range(enc.slot_count))
+        b = [2 * v + 1 for v in range(enc.slot_count)]
+        ct = evaluator.multiply(
+            encryptor.encrypt(enc.encode(a), rng=1),
+            encryptor.encrypt(enc.encode(b), rng=2),
+        )
+        got = enc.decode(decryptor.decrypt(ct))
+        want = [(x * y) % batch_ctx.t for x, y in zip(a, b)]
+        assert got == want

@@ -1,0 +1,124 @@
+"""Integration tests: encrypt/decrypt round trips and the Fig. 2 port."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bfv.encryptor import Encryptor, set_poly_coeffs_normal
+from repro.bfv.plaintext import Plaintext
+from repro.errors import ParameterError
+
+
+class TestRoundtrip:
+    def test_zero(self, ctx, encryptor, decryptor):
+        m = Plaintext.zero(ctx.n, ctx.t)
+        assert decryptor.decrypt(encryptor.encrypt(m, rng=0)) == m
+
+    def test_constant(self, ctx, encryptor, decryptor):
+        m = Plaintext.constant(5, ctx.n, ctx.t)
+        assert decryptor.decrypt(encryptor.encrypt(m, rng=1)) == m
+
+    def test_random_messages(self, ctx, encryptor, decryptor):
+        rng = np.random.default_rng(42)
+        for seed in range(10):
+            m = Plaintext(rng.integers(0, ctx.t, ctx.n), ctx.t)
+            ct = encryptor.encrypt(m, rng=seed)
+            assert decryptor.decrypt(ct) == m
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**32))
+    def test_property_roundtrip(self, seed, ctx, encryptor, decryptor):
+        rng = np.random.default_rng(seed)
+        m = Plaintext(rng.integers(0, ctx.t, ctx.n), ctx.t)
+        assert decryptor.decrypt(encryptor.encrypt(m, rng=rng)) == m
+
+    def test_fresh_randomness_differs(self, ctx, encryptor):
+        m = Plaintext.constant(3, ctx.n, ctx.t)
+        ct1 = encryptor.encrypt(m, rng=10)
+        ct2 = encryptor.encrypt(m, rng=11)
+        assert ct1 != ct2
+
+    def test_paper_parameters_roundtrip(self, paper_ctx):
+        from repro.bfv.decryptor import Decryptor
+        from repro.bfv.keygen import KeyGenerator
+
+        keygen = KeyGenerator(paper_ctx, rng=0)
+        enc = Encryptor(paper_ctx, keygen.public_key())
+        dec = Decryptor(paper_ctx, keygen.secret_key())
+        rng = np.random.default_rng(5)
+        m = Plaintext(rng.integers(0, paper_ctx.t, paper_ctx.n), paper_ctx.t)
+        assert dec.decrypt(enc.encrypt(m, rng=6)) == m
+
+
+class TestArtifacts:
+    def test_artifacts_are_consistent(self, ctx, encryptor):
+        m = Plaintext.constant(2, ctx.n, ctx.t)
+        ct, art = encryptor.encrypt_with_artifacts(m, rng=3)
+        rebuilt = encryptor.encrypt_with_randomness(m, art.u, art.e1, art.e2)
+        assert rebuilt == ct
+
+    def test_artifact_ranges(self, ctx, encryptor):
+        m = Plaintext.zero(ctx.n, ctx.t)
+        _, art = encryptor.encrypt_with_artifacts(m, rng=4)
+        assert set(art.u) <= {-1, 0, 1}
+        assert all(abs(e) <= 41 for e in art.e1)
+        assert all(abs(e) <= 41 for e in art.e2)
+        assert len(art.e1) == ctx.n
+
+    def test_noise_budget_positive_for_fresh(self, ctx, encryptor, decryptor):
+        m = Plaintext.constant(1, ctx.n, ctx.t)
+        ct = encryptor.encrypt(m, rng=5)
+        assert decryptor.invariant_noise_budget(ct) > 0
+
+
+class TestSetPolyCoeffsNormal:
+    """Branch-for-branch equivalence with Fig. 2 of the paper."""
+
+    def _run(self, ctx, values):
+        it = iter(values)
+        return set_poly_coeffs_normal(ctx, lambda: next(it))
+
+    def test_positive_branch(self, ctx):
+        poly, sampled = self._run(ctx, [7] + [0] * (ctx.n - 1))
+        assert sampled[0] == 7
+        for j, m in enumerate(ctx.basis.moduli):
+            assert poly[j, 0] == 7
+
+    def test_negative_branch_subtracts_from_modulus(self, ctx):
+        poly, _ = self._run(ctx, [-7] + [0] * (ctx.n - 1))
+        for j, m in enumerate(ctx.basis.moduli):
+            assert poly[j, 0] == m.value - 7
+
+    def test_zero_branch(self, ctx):
+        poly, _ = self._run(ctx, [0] * ctx.n)
+        assert not poly.any()
+
+    def test_strided_layout_matches_seal(self, ctx):
+        """poly[i + j*coeff_count] in SEAL == poly[j, i] here."""
+        values = list(range(1, ctx.n + 1))
+        poly, _ = self._run(ctx, values)
+        for i in (0, 1, ctx.n - 1):
+            for j in range(ctx.coeff_mod_count):
+                assert poly[j, i] == values[i]
+
+    def test_matches_ring_poly_reduction(self, ctx):
+        """The buffer equals RingPoly.from_int_coeffs of the same values."""
+        from repro.ring.poly import RingPoly
+
+        rng = np.random.default_rng(0)
+        values = [int(v) for v in rng.integers(-41, 42, ctx.n)]
+        poly, sampled = self._run(ctx, values)
+        assert sampled == values
+        expected = RingPoly.from_int_coeffs(ctx.basis, ctx.n, values).residues
+        assert np.array_equal(poly, expected)
+
+
+class TestValidation:
+    def test_wrong_length_plaintext(self, ctx, encryptor):
+        with pytest.raises(ParameterError):
+            encryptor.encrypt(Plaintext.zero(ctx.n // 2, ctx.t), rng=0)
+
+    def test_wrong_plain_modulus(self, ctx, encryptor):
+        with pytest.raises(ParameterError):
+            encryptor.encrypt(Plaintext.zero(ctx.n, ctx.t + 1), rng=0)

@@ -1,0 +1,164 @@
+"""Integration tests for homomorphic evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.bfv.plaintext import Plaintext
+from repro.errors import ParameterError
+
+
+def random_plain(ctx, seed):
+    rng = np.random.default_rng(seed)
+    return Plaintext(rng.integers(0, ctx.t, ctx.n), ctx.t)
+
+
+def plain_add(ctx, a, b):
+    return Plaintext((a.coeffs + b.coeffs) % ctx.t, ctx.t)
+
+
+def plain_negacyclic_mul(ctx, a, b):
+    from repro.ring.exact import exact_negacyclic_multiply
+
+    prod = exact_negacyclic_multiply(list(a.coeffs), list(b.coeffs))
+    return Plaintext([c % ctx.t for c in prod], ctx.t)
+
+
+class TestLinearOps:
+    def test_add(self, ctx, encryptor, decryptor, evaluator):
+        ma, mb = random_plain(ctx, 0), random_plain(ctx, 1)
+        ct = evaluator.add(encryptor.encrypt(ma, rng=0), encryptor.encrypt(mb, rng=1))
+        assert decryptor.decrypt(ct) == plain_add(ctx, ma, mb)
+
+    def test_sub_self_is_zero(self, ctx, encryptor, decryptor, evaluator):
+        m = random_plain(ctx, 2)
+        ct = encryptor.encrypt(m, rng=2)
+        got = decryptor.decrypt(evaluator.sub(ct, ct))
+        assert got == Plaintext.zero(ctx.n, ctx.t)
+
+    def test_negate(self, ctx, encryptor, decryptor, evaluator):
+        m = random_plain(ctx, 3)
+        ct = evaluator.negate(encryptor.encrypt(m, rng=3))
+        expected = Plaintext((-m.coeffs) % ctx.t, ctx.t)
+        assert decryptor.decrypt(ct) == expected
+
+    def test_add_plain(self, ctx, encryptor, decryptor, evaluator):
+        ma, mb = random_plain(ctx, 4), random_plain(ctx, 5)
+        ct = evaluator.add_plain(encryptor.encrypt(ma, rng=4), mb)
+        assert decryptor.decrypt(ct) == plain_add(ctx, ma, mb)
+
+    def test_sub_plain(self, ctx, encryptor, decryptor, evaluator):
+        ma, mb = random_plain(ctx, 6), random_plain(ctx, 7)
+        ct = evaluator.sub_plain(encryptor.encrypt(ma, rng=5), mb)
+        expected = Plaintext((ma.coeffs - mb.coeffs) % ctx.t, ctx.t)
+        assert decryptor.decrypt(ct) == expected
+
+    def test_multiply_plain(self, ctx, encryptor, decryptor, evaluator):
+        ma, mb = random_plain(ctx, 8), random_plain(ctx, 9)
+        ct = evaluator.multiply_plain(encryptor.encrypt(ma, rng=6), mb)
+        assert decryptor.decrypt(ct) == plain_negacyclic_mul(ctx, ma, mb)
+
+    def test_multiply_plain_zero_rejected(self, ctx, encryptor, evaluator):
+        m = random_plain(ctx, 10)
+        with pytest.raises(ParameterError):
+            evaluator.multiply_plain(
+                encryptor.encrypt(m, rng=7), Plaintext.zero(ctx.n, ctx.t)
+            )
+
+    def test_add_commutes_with_plain(self, ctx, encryptor, decryptor, evaluator):
+        """Homomorphism: dec(enc(a) + enc(b)) == dec(enc(a) + b_plain)."""
+        ma, mb = random_plain(ctx, 11), random_plain(ctx, 12)
+        via_ct = evaluator.add(encryptor.encrypt(ma, rng=8), encryptor.encrypt(mb, rng=9))
+        via_plain = evaluator.add_plain(encryptor.encrypt(ma, rng=8), mb)
+        assert decryptor.decrypt(via_ct) == decryptor.decrypt(via_plain)
+
+
+class TestMultiplication:
+    def test_multiply_small_constants(self, ctx, encryptor, decryptor, evaluator):
+        ma = Plaintext.constant(3, ctx.n, ctx.t)
+        mb = Plaintext.constant(5, ctx.n, ctx.t)
+        ct = evaluator.multiply(encryptor.encrypt(ma, rng=0), encryptor.encrypt(mb, rng=1))
+        assert ct.size == 3
+        assert decryptor.decrypt(ct) == Plaintext.constant(15 % ctx.t, ctx.n, ctx.t)
+
+    def test_multiply_polynomials(self, ctx, encryptor, decryptor, evaluator):
+        ma, mb = random_plain(ctx, 20), random_plain(ctx, 21)
+        ct = evaluator.multiply(encryptor.encrypt(ma, rng=2), encryptor.encrypt(mb, rng=3))
+        assert decryptor.decrypt(ct) == plain_negacyclic_mul(ctx, ma, mb)
+
+    def test_multiply_rejects_size3(self, ctx, encryptor, evaluator):
+        m = Plaintext.constant(1, ctx.n, ctx.t)
+        ct3 = evaluator.multiply(encryptor.encrypt(m, rng=4), encryptor.encrypt(m, rng=5))
+        with pytest.raises(ParameterError):
+            evaluator.multiply(ct3, ct3)
+
+    def test_square(self, ctx, encryptor, decryptor, evaluator):
+        m = Plaintext.constant(4, ctx.n, ctx.t)
+        ct = evaluator.square(encryptor.encrypt(m, rng=6))
+        assert decryptor.decrypt(ct) == Plaintext.constant(16 % ctx.t, ctx.n, ctx.t)
+
+
+class TestRelinearisation:
+    def test_relinearize_preserves_plaintext(
+        self, ctx, keygen, encryptor, decryptor, evaluator
+    ):
+        relin = keygen.relin_keys(decomposition_bits=8)
+        ma = Plaintext.constant(3, ctx.n, ctx.t)
+        mb = Plaintext.constant(4, ctx.n, ctx.t)
+        ct3 = evaluator.multiply(encryptor.encrypt(ma, rng=0), encryptor.encrypt(mb, rng=1))
+        ct2 = evaluator.relinearize(ct3, relin)
+        assert ct2.size == 2
+        assert decryptor.decrypt(ct2) == Plaintext.constant(12 % ctx.t, ctx.n, ctx.t)
+
+    def test_multiply_relin_chain(self):
+        """(2 * 3) * 2 = 12 via two chained multiplications.
+
+        Uses a two-limb (54-bit) modulus: the single-limb toy context has
+        no noise budget left for depth-2 circuits.
+        """
+        from repro.bfv.decryptor import Decryptor
+        from repro.bfv.encryptor import Encryptor
+        from repro.bfv.evaluator import Evaluator
+        from repro.bfv.keygen import KeyGenerator
+        from repro.bfv.params import BfvContext
+
+        wide = BfvContext.toy(poly_degree=64, plain_modulus=17, limbs=2)
+        keygen = KeyGenerator(wide, rng=0)
+        encryptor = Encryptor(wide, keygen.public_key())
+        decryptor = Decryptor(wide, keygen.secret_key())
+        evaluator = Evaluator(wide)
+        relin = keygen.relin_keys(decomposition_bits=8)
+        m2 = Plaintext.constant(2, wide.n, wide.t)
+        m3 = Plaintext.constant(3, wide.n, wide.t)
+        ct = evaluator.multiply_relin(
+            encryptor.encrypt(m2, rng=2), encryptor.encrypt(m3, rng=3), relin
+        )
+        ct = evaluator.multiply_relin(ct, encryptor.encrypt(m2, rng=4), relin)
+        assert decryptor.decrypt(ct) == Plaintext.constant(12 % wide.t, wide.n, wide.t)
+
+    def test_relinearize_rejects_size2(self, ctx, keygen, encryptor, evaluator):
+        relin = keygen.relin_keys()
+        ct = encryptor.encrypt(Plaintext.zero(ctx.n, ctx.t), rng=0)
+        with pytest.raises(ParameterError):
+            evaluator.relinearize(ct, relin)
+
+
+class TestNoiseGrowth:
+    def test_budget_decreases_with_multiplication(
+        self, ctx, keygen, encryptor, decryptor, evaluator
+    ):
+        m = Plaintext.constant(2, ctx.n, ctx.t)
+        fresh = encryptor.encrypt(m, rng=0)
+        prod = evaluator.multiply(fresh, encryptor.encrypt(m, rng=1))
+        assert decryptor.invariant_noise_budget(prod) < decryptor.invariant_noise_budget(
+            fresh
+        )
+
+    def test_budget_roughly_stable_with_addition(
+        self, ctx, encryptor, decryptor, evaluator
+    ):
+        m = Plaintext.constant(2, ctx.n, ctx.t)
+        fresh = encryptor.encrypt(m, rng=0)
+        total = evaluator.add(fresh, encryptor.encrypt(m, rng=1))
+        assert decryptor.invariant_noise_budget(total) >= (
+            decryptor.invariant_noise_budget(fresh) - 2.0
+        )

@@ -1,0 +1,137 @@
+"""Tests for homomorphic Galois automorphisms and slot rotations."""
+
+import numpy as np
+import pytest
+
+from repro.bfv.decryptor import Decryptor
+from repro.bfv.encoder import BatchEncoder, find_batching_plain_modulus
+from repro.bfv.encryptor import Encryptor
+from repro.bfv.evaluator import Evaluator
+from repro.bfv.keygen import KeyGenerator
+from repro.bfv.params import BfvContext
+from repro.bfv.plaintext import Plaintext
+from repro.errors import ParameterError
+from repro.ring.galois import apply_galois
+from repro.ring.poly import RingPoly
+
+
+@pytest.fixture(scope="module")
+def setup():
+    n = 32
+    t = find_batching_plain_modulus(n)
+    ctx = BfvContext.toy(poly_degree=n, plain_modulus=t, limbs=2)
+    keygen = KeyGenerator(ctx, rng=0)
+    return (
+        ctx,
+        keygen,
+        Encryptor(ctx, keygen.public_key()),
+        Decryptor(ctx, keygen.secret_key()),
+        Evaluator(ctx),
+    )
+
+
+class TestApplyGalois:
+    def test_decrypts_to_transformed_plaintext(self, setup):
+        ctx, keygen, encryptor, decryptor, evaluator = setup
+        galois_keys = keygen.galois_keys(elements=[3], decomposition_bits=8)
+        rng = np.random.default_rng(1)
+        coeffs = [int(x) for x in rng.integers(0, ctx.t, ctx.n)]
+        plain = Plaintext(coeffs, ctx.t)
+        ct = evaluator.apply_galois(encryptor.encrypt(plain, rng=2), 3, galois_keys)
+        got = decryptor.decrypt(ct)
+        # expected: tau_3 applied to the plaintext polynomial over R_t
+        plain_poly = RingPoly.from_int_coeffs(ctx.basis, ctx.n, coeffs)
+        rotated = apply_galois(plain_poly, 3)
+        # reduce the rotated coefficients mod t using centered lift
+        expected = Plaintext(
+            [c % ctx.t for c in _centered_mod_t(rotated, ctx)], ctx.t
+        )
+        assert got == expected
+
+    def test_missing_key_rejected(self, setup):
+        ctx, keygen, encryptor, _, evaluator = setup
+        galois_keys = keygen.galois_keys(elements=[3], decomposition_bits=8)
+        ct = encryptor.encrypt(Plaintext.zero(ctx.n, ctx.t), rng=0)
+        with pytest.raises(ParameterError):
+            evaluator.apply_galois(ct, 5, galois_keys)
+
+    def test_requires_size_2(self, setup):
+        ctx, keygen, encryptor, _, evaluator = setup
+        galois_keys = keygen.galois_keys(elements=[3], decomposition_bits=8)
+        m = Plaintext.constant(1, ctx.n, ctx.t)
+        ct3 = evaluator.multiply(
+            encryptor.encrypt(m, rng=1), encryptor.encrypt(m, rng=2)
+        )
+        with pytest.raises(ParameterError):
+            evaluator.apply_galois(ct3, 3, galois_keys)
+
+
+def _centered_mod_t(poly, ctx):
+    half = ctx.q // 2
+    out = []
+    for c in poly.to_bigint_coeffs():
+        c = c - ctx.q if c > half else c
+        out.append(c % ctx.t)
+    return out
+
+
+class TestSlotRotation:
+    def test_rotation_is_slot_permutation(self, setup):
+        ctx, keygen, encryptor, decryptor, evaluator = setup
+        encoder = BatchEncoder(ctx)
+        galois_keys = keygen.galois_keys(steps=[1], decomposition_bits=8)
+        values = list(range(1, encoder.slot_count + 1))
+        ct = evaluator.rotate_rows(
+            encryptor.encrypt(encoder.encode(values), rng=3), 1, galois_keys
+        )
+        rotated = encoder.decode(decryptor.decrypt(ct))
+        assert sorted(rotated) == sorted(values)  # a permutation
+        assert rotated != values  # and not the identity
+
+    def test_rotation_permutation_is_input_independent(self, setup):
+        """The same step permutes any input the same way (linearity)."""
+        ctx, keygen, encryptor, decryptor, evaluator = setup
+        encoder = BatchEncoder(ctx)
+        galois_keys = keygen.galois_keys(steps=[1], decomposition_bits=8)
+
+        def permutation_of(values, seed):
+            ct = evaluator.rotate_rows(
+                encryptor.encrypt(encoder.encode(values), rng=seed), 1, galois_keys
+            )
+            out = encoder.decode(decryptor.decrypt(ct))
+            mapping = {}
+            for i, v in enumerate(values):
+                mapping[i] = out.index(v)
+            return mapping
+
+        a = list(range(1, encoder.slot_count + 1))
+        b = [3 * v + 7 for v in range(encoder.slot_count)]
+        assert permutation_of(a, 4) == permutation_of(b, 5)
+
+    def test_rotation_composes(self, setup):
+        """rot(1) twice == rot(2)."""
+        ctx, keygen, encryptor, decryptor, evaluator = setup
+        encoder = BatchEncoder(ctx)
+        galois_keys = keygen.galois_keys(steps=[1, 2], decomposition_bits=8)
+        values = [7 * v % ctx.t for v in range(encoder.slot_count)]
+        ct = encryptor.encrypt(encoder.encode(values), rng=6)
+        twice = evaluator.rotate_rows(
+            evaluator.rotate_rows(ct, 1, galois_keys), 1, galois_keys
+        )
+        direct = evaluator.rotate_rows(ct, 2, galois_keys)
+        assert encoder.decode(decryptor.decrypt(twice)) == encoder.decode(
+            decryptor.decrypt(direct)
+        )
+
+    def test_rotate_columns_is_involution(self, setup):
+        ctx, keygen, encryptor, decryptor, evaluator = setup
+        encoder = BatchEncoder(ctx)
+        galois_keys = keygen.galois_keys(
+            elements=[2 * ctx.n - 1], decomposition_bits=8
+        )
+        values = [5 * v % ctx.t for v in range(encoder.slot_count)]
+        ct = encryptor.encrypt(encoder.encode(values), rng=7)
+        swapped = evaluator.rotate_columns(ct, galois_keys)
+        back = evaluator.rotate_columns(swapped, galois_keys)
+        assert encoder.decode(decryptor.decrypt(back)) == values
+        assert encoder.decode(decryptor.decrypt(swapped)) != values

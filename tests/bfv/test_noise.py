@@ -1,0 +1,84 @@
+"""Tests for the theoretical noise-budget analysis."""
+
+import numpy as np
+import pytest
+
+from repro.bfv.decryptor import Decryptor
+from repro.bfv.encryptor import Encryptor
+from repro.bfv.evaluator import Evaluator
+from repro.bfv.keygen import KeyGenerator
+from repro.bfv.noise import (
+    addition_noise_growth_bits,
+    fresh_encryption_noise,
+    multiply_noise_growth_bits,
+    supported_multiplication_depth,
+)
+from repro.bfv.params import BfvContext
+from repro.bfv.plaintext import Plaintext
+
+
+class TestFreshNoise:
+    def test_expected_below_worst_case(self):
+        ctx = BfvContext.default()
+        estimate = fresh_encryption_noise(ctx)
+        assert estimate.expected_bits < estimate.worst_case_bits
+
+    def test_predicts_measured_budget(self):
+        """The theoretical expected budget tracks the measured one."""
+        ctx = BfvContext.default()
+        keygen = KeyGenerator(ctx, rng=0)
+        encryptor = Encryptor(ctx, keygen.public_key())
+        decryptor = Decryptor(ctx, keygen.secret_key())
+        measured = []
+        for seed in range(8):
+            ct = encryptor.encrypt(Plaintext.constant(1, ctx.n, ctx.t), rng=seed)
+            measured.append(decryptor.invariant_noise_budget(ct))
+        predicted = fresh_encryption_noise(ctx).budget_bits(ctx)
+        assert predicted == pytest.approx(float(np.mean(measured)), abs=3.0)
+
+    def test_larger_ring_larger_noise(self):
+        small = fresh_encryption_noise(BfvContext.toy(poly_degree=64))
+        large = fresh_encryption_noise(BfvContext.default())
+        assert large.expected_bits > small.expected_bits
+
+
+class TestGrowth:
+    def test_addition_is_one_bit(self):
+        assert addition_noise_growth_bits() == 1.0
+
+    def test_multiplication_cost_tracks_measurement(self):
+        ctx = BfvContext.toy(poly_degree=64, plain_modulus=17, limbs=2)
+        keygen = KeyGenerator(ctx, rng=1)
+        encryptor = Encryptor(ctx, keygen.public_key())
+        decryptor = Decryptor(ctx, keygen.secret_key())
+        evaluator = Evaluator(ctx)
+        m = Plaintext.constant(2, ctx.n, ctx.t)
+        fresh = encryptor.encrypt(m, rng=0)
+        prod = evaluator.multiply(fresh, encryptor.encrypt(m, rng=1))
+        consumed = decryptor.invariant_noise_budget(fresh) - decryptor.invariant_noise_budget(prod)
+        predicted = multiply_noise_growth_bits(ctx)
+        assert consumed == pytest.approx(predicted, abs=4.0)
+
+    def test_depth_positive_for_wide_modulus(self):
+        wide = BfvContext.toy(poly_degree=64, plain_modulus=17, limbs=2)
+        assert supported_multiplication_depth(wide) >= 1
+
+    def test_depth_zero_for_narrow_modulus(self):
+        narrow = BfvContext.toy(poly_degree=1024, plain_modulus=256, limbs=1)
+        assert supported_multiplication_depth(narrow) == 0
+
+    def test_depth_matches_reality(self):
+        """The predicted depth is actually decryptable."""
+        ctx = BfvContext.toy(poly_degree=64, plain_modulus=17, limbs=2)
+        depth = supported_multiplication_depth(ctx)
+        keygen = KeyGenerator(ctx, rng=2)
+        encryptor = Encryptor(ctx, keygen.public_key())
+        decryptor = Decryptor(ctx, keygen.secret_key())
+        evaluator = Evaluator(ctx)
+        relin = keygen.relin_keys(decomposition_bits=8)
+        ct = encryptor.encrypt(Plaintext.constant(1, ctx.n, ctx.t), rng=0)
+        for level in range(depth):
+            ct = evaluator.multiply_relin(
+                ct, encryptor.encrypt(Plaintext.constant(1, ctx.n, ctx.t), rng=level + 1), relin
+            )
+        assert decryptor.decrypt(ct) == Plaintext.constant(1, ctx.n, ctx.t)

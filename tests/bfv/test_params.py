@@ -1,0 +1,86 @@
+"""Unit tests for BFV parameters and context."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ring.primes import PAPER_Q_1024, generate_ntt_primes
+from repro.bfv.params import (
+    DEFAULT_NOISE_MAX_DEVIATION,
+    DEFAULT_NOISE_STANDARD_DEVIATION,
+    BfvContext,
+    BfvParameters,
+)
+
+
+class TestDefaults:
+    def test_paper_configuration(self):
+        ctx = BfvContext.default()
+        assert ctx.n == 1024
+        assert ctx.q == PAPER_Q_1024
+        assert ctx.t == 256
+        assert ctx.params.noise_standard_deviation == pytest.approx(3.19)
+        assert ctx.params.noise_max_deviation == 41.0
+
+    def test_sigma_is_8_over_sqrt_2pi(self):
+        import math
+
+        assert DEFAULT_NOISE_STANDARD_DEVIATION == pytest.approx(
+            8 / math.sqrt(2 * math.pi), abs=0.01
+        )
+
+    def test_delta(self):
+        ctx = BfvContext.default()
+        assert ctx.delta == ctx.q // ctx.t
+
+    def test_larger_degrees_supported(self):
+        ctx = BfvContext.default(poly_degree=4096)
+        assert ctx.n == 4096
+        assert ctx.coeff_mod_count >= 2
+        assert 105 <= ctx.total_coeff_modulus_bits() <= 112
+
+    def test_toy_context(self):
+        ctx = BfvContext.toy()
+        assert ctx.n == 64
+        assert ctx.t == 17
+
+
+class TestValidation:
+    def test_rejects_non_power_of_two_degree(self):
+        chain = generate_ntt_primes(20, 1, 64)
+        with pytest.raises(ParameterError):
+            BfvParameters(60, tuple(chain))
+
+    def test_rejects_empty_modulus(self):
+        with pytest.raises(ParameterError):
+            BfvParameters(64, ())
+
+    def test_rejects_small_plain_modulus(self):
+        chain = generate_ntt_primes(20, 1, 64)
+        with pytest.raises(ParameterError):
+            BfvParameters(64, tuple(chain), plain_modulus=1)
+
+    def test_rejects_unfriendly_modulus(self):
+        chain = generate_ntt_primes(20, 1, 128)  # 1 mod 256, not 1 mod 512
+        values_ok = all((m.value - 1) % 512 == 0 for m in chain)
+        if values_ok:
+            pytest.skip("generated prime happens to be friendly for 256 too")
+        with pytest.raises(ParameterError):
+            BfvParameters(256, tuple(chain))
+
+    def test_rejects_negative_sigma(self):
+        chain = generate_ntt_primes(20, 1, 64)
+        with pytest.raises(ParameterError):
+            BfvParameters(64, tuple(chain), noise_standard_deviation=-1.0)
+
+    def test_rejects_max_dev_below_sigma(self):
+        chain = generate_ntt_primes(20, 1, 64)
+        with pytest.raises(ParameterError):
+            BfvParameters(64, tuple(chain), noise_max_deviation=1.0)
+
+    def test_rejects_t_close_to_q(self):
+        chain = generate_ntt_primes(20, 1, 64)
+        with pytest.raises(ParameterError):
+            BfvParameters(64, tuple(chain), plain_modulus=chain[0].value)
+
+    def test_repr(self):
+        assert "n=1024" in repr(BfvContext.default())

@@ -1,0 +1,126 @@
+"""Unit and statistical tests for the BFV samplers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bfv.sampler import (
+    ClippedNormalDistribution,
+    llround,
+    sample_noise_coeffs,
+    sample_noise_poly,
+    sample_ternary_poly,
+    sample_uniform_poly,
+)
+from repro.errors import SamplingError
+
+
+class TestLlround:
+    @pytest.mark.parametrize(
+        "x,expected",
+        [(0.0, 0), (0.4, 0), (0.5, 1), (1.5, 2), (-0.4, 0), (-0.5, -1), (-1.5, -2)],
+    )
+    def test_half_away_from_zero(self, x, expected):
+        assert llround(x) == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(x=st.floats(-1e6, 1e6))
+    def test_property_within_half(self, x):
+        assert abs(llround(x) - x) <= 0.5
+
+
+class TestClippedNormal:
+    def test_rejects_bad_params(self):
+        with pytest.raises(SamplingError):
+            ClippedNormalDistribution(-1.0, 10.0)
+        with pytest.raises(SamplingError):
+            ClippedNormalDistribution(3.19, 1.0)
+
+    def test_support_bound(self):
+        dist = ClippedNormalDistribution(3.19, 41.0)
+        assert dist.support_bound == 41
+
+    def test_samples_within_support(self):
+        dist = ClippedNormalDistribution(3.19, 41.0)
+        rng = np.random.default_rng(0)
+        values = dist.sample_vector(rng, 5000)
+        assert all(-41 <= v <= 41 for v in values)
+        assert all(isinstance(v, int) for v in values)
+
+    def test_tight_clip_forces_resampling(self):
+        dist = ClippedNormalDistribution(3.19, 3.19)
+        rng = np.random.default_rng(1)
+        values = dist.sample_vector(rng, 2000)
+        assert all(-3 <= v <= 3 for v in values)
+
+    def test_mean_and_std_match_sigma(self):
+        dist = ClippedNormalDistribution(3.19, 41.0)
+        rng = np.random.default_rng(2)
+        values = np.array(dist.sample_vector(rng, 20000), dtype=float)
+        assert abs(values.mean()) < 0.1
+        # rounding adds 1/12 variance; clipping at 41 removes almost nothing
+        expected_std = math.sqrt(3.19**2 + 1 / 12)
+        assert values.std() == pytest.approx(expected_std, rel=0.05)
+
+    def test_observed_range_matches_paper(self):
+        """Paper: 220000 draws stayed within [-14, 14] despite the [-41, 41] support."""
+        dist = ClippedNormalDistribution(3.19, 41.0)
+        rng = np.random.default_rng(3)
+        values = dist.sample_vector(rng, 220_000)
+        assert min(values) >= -16
+        assert max(values) <= 16
+        assert max(abs(v) for v in values) >= 12
+
+    def test_distribution_shape(self):
+        """Chi-square against the rounded-Gaussian bin probabilities."""
+        sigma = 3.19
+        dist = ClippedNormalDistribution(sigma, 41.0)
+        rng = np.random.default_rng(4)
+        count = 50_000
+        values = dist.sample_vector(rng, count)
+        # probability of bin k = Phi((k+.5)/sigma) - Phi((k-.5)/sigma)
+        phi = lambda x: 0.5 * (1 + math.erf(x / math.sqrt(2)))
+        chi2 = 0.0
+        dof = 0
+        for k in range(-8, 9):
+            p = phi((k + 0.5) / sigma) - phi((k - 0.5) / sigma)
+            observed = sum(1 for v in values if v == k)
+            expected = p * count
+            chi2 += (observed - expected) ** 2 / expected
+            dof += 1
+        # dof=17 bins; p=0.001 critical value ~ 40
+        assert chi2 < 40.0
+
+
+class TestPolySamplers:
+    def test_noise_poly_coeffs_small(self, ctx):
+        p = sample_noise_poly(ctx, np.random.default_rng(0))
+        centered = p.to_centered_coeffs()
+        assert all(abs(c) <= 41 for c in centered)
+
+    def test_noise_coeffs_deterministic_by_seed(self, ctx):
+        a = sample_noise_coeffs(ctx, np.random.default_rng(7))
+        b = sample_noise_coeffs(ctx, np.random.default_rng(7))
+        assert a == b
+
+    def test_ternary_poly(self, ctx):
+        p = sample_ternary_poly(ctx, np.random.default_rng(1))
+        centered = p.to_centered_coeffs()
+        assert set(centered) <= {-1, 0, 1}
+        # all three values occur in 64 draws with overwhelming probability
+        assert len(set(centered)) == 3
+
+    def test_uniform_poly_spread(self, ctx):
+        p = sample_uniform_poly(ctx, np.random.default_rng(2))
+        coeffs = p.to_bigint_coeffs()
+        assert max(coeffs) > ctx.q // 2
+        assert len(set(coeffs)) > ctx.n // 2
+
+    def test_uniform_poly_within_range(self, ctx):
+        p = sample_uniform_poly(ctx, np.random.default_rng(3))
+        for i, m in enumerate(ctx.basis.moduli):
+            assert p.residues[i].min() >= 0
+            assert p.residues[i].max() < m.value

@@ -1,0 +1,86 @@
+"""Tests for BFV object serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.bfv.serialization import (
+    load_ciphertext,
+    load_plaintext,
+    load_public_key,
+    load_relin_keys,
+    load_secret_key,
+    save_ciphertext,
+    save_plaintext,
+    save_public_key,
+    save_relin_keys,
+    save_secret_key,
+)
+from repro.bfv.decryptor import Decryptor
+from repro.bfv.encryptor import Encryptor
+from repro.bfv.evaluator import Evaluator
+from repro.bfv.params import BfvContext
+from repro.bfv.plaintext import Plaintext
+from repro.errors import ParameterError
+
+
+class TestRoundtrips:
+    def test_plaintext(self, ctx, tmp_path):
+        rng = np.random.default_rng(0)
+        plain = Plaintext(rng.integers(0, ctx.t, ctx.n), ctx.t)
+        save_plaintext(ctx, plain, tmp_path / "m.npz")
+        assert load_plaintext(ctx, tmp_path / "m.npz") == plain
+
+    def test_ciphertext_still_decrypts(self, ctx, encryptor, decryptor, tmp_path):
+        plain = Plaintext.constant(9, ctx.n, ctx.t)
+        ct = encryptor.encrypt(plain, rng=1)
+        save_ciphertext(ctx, ct, tmp_path / "ct.npz")
+        restored = load_ciphertext(ctx, tmp_path / "ct.npz")
+        assert restored == ct
+        assert decryptor.decrypt(restored) == plain
+
+    def test_size3_ciphertext(self, ctx, encryptor, evaluator, tmp_path):
+        m = Plaintext.constant(2, ctx.n, ctx.t)
+        ct3 = evaluator.multiply(encryptor.encrypt(m, rng=2), encryptor.encrypt(m, rng=3))
+        save_ciphertext(ctx, ct3, tmp_path / "ct3.npz")
+        assert load_ciphertext(ctx, tmp_path / "ct3.npz").size == 3
+
+    def test_key_material(self, ctx, keygen, tmp_path):
+        sk = keygen.secret_key()
+        pk = keygen.public_key()
+        rk = keygen.relin_keys(decomposition_bits=8)
+        save_secret_key(ctx, sk, tmp_path / "sk.npz")
+        save_public_key(ctx, pk, tmp_path / "pk.npz")
+        save_relin_keys(ctx, rk, tmp_path / "rk.npz")
+        assert load_secret_key(ctx, tmp_path / "sk.npz").s == sk.s
+        loaded_pk = load_public_key(ctx, tmp_path / "pk.npz")
+        assert loaded_pk.p0 == pk.p0 and loaded_pk.p1 == pk.p1
+        loaded_rk = load_relin_keys(ctx, tmp_path / "rk.npz")
+        assert loaded_rk.decomposition_bits == 8
+        assert len(loaded_rk.pairs) == len(rk.pairs)
+        assert all(
+            a == b and c == d
+            for (a, c), (b, d) in zip(loaded_rk.pairs, rk.pairs)
+        )
+
+    def test_restored_keys_work_end_to_end(self, ctx, keygen, tmp_path):
+        save_public_key(ctx, keygen.public_key(), tmp_path / "pk.npz")
+        save_secret_key(ctx, keygen.secret_key(), tmp_path / "sk.npz")
+        encryptor = Encryptor(ctx, load_public_key(ctx, tmp_path / "pk.npz"))
+        decryptor = Decryptor(ctx, load_secret_key(ctx, tmp_path / "sk.npz"))
+        plain = Plaintext.constant(4, ctx.n, ctx.t)
+        assert decryptor.decrypt(encryptor.encrypt(plain, rng=5)) == plain
+
+
+class TestValidation:
+    def test_kind_mismatch(self, ctx, tmp_path):
+        plain = Plaintext.zero(ctx.n, ctx.t)
+        save_plaintext(ctx, plain, tmp_path / "m.npz")
+        with pytest.raises(ParameterError):
+            load_ciphertext(ctx, tmp_path / "m.npz")
+
+    def test_parameter_mismatch(self, ctx, tmp_path):
+        plain = Plaintext.zero(ctx.n, ctx.t)
+        save_plaintext(ctx, plain, tmp_path / "m.npz")
+        other = BfvContext.toy(poly_degree=ctx.n, plain_modulus=ctx.t + 2)
+        with pytest.raises(ParameterError):
+            load_plaintext(other, tmp_path / "m.npz")

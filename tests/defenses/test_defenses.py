@@ -1,0 +1,150 @@
+"""Tests for the shuffling and constant-time countermeasures."""
+
+import numpy as np
+import pytest
+
+from repro.defenses.ct_sampler import constant_time_device, constant_time_sampler_source
+from repro.defenses.shuffling import shuffled_device, shuffled_sampler_source
+from repro.riscv import cycles as cy
+from repro.riscv.device import _OUT_BASE, GaussianSamplerDevice
+
+Q = 132120577
+
+
+@pytest.fixture(scope="module")
+def base_device():
+    return GaussianSamplerDevice([Q])
+
+
+@pytest.fixture(scope="module")
+def ct_device():
+    return constant_time_device([Q])
+
+
+@pytest.fixture(scope="module")
+def sh_device():
+    return shuffled_device([Q])
+
+
+class TestConstantTime:
+    def test_functionally_identical(self, base_device, ct_device):
+        for seed in (1, 7, 99):
+            assert (
+                ct_device.run(seed, 16, record_events=False).values
+                == base_device.run(seed, 16, record_events=False).values
+            )
+
+    def test_residue_encoding(self, ct_device):
+        run = ct_device.run(5, 32, record_events=False)
+        for v, r in zip(run.values, run.residues[0]):
+            assert r == (v if v >= 0 else Q + v)
+
+    def test_no_sign_dependent_control_flow(self, ct_device):
+        """The instruction sequence after the value computation is the
+        same for positive, negative and zero coefficients."""
+        streams = {}
+        for seed in range(1, 80):
+            run = ct_device.run(seed, 1)
+            value = run.values[0]
+            sign = 0 if value == 0 else (1 if value > 0 else -1)
+            if sign in streams:
+                continue
+            # instruction words from the last sigma-multiply onwards
+            words = []
+            recording = False
+            for e in run.events:
+                if e.op_class == cy.OP_MUL and e.rs2_value == 209060:
+                    recording = True
+                    words = []
+                if recording:
+                    words.append(e.word)
+            streams[sign] = tuple(words)
+            if len(streams) == 3:
+                break
+        assert len(streams) == 3, "did not observe all three signs"
+        assert streams[0] == streams[1] == streams[-1]
+
+    def test_vulnerable_kernel_has_sign_dependent_flow(self, base_device):
+        """Control (sanity): the original kernel's streams differ by sign."""
+        streams = {}
+        for seed in range(1, 80):
+            run = base_device.run(seed, 1)
+            value = run.values[0]
+            sign = 0 if value == 0 else (1 if value > 0 else -1)
+            if sign in streams:
+                continue
+            words = []
+            recording = False
+            for e in run.events:
+                if e.op_class == cy.OP_MUL and e.rs2_value == 209060:
+                    recording = True
+                    words = []
+                if recording:
+                    words.append(e.word)
+            streams[sign] = tuple(words)
+            if len(streams) == 3:
+                break
+        assert len(streams) == 3
+        assert streams[1] != streams[-1]
+        assert streams[1] != streams[0]
+
+    def test_source_contains_no_assignment_branches(self):
+        source = constant_time_sampler_source()
+        assert "pos_branch" not in source
+        assert "neg_branch" not in source
+        assert "ct_loop" in source
+
+
+class TestShuffling:
+    def test_single_coefficient_matches_base(self, base_device, sh_device):
+        """With n=1 the permutation is trivial and the PRNG stream aligned."""
+        for seed in (3, 11):
+            assert (
+                sh_device.run(seed, 1, record_events=False).values
+                == base_device.run(seed, 1, record_events=False).values
+            )
+
+    def test_every_coefficient_written_once(self, sh_device):
+        n = 16
+        run = sh_device.run(9, n)
+        stores = [
+            e.address
+            for e in run.events
+            if e.op_class == cy.OP_STORE and _OUT_BASE <= e.address < _OUT_BASE + 4 * n
+        ]
+        indices = [(a - _OUT_BASE) // 4 for a in stores]
+        assert sorted(indices) == list(range(n))
+
+    def test_order_is_permuted(self, sh_device):
+        n = 16
+        run = sh_device.run(9, n)
+        stores = [
+            e.address
+            for e in run.events
+            if e.op_class == cy.OP_STORE and _OUT_BASE <= e.address < _OUT_BASE + 4 * n
+        ]
+        indices = [(a - _OUT_BASE) // 4 for a in stores]
+        assert indices != list(range(n))
+
+    def test_permutation_varies_with_seed(self, sh_device):
+        def order(seed):
+            run = sh_device.run(seed, 8)
+            return [
+                (e.address - _OUT_BASE) // 4
+                for e in run.events
+                if e.op_class == cy.OP_STORE and _OUT_BASE <= e.address < _OUT_BASE + 32
+            ]
+
+        assert order(10) != order(11)
+
+    def test_values_still_gaussian_like(self, sh_device):
+        run = sh_device.run(21, 128, record_events=False)
+        values = np.array(run.values)
+        assert abs(values.mean()) < 1.5
+        assert 2.0 < values.std() < 4.5
+        assert all(-41 <= v <= 41 for v in values)
+
+    def test_source_contains_fisher_yates(self):
+        source = shuffled_sampler_source()
+        assert "fy_loop" in source
+        assert "remu" in source

@@ -1,0 +1,169 @@
+"""Unit and property tests for the DBDD instances."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HintError
+from repro.hints.dbdd import CoordinateDbdd, DbddInstance
+
+
+def small_instance(dim=4, variance=9.0, logvol=10.0):
+    return DbddInstance(
+        mean=np.zeros(dim), covariance=variance * np.eye(dim), log_lattice_volume=logvol
+    )
+
+
+class TestDbddInstance:
+    def test_initial_state(self):
+        inst = small_instance()
+        assert inst.dim == 4
+        assert inst.homogenised_dim() == 5
+        assert inst.log_det_sigma() == pytest.approx(4 * math.log(9.0))
+        assert inst.log_isotropic_volume() == pytest.approx(10.0 - 2 * math.log(9.0))
+
+    def test_perfect_hint_reduces_dimension(self):
+        inst = small_instance()
+        inst.integrate_perfect_hint([1, 0, 0, 0], 3.0)
+        assert inst.homogenised_dim() == 4
+        assert inst.mu[0] == pytest.approx(3.0)
+        # remaining determinant only over 3 coordinates
+        assert inst.log_det_sigma() == pytest.approx(3 * math.log(9.0))
+
+    def test_perfect_hint_nonunit_vector_grows_volume(self):
+        inst = small_instance()
+        inst.integrate_perfect_hint([3, 4, 0, 0], 0.0)
+        assert inst.log_volume == pytest.approx(10.0 + math.log(5.0))
+
+    def test_redundant_perfect_hint_rejected(self):
+        inst = small_instance()
+        inst.integrate_perfect_hint([1, 0, 0, 0], 2.0)
+        with pytest.raises(HintError):
+            inst.integrate_perfect_hint([1, 0, 0, 0], 2.0)
+
+    def test_perfect_hint_conditioning_matches_gaussian_algebra(self):
+        """2D check against hand-computed conditional distribution."""
+        cov = np.array([[4.0, 1.0], [1.0, 2.0]])
+        inst = DbddInstance([0.0, 0.0], cov, 0.0)
+        inst.integrate_perfect_hint([1, 0], 2.0)  # condition on x = 2
+        # conditional of y given x=2: mean = 2 * 1/4, var = 2 - 1/4
+        assert inst.mu[1] == pytest.approx(0.5)
+        assert inst.sigma[1, 1] == pytest.approx(1.75)
+        assert inst.sigma[0, 0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_approximate_hint_shrinks_variance(self):
+        inst = small_instance()
+        before = inst.log_det_sigma()
+        inst.integrate_approximate_hint([1, 0, 0, 0], 1.0, noise_variance=1.0)
+        # posterior variance = 1/(1/9 + 1/1) = 0.9
+        assert inst.sigma[0, 0] == pytest.approx(0.9)
+        assert inst.log_det_sigma() < before
+        assert inst.homogenised_dim() == 5  # no dimension change
+
+    def test_approximate_hint_converges_to_perfect(self):
+        """As the hint noise vanishes, conditioning approaches a perfect hint."""
+        loose = small_instance()
+        loose.integrate_approximate_hint([0, 1, 0, 0], 2.5, noise_variance=1e-9)
+        exact = small_instance()
+        exact.integrate_perfect_hint([0, 1, 0, 0], 2.5)
+        assert loose.mu[1] == pytest.approx(exact.mu[1], abs=1e-6)
+        assert loose.sigma[1, 1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_approximate_hint_validates(self):
+        inst = small_instance()
+        with pytest.raises(HintError):
+            inst.integrate_approximate_hint([1, 0, 0, 0], 0.0, noise_variance=0.0)
+
+    def test_modular_hint_smooth_regime(self):
+        inst = small_instance()
+        before = inst.log_isotropic_volume()
+        inst.integrate_modular_hint([1, 0, 0, 0], 1, 2)
+        assert inst.log_isotropic_volume() == pytest.approx(before + math.log(2))
+
+    def test_modular_hint_outside_smooth_regime_rejected(self):
+        inst = small_instance(variance=0.25)
+        with pytest.raises(HintError):
+            inst.integrate_modular_hint([1, 0, 0, 0], 0, 50)
+
+    def test_short_vector_hint(self):
+        inst = small_instance()
+        before_vol = inst.log_volume
+        inst.integrate_short_vector_hint([2, 0, 0, 0])
+        assert inst.log_volume == pytest.approx(before_vol - math.log(2.0))
+        assert inst.homogenised_dim() == 4
+
+    def test_vector_validation(self):
+        inst = small_instance()
+        with pytest.raises(HintError):
+            inst.integrate_perfect_hint([0, 0, 0, 0], 1.0)
+        with pytest.raises(HintError):
+            inst.integrate_perfect_hint([1, 0], 1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(value=st.floats(-5, 5), seed=st.integers(0, 1000))
+    def test_property_perfect_hint_beta_never_larger(self, value, seed):
+        """More information can only make the attack easier."""
+        rng = np.random.default_rng(seed)
+        base = DbddInstance(np.zeros(6), np.diag(rng.uniform(1, 10, 6)), 30.0)
+        before = base.estimate_beta()
+        base.integrate_perfect_hint([1, 0, 0, 0, 0, 0], value)
+        assert base.estimate_beta() <= before + 1e-9
+
+
+class TestCoordinateDbdd:
+    def test_matches_full_instance(self):
+        """Diagonal fast path agrees with the general implementation."""
+        variances = [4.0, 9.0, 2.0, 7.0]
+        full = DbddInstance(np.zeros(4), np.diag(variances), 12.0)
+        fast = CoordinateDbdd(variances, 12.0)
+        assert fast.homogenised_dim() == full.homogenised_dim()
+        assert fast.log_isotropic_volume() == pytest.approx(
+            full.log_isotropic_volume()
+        )
+        full.integrate_perfect_hint([0, 1, 0, 0], 1.0)
+        fast.integrate_perfect_hint(1, 1.0)
+        assert fast.homogenised_dim() == full.homogenised_dim()
+        assert fast.log_isotropic_volume() == pytest.approx(
+            full.log_isotropic_volume()
+        )
+        full.integrate_approximate_hint([0, 0, 1, 0], 0.5, noise_variance=2.0)
+        fast.integrate_approximate_hint(2, 0.5, noise_variance=2.0)
+        assert fast.log_isotropic_volume() == pytest.approx(
+            full.log_isotropic_volume()
+        )
+        assert fast.centers[2] == pytest.approx(full.mu[2])
+
+    def test_aposteriori_hint_replaces_distribution(self):
+        fast = CoordinateDbdd([10.0, 10.0], 5.0)
+        fast.integrate_aposteriori_hint(0, 3.0, 0.5)
+        assert fast.variances[0] == 0.5
+        assert fast.centers[0] == 3.0
+
+    def test_aposteriori_uninformative_ignored(self):
+        fast = CoordinateDbdd([10.0, 10.0], 5.0)
+        fast.integrate_aposteriori_hint(0, 3.0, 20.0)
+        assert fast.variances[0] == 10.0
+
+    def test_aposteriori_tiny_variance_becomes_perfect(self):
+        fast = CoordinateDbdd([10.0], 5.0)
+        fast.integrate_aposteriori_hint(0, 2.0, 1e-12)
+        assert not fast.active[0]
+        assert fast.homogenised_dim() == 1
+
+    def test_double_perfect_rejected(self):
+        fast = CoordinateDbdd([10.0, 10.0], 5.0)
+        fast.integrate_perfect_hint(0, 1.0)
+        with pytest.raises(HintError):
+            fast.integrate_perfect_hint(0, 1.0)
+
+    def test_index_validation(self):
+        fast = CoordinateDbdd([10.0], 5.0)
+        with pytest.raises(HintError):
+            fast.integrate_perfect_hint(5, 0.0)
+
+    def test_positive_variances_required(self):
+        with pytest.raises(HintError):
+            CoordinateDbdd([1.0, 0.0], 5.0)

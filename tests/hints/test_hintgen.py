@@ -1,0 +1,98 @@
+"""Tests for converting attack output into hints."""
+
+import math
+
+import pytest
+
+from repro.errors import HintError
+from repro.hints.dbdd import CoordinateDbdd
+from repro.hints.hintgen import (
+    CoefficientHint,
+    apply_guesses,
+    apply_hints,
+    hints_from_probability_tables,
+    hints_from_signs,
+    moments_of_table,
+    sign_conditional_moments,
+)
+
+
+class TestMoments:
+    def test_delta_table(self):
+        assert moments_of_table({3: 1.0}) == (3.0, 0.0)
+
+    def test_symmetric_table(self):
+        mean, var = moments_of_table({-1: 0.5, 1: 0.5})
+        assert mean == 0.0
+        assert var == 1.0
+
+    def test_table_ii_style(self):
+        """A 'probability ~ 1' measurement (Table II row for value 1)."""
+        mean, var = moments_of_table({1: 1 - 2.7e-10, 2: 2.7e-10})
+        assert mean == pytest.approx(1.0, abs=1e-9)
+        assert var == pytest.approx(2.7e-10, rel=0.01)
+
+    def test_unnormalised_rejected(self):
+        with pytest.raises(HintError):
+            moments_of_table({1: 0.4})
+
+    def test_empty_rejected(self):
+        with pytest.raises(HintError):
+            moments_of_table({})
+
+
+class TestHintsFromTables:
+    def test_indices_assigned(self):
+        hints = hints_from_probability_tables([{0: 1.0}, {2: 1.0}])
+        assert [h.index for h in hints] == [0, 1]
+        assert hints[1].centered == 2.0
+
+    def test_perfect_detection(self):
+        hints = hints_from_probability_tables([{5: 1.0}, {1: 0.6, 2: 0.4}])
+        assert hints[0].is_perfect
+        assert not hints[1].is_perfect
+
+
+class TestSignConditional:
+    def test_zero_is_exact(self):
+        assert sign_conditional_moments(3.2, 0) == (0.0, 0.0)
+
+    def test_positive_moments(self):
+        mean, var = sign_conditional_moments(3.2, 1)
+        # discrete positive half-Gaussian: mean ~ 2.89, var ~ 3.33
+        assert mean == pytest.approx(2.89, abs=0.05)
+        assert var == pytest.approx(3.33, abs=0.1)
+
+    def test_negative_mirrors_positive(self):
+        pos = sign_conditional_moments(3.2, 1)
+        neg = sign_conditional_moments(3.2, -1)
+        assert neg[0] == -pos[0]
+        assert neg[1] == pos[1]
+
+    def test_hints_from_signs(self):
+        hints = hints_from_signs([0, 1, -1], 3.2)
+        assert hints[0].is_perfect
+        assert hints[1].centered > 0
+        assert hints[2].centered < 0
+        assert hints[1].variance == hints[2].variance > 0
+
+
+class TestApplication:
+    def test_apply_hints_offsets(self):
+        inst = CoordinateDbdd([1.0] * 4, 0.0)
+        apply_hints(inst, [CoefficientHint(0, 2.0, 0.0)], coordinate_offset=2)
+        assert not inst.active[2]
+        assert inst.active[0] and inst.active[1] and inst.active[3]
+
+    def test_apply_guesses_picks_most_confident(self):
+        inst = CoordinateDbdd([10.0] * 4, 0.0)
+        hints = [
+            CoefficientHint(0, 1.0, 3.0),
+            CoefficientHint(1, 2.0, 0.5),
+            CoefficientHint(2, 0.0, 0.0),  # already perfect: not guessable
+            CoefficientHint(3, -1.0, 1.5),
+        ]
+        apply_hints(inst, hints, 0)
+        guessed = apply_guesses(inst, hints, 0, count=1)
+        assert [g.index for g in guessed] == [1]
+        assert not inst.active[1]

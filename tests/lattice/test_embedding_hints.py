@@ -1,0 +1,89 @@
+"""Tests for the negacyclic matrix and exact-equation elimination."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LatticeError
+from repro.lattice.embedding import (
+    eliminate_known_errors,
+    negacyclic_matrix,
+    solve_lwe_primal,
+)
+from repro.ring.exact import exact_negacyclic_multiply
+
+
+class TestNegacyclicMatrix:
+    def test_doctest_case(self):
+        assert negacyclic_matrix([1, 2], 17).tolist() == [[1, 15], [2, 1]]
+
+    def test_matches_ring_multiplication(self):
+        rng = np.random.default_rng(0)
+        q = 257
+        n = 8
+        p = [int(x) for x in rng.integers(0, q, n)]
+        u = [int(x) for x in rng.integers(-1, 2, n)]
+        matrix = negacyclic_matrix(p, q)
+        via_matrix = [(sum(int(matrix[i, j]) * u[j] for j in range(n))) % q for i in range(n)]
+        via_ring = [c % q for c in exact_negacyclic_multiply(p, u)]
+        assert via_matrix == via_ring
+
+
+class TestEliminateKnownErrors:
+    def _instance(self, rng, n=8, m=16, q=521, sigma=1.2):
+        secret = rng.integers(-1, 2, n)
+        a_matrix = rng.integers(0, q, (m, n))
+        error = np.rint(rng.normal(0, sigma, m)).astype(int)
+        b_vector = (a_matrix @ secret + error) % q
+        return a_matrix, b_vector, secret, error
+
+    def test_full_knowledge_is_linear_algebra(self):
+        rng = np.random.default_rng(1)
+        a, b, s, e = self._instance(rng)
+        _, _, rec = eliminate_known_errors(a, b, 521, dict(enumerate(e)))
+        assert rec.reduced_dimension == 0
+        assert [int(x) for x in rec.full_secret([])] == list(s)
+
+    def test_partial_knowledge_shrinks_instance(self):
+        rng = np.random.default_rng(2)
+        a, b, s, e = self._instance(rng, n=8, m=20)
+        known = {i: int(e[i]) for i in range(5)}
+        reduced_a, reduced_b, rec = eliminate_known_errors(a, b, 521, known)
+        assert rec.reduced_dimension == 8 - 5
+        assert reduced_a.shape == (15, 3)
+        # solve the residual and reconstruct
+        s_red, _ = solve_lwe_primal(reduced_a, reduced_b, 521, error_bound=6)
+        full = rec.full_secret([int(x) for x in s_red])
+        assert [int(x) for x in full] == list(s)
+
+    def test_residual_instance_is_consistent(self):
+        """The reduced (A', b') satisfies b' = A' s_free + e_noisy mod q."""
+        rng = np.random.default_rng(3)
+        a, b, s, e = self._instance(rng, n=6, m=14)
+        known = {i: int(e[i]) for i in range(4)}
+        reduced_a, reduced_b, rec = eliminate_known_errors(a, b, 521, known)
+        s_free = [int(s[c]) % 521 for c in rec.free_columns]
+        noisy_errors = [int(e[i]) for i in range(14) if i not in known]
+        for i in range(reduced_a.shape[0]):
+            lhs = (
+                sum(int(reduced_a[i, j]) * s_free[j] for j in range(len(s_free)))
+                + noisy_errors[i]
+            ) % 521
+            assert lhs == int(reduced_b[i]) % 521
+
+    def test_reconstructor_validates_length(self):
+        rng = np.random.default_rng(4)
+        a, b, s, e = self._instance(rng)
+        _, _, rec = eliminate_known_errors(a, b, 521, {0: int(e[0])})
+        with pytest.raises(LatticeError):
+            rec.full_secret([1] * (rec.reduced_dimension + 1))
+
+    def test_wrong_hint_breaks_reconstruction(self):
+        """A wrong perfect hint yields an inconsistent secret (garbage in,
+        garbage out - callers must only promote certain posteriors)."""
+        rng = np.random.default_rng(5)
+        a, b, s, e = self._instance(rng)
+        wrong = dict(enumerate(e))
+        wrong[0] = int(e[0]) + 3
+        _, _, rec = eliminate_known_errors(a, b, 521, wrong)
+        if rec.reduced_dimension == 0:
+            assert [int(x) for x in rec.full_secret([])] != list(s)

@@ -1,0 +1,73 @@
+"""Tests for the BKZ cost model (delta, GSA profile, simulator)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import LatticeError
+from repro.lattice.gsa import (
+    bkz_delta,
+    gsa_log_profile,
+    log_bkz_delta,
+    simulate_bkz_profile,
+)
+
+
+class TestDelta:
+    def test_reference_values(self):
+        # well-known anchors of Chen's formula
+        assert bkz_delta(100) == pytest.approx(1.0093, abs=3e-4)
+        assert bkz_delta(200) == pytest.approx(1.0062, abs=3e-4)
+        assert bkz_delta(382) == pytest.approx(1.0041, abs=2e-4)
+
+    def test_clamped_below_40(self):
+        assert bkz_delta(2) == bkz_delta(40)
+        assert bkz_delta(10) == bkz_delta(40)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(LatticeError):
+            bkz_delta(1)
+
+    def test_log_consistency(self):
+        assert log_bkz_delta(100) == pytest.approx(math.log(bkz_delta(100)))
+
+
+class TestGsaProfile:
+    def test_sums_to_volume(self):
+        profile = gsa_log_profile(50, 123.4, 60)
+        assert sum(profile) == pytest.approx(123.4)
+
+    def test_slope_is_minus_two_log_delta(self):
+        profile = gsa_log_profile(50, 0.0, 60)
+        slopes = np.diff(profile)
+        assert np.allclose(slopes, -2 * log_bkz_delta(60))
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(LatticeError):
+            gsa_log_profile(0, 0.0, 60)
+
+
+class TestSimulator:
+    def test_preserves_volume(self):
+        start = gsa_log_profile(80, 200.0, 40)
+        # perturb to a non-GSA shape
+        start = [x + (0.3 if i % 2 else -0.3) for i, x in enumerate(start)]
+        out = simulate_bkz_profile(start, beta=40, tours=10)
+        assert sum(out) == pytest.approx(sum(start), abs=1e-6)
+
+    def test_flattens_head(self):
+        """BKZ reduces the first Gram-Schmidt length."""
+        start = gsa_log_profile(80, 200.0, 40)
+        out = simulate_bkz_profile(start, beta=40, tours=10)
+        assert out[0] <= start[0] + 1e-9
+
+    def test_larger_beta_flatter_profile(self):
+        start = gsa_log_profile(100, 0.0, 40)
+        weak = simulate_bkz_profile(start, beta=40, tours=10)
+        strong = simulate_bkz_profile(start, beta=80, tours=10)
+        assert strong[0] <= weak[0] + 1e-9
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(LatticeError):
+            simulate_bkz_profile([0.0] * 50, beta=10)

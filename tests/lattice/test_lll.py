@@ -1,0 +1,126 @@
+"""Tests for Gram-Schmidt, HNF and LLL."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LatticeError
+from repro.lattice.gso import gram_schmidt, gso_norms, log_volume
+from repro.lattice.hnf import hermite_normal_form
+from repro.lattice.lll import is_size_reduced, lll_reduce, shortest_basis_vector
+
+
+def random_basis(rng, n, bound=50):
+    while True:
+        basis = rng.integers(-bound, bound + 1, (n, n))
+        if abs(np.linalg.det(basis.astype(float))) > 0.5:
+            return basis
+
+
+def lattice_determinant(basis):
+    return abs(round(np.linalg.det(np.asarray(basis, dtype=float).astype(float))))
+
+
+class TestGramSchmidt:
+    def test_orthogonality(self):
+        rng = np.random.default_rng(0)
+        basis = random_basis(rng, 5)
+        ortho, mu = gram_schmidt(basis)
+        gram = ortho @ ortho.T
+        off_diag = gram - np.diag(np.diag(gram))
+        assert np.allclose(off_diag, 0, atol=1e-6)
+
+    def test_reconstruction(self):
+        rng = np.random.default_rng(1)
+        basis = random_basis(rng, 4)
+        ortho, mu = gram_schmidt(basis)
+        assert np.allclose(mu @ ortho, basis.astype(float), atol=1e-8)
+
+    def test_dependent_rows_raise(self):
+        with pytest.raises(LatticeError):
+            gram_schmidt(np.array([[1, 2], [2, 4]]))
+
+    def test_volume_invariant_under_row_ops(self):
+        rng = np.random.default_rng(2)
+        basis = random_basis(rng, 4)
+        modified = basis.copy()
+        modified[1] += 3 * modified[0]
+        assert log_volume(basis) == pytest.approx(log_volume(modified), abs=1e-6)
+
+
+class TestHnf:
+    def test_preserves_lattice_determinant(self):
+        rng = np.random.default_rng(3)
+        basis = random_basis(rng, 4)
+        hnf = hermite_normal_form(basis)
+        assert hnf.shape == (4, 4)
+        assert lattice_determinant(hnf) == lattice_determinant(basis)
+
+    def test_drops_dependent_rows(self):
+        rows = [[2, 0], [0, 3], [2, 3]]
+        hnf = hermite_normal_form(rows)
+        assert hnf.shape == (2, 2)
+        assert lattice_determinant(hnf) == 6
+
+    def test_classic_sublattice_case(self):
+        """[[2,0],[1,0]] generates Z x {0}, not 2Z x {0}."""
+        hnf = hermite_normal_form([[2, 0], [1, 0]])
+        assert hnf.shape == (1, 2)
+        assert abs(int(hnf[0][0])) == 1
+
+    def test_empty(self):
+        assert hermite_normal_form([]).size == 0
+
+
+class TestLll:
+    def test_size_reduction_and_shorter_vectors(self):
+        rng = np.random.default_rng(4)
+        basis = random_basis(rng, 6, bound=200)
+        reduced = lll_reduce(basis)
+        assert is_size_reduced(reduced)
+        orig_short = min(np.sum(basis.astype(float) ** 2, axis=1))
+        new_short = min(
+            sum(int(x) ** 2 for x in row) for row in reduced
+        )
+        assert new_short <= orig_short
+
+    def test_lattice_preserved(self):
+        rng = np.random.default_rng(5)
+        basis = random_basis(rng, 5)
+        reduced = lll_reduce(basis)
+        assert lattice_determinant(reduced) == lattice_determinant(basis)
+
+    def test_finds_obvious_short_vector(self):
+        # basis hides the short vector (1, 0): [(1, 100), (0, 101)]...
+        basis = np.array([[1, 100], [0, 101]])
+        reduced = lll_reduce(basis)
+        shortest = shortest_basis_vector(reduced)
+        assert sum(int(x) ** 2 for x in shortest) <= 101
+
+    def test_first_vector_quality_bound(self):
+        """LLL guarantee: ||b1|| <= 2^((n-1)/2) * det^(1/n)."""
+        rng = np.random.default_rng(6)
+        basis = random_basis(rng, 5, bound=100)
+        reduced = lll_reduce(basis)
+        b1_norm = float(sum(int(x) ** 2 for x in reduced[0])) ** 0.5
+        det = lattice_determinant(basis)
+        bound = 2 ** ((5 - 1) / 4) * det ** (1 / 5)
+        assert b1_norm <= bound * 1.001
+
+    def test_bad_delta_rejected(self):
+        with pytest.raises(LatticeError):
+            lll_reduce(np.eye(2, dtype=int), delta=0.1)
+
+    def test_identity_unchanged_in_norms(self):
+        reduced = lll_reduce(np.eye(4, dtype=int))
+        norms = sorted(sum(int(x) ** 2 for x in row) for row in reduced)
+        assert norms == [1, 1, 1, 1]
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_determinant_preserved(self, seed):
+        rng = np.random.default_rng(seed)
+        basis = random_basis(rng, 4, bound=30)
+        reduced = lll_reduce(basis)
+        assert lattice_determinant(reduced) == lattice_determinant(basis)

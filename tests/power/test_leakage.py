@@ -1,0 +1,84 @@
+"""Unit tests for the leakage model."""
+
+import numpy as np
+import pytest
+
+from repro.power.leakage import LeakageModel
+from repro.riscv import cycles as cy
+from repro.riscv.assembler import assemble
+from repro.riscv.cpu import Cpu
+from repro.riscv.memory import Memory
+
+
+def events_for(source, registers=None):
+    cpu = Cpu(Memory(1 << 16))
+    cpu.load_program(assemble(source).words)
+    for idx, val in (registers or {}).items():
+        cpu.write_register(idx, val)
+    cpu.run()
+    return cpu
+
+
+class TestExpansion:
+    def test_sample_count_equals_cycle_count(self):
+        cpu = events_for(
+            """
+                li  t0, 0x8000
+                mul t1, t0, t0
+                sw  t1, 0(t0)
+                lw  t2, 0(t0)
+                beq t2, t1, skip
+            skip:
+                ebreak
+            """
+        )
+        samples, starts = LeakageModel().expand(cpu.events)
+        assert len(samples) == cpu.cycle_count
+        assert starts[0] == 0
+        assert np.all(np.diff(starts) > 0)
+
+    def test_data_dependence(self):
+        """Operands with larger Hamming weight leak more."""
+        model = LeakageModel()
+        low = events_for("add a2, a0, a1\nebreak", registers={10: 1, 11: 1})
+        high = events_for(
+            "add a2, a0, a1\nebreak", registers={10: 0x7FFFFFFF, 11: 0x7FFFFFFF}
+        )
+        s_low, _ = model.expand(low.events)
+        s_high, _ = model.expand(high.events)
+        assert s_high.sum() > s_low.sum()
+
+    def test_mul_burst_is_elevated(self):
+        model = LeakageModel()
+        cpu = events_for(
+            "li a0, 0x5A5A5\nmul a1, a0, a0\naddi a2, zero, 1\nebreak"
+        )
+        samples, starts = model.expand(cpu.events)
+        mul_index = [i for i, e in enumerate(cpu.events) if e.op_class == cy.OP_MUL][0]
+        burst = samples[starts[mul_index] + 2 : starts[mul_index] + 30]
+        alu = samples[starts[mul_index + 1] :][:3]
+        assert burst.mean() > alu.mean() + model.engine_offset / 2
+
+    def test_identical_events_identical_samples(self):
+        model = LeakageModel()
+        cpu = events_for("addi a0, zero, 21\nebreak")
+        a, _ = model.expand(cpu.events)
+        b, _ = model.expand(cpu.events)
+        assert np.array_equal(a, b)
+
+    def test_fetch_leaks_instruction_bus(self):
+        """Different opcodes at the same state leak differently."""
+        model = LeakageModel()
+        add = events_for("add a2, a0, a1\nebreak", registers={10: 3, 11: 5})
+        xor = events_for("xor a2, a0, a1\nebreak", registers={10: 3, 11: 5})
+        s_add, _ = model.expand(add.events)
+        s_xor, _ = model.expand(xor.events)
+        assert s_add[0] != s_xor[0]
+
+    def test_branch_taken_longer_than_not_taken(self):
+        model = LeakageModel()
+        taken = events_for("beq zero, zero, t\nt:\nebreak")
+        not_taken = events_for("bne zero, zero, t\nt:\nebreak")
+        s_taken, _ = model.expand(taken.events)
+        s_not, _ = model.expand(not_taken.events)
+        assert len(s_taken) == len(s_not) + 2

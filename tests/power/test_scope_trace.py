@@ -1,0 +1,117 @@
+"""Unit tests for the oscilloscope model and trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.power.scope import Oscilloscope
+from repro.power.trace import Trace, TraceSet
+
+
+class TestOscilloscope:
+    def test_noiseless_passthrough(self):
+        scope = Oscilloscope(noise_std=0.0)
+        x = np.arange(10, dtype=float)
+        assert np.array_equal(scope.capture(x, rng=0), x)
+
+    def test_noise_added(self):
+        scope = Oscilloscope(noise_std=1.0)
+        x = np.zeros(2000)
+        y = scope.capture(x, rng=0)
+        assert 0.9 < y.std() < 1.1
+        assert abs(y.mean()) < 0.1
+
+    def test_noise_reproducible_by_seed(self):
+        scope = Oscilloscope(noise_std=1.0)
+        x = np.zeros(100)
+        assert np.array_equal(scope.capture(x, rng=5), scope.capture(x, rng=5))
+
+    def test_gain(self):
+        scope = Oscilloscope(noise_std=0.0, gain=2.5)
+        x = np.ones(4)
+        assert np.allclose(scope.capture(x, rng=0), 2.5)
+
+    def test_bandwidth_smooths(self):
+        scope = Oscilloscope(noise_std=0.0, bandwidth_window=5)
+        x = np.zeros(50)
+        x[25] = 10.0
+        y = scope.capture(x, rng=0)
+        assert y.max() < 5.0
+        assert y.sum() == pytest.approx(10.0, rel=0.01)
+
+    def test_adc_quantisation(self):
+        scope = Oscilloscope(noise_std=0.0, adc_bits=4)
+        x = np.linspace(0, 1, 1000)
+        y = scope.capture(x, rng=0)
+        assert len(np.unique(y)) <= 16
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Oscilloscope(noise_std=-1)
+        with pytest.raises(ParameterError):
+            Oscilloscope(bandwidth_window=0)
+        with pytest.raises(ParameterError):
+            Oscilloscope(adc_bits=2)
+
+
+class TestTrace:
+    def test_slice(self):
+        t = Trace(np.arange(10, dtype=float), {"seed": 1})
+        s = t.slice(2, 5)
+        assert s.samples.tolist() == [2.0, 3.0, 4.0]
+        assert s.metadata == {"seed": 1}
+
+    def test_rejects_2d(self):
+        with pytest.raises(ParameterError):
+            Trace(np.zeros((2, 2)))
+
+
+class TestTraceSet:
+    def test_grouping(self):
+        ts = TraceSet()
+        ts.add(np.ones(4), label=1)
+        ts.add(2 * np.ones(4), label=2)
+        ts.add(3 * np.ones(4), label=1)
+        groups = ts.by_label()
+        assert set(groups) == {1, 2}
+        assert groups[1].shape == (2, 4)
+        assert ts.classes() == [1, 2]
+
+    def test_length_mismatch_rejected(self):
+        ts = TraceSet()
+        ts.add(np.ones(4), label=0)
+        with pytest.raises(ParameterError):
+            ts.add(np.ones(5), label=0)
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ParameterError):
+            TraceSet().matrix()
+
+    def test_iteration(self):
+        ts = TraceSet()
+        ts.add(np.ones(3), label=7)
+        traces = list(ts)
+        assert len(traces) == 1
+        assert traces[0][1] == 7
+
+
+class TestCapture:
+    def test_end_to_end_capture(self):
+        from repro.power.capture import TraceAcquisition
+        from repro.riscv.device import GaussianSamplerDevice
+
+        device = GaussianSamplerDevice([132120577])
+        bench = TraceAcquisition(device, rng=0)
+        captured = bench.capture(seed=3, count=2)
+        assert len(captured.values) == 2
+        assert len(captured.trace) == captured.cycle_count
+        assert captured.trace.metadata["count"] == 2
+
+    def test_batch_uses_distinct_seeds(self):
+        from repro.power.capture import TraceAcquisition
+        from repro.riscv.device import GaussianSamplerDevice
+
+        device = GaussianSamplerDevice([132120577])
+        bench = TraceAcquisition(device, rng=1)
+        batch = bench.capture_batch(3, coeffs_per_trace=1, first_seed=10)
+        assert [c.seed for c in batch] == [10, 11, 12]

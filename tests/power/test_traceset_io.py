@@ -1,0 +1,34 @@
+"""Tests for TraceSet persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.power.trace import TraceSet
+
+
+class TestTraceSetIo:
+    def test_roundtrip(self, tmp_path):
+        ts = TraceSet()
+        rng = np.random.default_rng(0)
+        for label in (-1, 0, 1, 1):
+            ts.add(rng.normal(size=32), label)
+        ts.save(tmp_path / "corpus.npz")
+        loaded = TraceSet.load(tmp_path / "corpus.npz")
+        assert len(loaded) == 4
+        assert loaded.labels.tolist() == ts.labels.tolist()
+        assert np.allclose(loaded.matrix(), ts.matrix())
+
+    def test_empty_save_rejected(self, tmp_path):
+        with pytest.raises(ParameterError):
+            TraceSet().save(tmp_path / "empty.npz")
+
+    def test_grouping_survives_roundtrip(self, tmp_path):
+        ts = TraceSet()
+        ts.add(np.ones(8), 3)
+        ts.add(2 * np.ones(8), 3)
+        ts.add(np.zeros(8), -2)
+        ts.save(tmp_path / "c.npz")
+        groups = TraceSet.load(tmp_path / "c.npz").by_label()
+        assert set(groups) == {3, -2}
+        assert groups[3].shape == (2, 8)

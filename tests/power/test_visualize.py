@@ -1,0 +1,71 @@
+"""Tests for the terminal trace visualisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.power.visualize import ascii_trace, ascii_trace_with_windows, sparkline
+
+
+class TestAsciiTrace:
+    def test_shape(self):
+        plot = ascii_trace(np.sin(np.linspace(0, 10, 500)), width=80, height=8)
+        lines = plot.split("\n")
+        assert len(lines) == 8
+        assert all(len(line) == 80 for line in lines)
+
+    def test_peak_reaches_top_row(self):
+        samples = np.zeros(200)
+        samples[100] = 10.0
+        top = ascii_trace(samples, width=50, height=6).split("\n")[0]
+        assert "█" in top
+
+    def test_flat_trace_renders(self):
+        plot = ascii_trace(np.ones(100), width=20, height=4)
+        assert len(plot.split("\n")) == 4
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ascii_trace([], width=10, height=5)
+        with pytest.raises(ParameterError):
+            ascii_trace([1.0, 2.0], width=1, height=5)
+
+
+class TestMarkers:
+    def test_boundary_and_anchor_markers(self):
+        samples = np.random.default_rng(0).normal(size=400)
+        out = ascii_trace_with_windows(
+            samples, boundaries=[0, 200], anchors=[100], width=40, height=5
+        )
+        marker_row = out.split("\n")[-1]
+        assert marker_row[0] == "|"
+        assert marker_row[20] == "|"
+        assert marker_row[10] == "^"
+
+    def test_real_segmentation_markers(self):
+        from repro.attack.segmentation import Segmenter
+        from repro.power.capture import TraceAcquisition
+        from repro.riscv.device import GaussianSamplerDevice
+
+        acquisition = TraceAcquisition(GaussianSamplerDevice([132120577]), rng=0)
+        captured = acquisition.capture(3, 3)
+        windows = Segmenter().windows(captured.trace.samples)
+        out = ascii_trace_with_windows(
+            captured.trace.samples,
+            boundaries=[w.start for w in windows],
+            anchors=[w.anchor for w in windows],
+            width=100,
+        )
+        assert out.count("|") == 3
+        assert out.count("^") == 3
+
+
+class TestSparkline:
+    def test_length_and_charset(self):
+        line = sparkline(np.arange(100.0), width=30)
+        assert len(line) == 30
+        assert set(line) <= set("▁▂▃▄▅▆▇█")
+
+    def test_monotone_input_monotone_output(self):
+        line = sparkline(np.arange(100.0), width=8)
+        assert line == "".join(sorted(line))

@@ -1,0 +1,75 @@
+"""Tests for exact integer negacyclic multiplication."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ring.exact import exact_negacyclic_multiply
+
+
+def schoolbook(a, b):
+    n = len(a)
+    out = [0] * n
+    for i, ai in enumerate(a):
+        for j, bj in enumerate(b):
+            k = i + j
+            if k >= n:
+                out[k - n] -= ai * bj
+            else:
+                out[k] += ai * bj
+    return out
+
+
+class TestExactMultiply:
+    def test_doctest_case(self):
+        assert exact_negacyclic_multiply([0, 1], [0, 1]) == [-1, 0]
+
+    def test_zero_operand(self):
+        assert exact_negacyclic_multiply([0] * 8, [1] * 8) == [0] * 8
+
+    def test_matches_schoolbook_small(self):
+        rng = np.random.default_rng(0)
+        a = [int(x) for x in rng.integers(-100, 100, 16)]
+        b = [int(x) for x in rng.integers(-100, 100, 16)]
+        assert exact_negacyclic_multiply(a, b) == schoolbook(a, b)
+
+    def test_huge_coefficients_exact(self):
+        """Values far beyond 64 bits stay exact (CRT limb count adapts)."""
+        a = [2**80, -(2**79)] + [0] * 14
+        b = [3**40, 1] + [0] * 14
+        assert exact_negacyclic_multiply(a, b) == schoolbook(a, b)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            exact_negacyclic_multiply([1, 2], [1])
+        with pytest.raises(ValueError):
+            exact_negacyclic_multiply([1, 2, 3], [1, 2, 3])
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**32))
+    def test_property_matches_schoolbook(self, seed):
+        rng = np.random.default_rng(seed)
+        a = [int(x) for x in rng.integers(-(2**30), 2**30, 8)]
+        b = [int(x) for x in rng.integers(-(2**30), 2**30, 8)]
+        assert exact_negacyclic_multiply(a, b) == schoolbook(a, b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**32))
+    def test_property_ring_axioms(self, seed):
+        rng = np.random.default_rng(seed)
+        a = [int(x) for x in rng.integers(-50, 50, 8)]
+        b = [int(x) for x in rng.integers(-50, 50, 8)]
+        c = [int(x) for x in rng.integers(-50, 50, 8)]
+        ab = exact_negacyclic_multiply(a, b)
+        ba = exact_negacyclic_multiply(b, a)
+        assert ab == ba
+        b_plus_c = [x + y for x, y in zip(b, c)]
+        lhs = exact_negacyclic_multiply(a, b_plus_c)
+        rhs = [
+            x + y
+            for x, y in zip(
+                exact_negacyclic_multiply(a, b), exact_negacyclic_multiply(a, c)
+            )
+        ]
+        assert lhs == rhs

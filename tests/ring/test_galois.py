@@ -1,0 +1,108 @@
+"""Tests for Galois automorphisms of the ring."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.ring.exact import exact_negacyclic_multiply
+from repro.ring.galois import (
+    apply_galois,
+    galois_elements_for_rotations,
+    galois_index_map,
+)
+from repro.ring.ntt import NttContext
+from repro.ring.poly import RingPoly
+from repro.ring.primes import generate_ntt_primes
+from repro.ring.rns import RnsBasis
+
+N = 16
+
+
+@pytest.fixture(scope="module")
+def basis():
+    return RnsBasis(generate_ntt_primes(20, 1, N))
+
+
+@pytest.fixture(scope="module")
+def ntts(basis):
+    return [NttContext(m, N) for m in basis.moduli]
+
+
+def poly_of(basis, coeffs):
+    return RingPoly.from_int_coeffs(basis, N, coeffs)
+
+
+class TestIndexMap:
+    def test_g_one_is_identity(self):
+        targets, signs = galois_index_map(N, 1)
+        assert targets.tolist() == list(range(N))
+        assert all(signs == 1)
+
+    def test_x_to_x_cubed(self, basis):
+        x = poly_of(basis, [0, 1] + [0] * (N - 2))
+        out = apply_galois(x, 3)
+        expected = [0] * N
+        expected[3] = 1
+        assert out.to_centered_coeffs() == expected
+
+    def test_wraparound_sign_flip(self, basis):
+        # x^(n-1) under g=3: exponent 3(n-1) = 3n-3 = n-3 mod 2n -> sign...
+        p = poly_of(basis, [0] * (N - 1) + [1])
+        out = apply_galois(p, 3)
+        coeffs = out.to_centered_coeffs()
+        exponent = (3 * (N - 1)) % (2 * N)
+        if exponent < N:
+            assert coeffs[exponent] == 1
+        else:
+            assert coeffs[exponent - N] == -1
+
+    def test_rejects_even_element(self):
+        with pytest.raises(ParameterError):
+            galois_index_map(N, 2)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ParameterError):
+            galois_index_map(12, 3)
+
+
+class TestAutomorphism:
+    def test_is_ring_homomorphism(self, basis, ntts):
+        """tau_g(a * b) == tau_g(a) * tau_g(b)."""
+        rng = np.random.default_rng(0)
+        a = poly_of(basis, [int(x) for x in rng.integers(-10, 10, N)])
+        b = poly_of(basis, [int(x) for x in rng.integers(-10, 10, N)])
+        for g in (3, 5, 9, 2 * N - 1):
+            lhs = apply_galois(a.multiply(b, ntts), g)
+            rhs = apply_galois(a, g).multiply(apply_galois(b, g), ntts)
+            assert lhs == rhs, g
+
+    def test_additive(self, basis):
+        rng = np.random.default_rng(1)
+        a = poly_of(basis, [int(x) for x in rng.integers(-10, 10, N)])
+        b = poly_of(basis, [int(x) for x in rng.integers(-10, 10, N)])
+        assert apply_galois(a + b, 5) == apply_galois(a, 5) + apply_galois(b, 5)
+
+    def test_composition(self, basis):
+        """tau_g tau_h = tau_(g*h mod 2n)."""
+        rng = np.random.default_rng(2)
+        a = poly_of(basis, [int(x) for x in rng.integers(-10, 10, N)])
+        g, h = 3, 5
+        composed = apply_galois(apply_galois(a, h), g)
+        direct = apply_galois(a, (g * h) % (2 * N))
+        assert composed == direct
+
+    def test_inverse_element_roundtrip(self, basis):
+        rng = np.random.default_rng(3)
+        a = poly_of(basis, [int(x) for x in rng.integers(-10, 10, N)])
+        g = 3
+        g_inv = pow(g, -1, 2 * N)
+        assert apply_galois(apply_galois(a, g), g_inv) == a
+
+
+class TestRotationElements:
+    def test_powers_of_three(self):
+        elements = galois_elements_for_rotations(N, [0, 1, 2])
+        assert elements == [1, 3, 9]
+
+    def test_steps_wrap(self):
+        assert galois_elements_for_rotations(N, [N // 2]) == [1]

@@ -1,0 +1,95 @@
+"""Unit tests for repro.ring.modulus."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.ring.modulus import MODULUS_BOUND, Modulus
+
+
+@pytest.fixture
+def q() -> Modulus:
+    return Modulus(132120577)
+
+
+class TestConstruction:
+    def test_valid(self, q):
+        assert q.value == 132120577
+        assert q.bit_count == 27
+
+    def test_rejects_even(self):
+        with pytest.raises(ParameterError):
+            Modulus(10)
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ParameterError):
+            Modulus(1)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ParameterError):
+            Modulus(MODULUS_BOUND + 1)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ParameterError):
+            Modulus(3.0)
+
+    def test_frozen(self, q):
+        with pytest.raises(Exception):
+            q.value = 5
+
+
+class TestArithmetic:
+    def test_add_wraps(self, q):
+        assert q.add(q.value - 1, 5) == 4
+
+    def test_add_no_wrap(self, q):
+        assert q.add(3, 4) == 7
+
+    def test_sub_wraps(self, q):
+        assert q.sub(2, 5) == q.value - 3
+
+    def test_mul(self, q):
+        assert q.mul(123456, 654321) == (123456 * 654321) % q.value
+
+    def test_pow_matches_builtin(self, q):
+        assert q.pow(3, 1000) == pow(3, 1000, q.value)
+
+    def test_inv_roundtrip(self, q):
+        a = 987654321 % q.value
+        assert q.mul(a, q.inv(a)) == 1
+
+    def test_inv_zero_raises(self, q):
+        with pytest.raises(ParameterError):
+            q.inv(0)
+
+    def test_neg(self, q):
+        assert q.neg(0) == 0
+        assert q.add(q.neg(17), 17) == 0
+
+    def test_reduce_negative(self, q):
+        assert q.reduce(-1) == q.value - 1
+
+
+class TestCentered:
+    def test_small_stays(self, q):
+        assert q.centered(5) == 5
+
+    def test_large_goes_negative(self, q):
+        assert q.centered(q.value - 3) == -3
+
+    def test_half_boundary(self):
+        m = Modulus(17)
+        assert m.centered(8) == 8
+        assert m.centered(9) == -8
+
+    def test_array_matches_scalar(self, q):
+        values = np.array([0, 1, q.value - 1, q.value // 2, q.value // 2 + 1])
+        got = q.centered_array(values)
+        expected = [q.centered(int(v)) for v in values]
+        assert got.tolist() == expected
+
+
+class TestArrays:
+    def test_reduce_array(self, q):
+        arr = np.array([-1, 0, q.value, q.value + 5])
+        assert q.reduce_array(arr).tolist() == [q.value - 1, 0, 0, 5]

@@ -1,0 +1,138 @@
+"""Unit and property tests for the negacyclic NTT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.ring.modulus import Modulus
+from repro.ring.ntt import NttContext, _find_primitive_root
+from repro.ring.primes import generate_ntt_primes
+
+
+def naive_negacyclic_multiply(a, b, q, n):
+    """Schoolbook reference: product mod (x^n + 1, q)."""
+    out = [0] * n
+    for i, ai in enumerate(a):
+        for j, bj in enumerate(b):
+            k = i + j
+            term = int(ai) * int(bj)
+            if k >= n:
+                out[k - n] = (out[k - n] - term) % q
+            else:
+                out[k] = (out[k] + term) % q
+    return [c % q for c in out]
+
+
+@pytest.fixture(scope="module")
+def ctx16():
+    q = generate_ntt_primes(17, 1, 16)[0]
+    return NttContext(q, 16)
+
+
+@pytest.fixture(scope="module")
+def ctx_paper():
+    return NttContext(Modulus(132120577), 1024)
+
+
+class TestPrimitiveRoot:
+    def test_order_is_exact(self):
+        q = Modulus(132120577)
+        root = _find_primitive_root(q, 2048)
+        assert pow(root, 2048, q.value) == 1
+        assert pow(root, 1024, q.value) != 1
+
+    def test_rejects_non_dividing_order(self):
+        with pytest.raises(ParameterError):
+            _find_primitive_root(Modulus(13), 8)
+
+
+class TestRoundtrip:
+    def test_forward_inverse_identity(self, ctx16):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, ctx16.modulus.value, 16)
+        assert np.array_equal(ctx16.inverse(ctx16.forward(a)), a)
+
+    def test_paper_size_roundtrip(self, ctx_paper):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, ctx_paper.modulus.value, 1024)
+        assert np.array_equal(ctx_paper.inverse(ctx_paper.forward(a)), a)
+
+    def test_forward_of_zero(self, ctx16):
+        z = np.zeros(16, dtype=np.int64)
+        assert np.array_equal(ctx16.forward(z), z)
+
+    def test_shape_checked(self, ctx16):
+        with pytest.raises(ParameterError):
+            ctx16.forward(np.zeros(8, dtype=np.int64))
+        with pytest.raises(ParameterError):
+            ctx16.inverse(np.zeros(8, dtype=np.int64))
+
+    def test_input_not_mutated(self, ctx16):
+        a = np.arange(16, dtype=np.int64)
+        before = a.copy()
+        ctx16.forward(a)
+        assert np.array_equal(a, before)
+
+
+class TestMultiplication:
+    def test_matches_schoolbook_small(self, ctx16):
+        rng = np.random.default_rng(2)
+        q = ctx16.modulus.value
+        a = rng.integers(0, q, 16)
+        b = rng.integers(0, q, 16)
+        got = ctx16.multiply(a, b)
+        want = naive_negacyclic_multiply(a, b, q, 16)
+        assert got.tolist() == want
+
+    def test_x_times_xn_minus_1_wraps_negatively(self, ctx16):
+        """x * x^(n-1) = x^n = -1 in the negacyclic ring."""
+        q = ctx16.modulus.value
+        x = np.zeros(16, dtype=np.int64)
+        x[1] = 1
+        xn1 = np.zeros(16, dtype=np.int64)
+        xn1[15] = 1
+        got = ctx16.multiply(x, xn1)
+        want = np.zeros(16, dtype=np.int64)
+        want[0] = q - 1
+        assert np.array_equal(got, want)
+
+    def test_multiply_by_one(self, ctx16):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, ctx16.modulus.value, 16)
+        one = np.zeros(16, dtype=np.int64)
+        one[0] = 1
+        assert np.array_equal(ctx16.multiply(a, one), a)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32))
+    def test_property_matches_schoolbook(self, seed, ctx16):
+        rng = np.random.default_rng(seed)
+        q = ctx16.modulus.value
+        a = rng.integers(0, q, 16)
+        b = rng.integers(0, q, 16)
+        assert ctx16.multiply(a, b).tolist() == naive_negacyclic_multiply(a, b, q, 16)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**32))
+    def test_property_linearity(self, seed, ctx16):
+        """NTT(a + b) == NTT(a) + NTT(b)."""
+        rng = np.random.default_rng(seed)
+        q = ctx16.modulus.value
+        a = rng.integers(0, q, 16)
+        b = rng.integers(0, q, 16)
+        lhs = ctx16.forward((a + b) % q)
+        rhs = (ctx16.forward(a) + ctx16.forward(b)) % q
+        assert np.array_equal(lhs, rhs)
+
+
+class TestContextValidation:
+    def test_rejects_non_power_of_two(self):
+        q = generate_ntt_primes(17, 1, 16)[0]
+        with pytest.raises(ParameterError):
+            NttContext(q, 12)
+
+    def test_rejects_unfriendly_modulus(self):
+        with pytest.raises(ParameterError):
+            NttContext(Modulus(17), 16)

@@ -1,0 +1,151 @@
+"""Unit and property tests for RingPoly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.ring.ntt import NttContext
+from repro.ring.poly import RingPoly
+from repro.ring.primes import generate_ntt_primes
+from repro.ring.rns import RnsBasis
+
+N = 32
+
+
+@pytest.fixture(scope="module")
+def basis():
+    return RnsBasis(generate_ntt_primes(20, 2, N))
+
+
+@pytest.fixture(scope="module")
+def ntts(basis):
+    return [NttContext(m, N) for m in basis.moduli]
+
+
+def random_poly(basis, rng):
+    coeffs = [int(c) for c in rng.integers(-50, 50, N)]
+    return RingPoly.from_int_coeffs(basis, N, coeffs), coeffs
+
+
+class TestConstruction:
+    def test_zero(self, basis):
+        z = RingPoly.zero(basis, N)
+        assert z.is_zero()
+        assert z.to_bigint_coeffs() == [0] * N
+
+    def test_shape_check(self, basis):
+        with pytest.raises(ParameterError):
+            RingPoly(basis, N, np.zeros((1, N)))
+
+    def test_from_int_coeffs_length_check(self, basis):
+        with pytest.raises(ParameterError):
+            RingPoly.from_int_coeffs(basis, N, [1, 2, 3])
+
+    def test_negative_coeff_representation(self, basis):
+        p = RingPoly.from_int_coeffs(basis, N, [-3] + [0] * (N - 1))
+        for i, m in enumerate(basis.moduli):
+            assert p.residues[i, 0] == m.value - 3
+        assert p.to_centered_coeffs()[0] == -3
+
+    def test_bigint_roundtrip(self, basis):
+        rng = np.random.default_rng(0)
+        coeffs = [int(v) % basis.product for v in rng.integers(0, 2**40, N)]
+        p = RingPoly.from_bigint_coeffs(basis, N, coeffs)
+        assert p.to_bigint_coeffs() == coeffs
+
+
+class TestArithmetic:
+    def test_add_sub_roundtrip(self, basis):
+        rng = np.random.default_rng(1)
+        a, _ = random_poly(basis, rng)
+        b, _ = random_poly(basis, rng)
+        assert (a + b) - b == a
+
+    def test_neg(self, basis):
+        rng = np.random.default_rng(2)
+        a, _ = random_poly(basis, rng)
+        assert (a + (-a)).is_zero()
+
+    def test_add_matches_int_coeffs(self, basis):
+        rng = np.random.default_rng(3)
+        a, ca = random_poly(basis, rng)
+        b, cb = random_poly(basis, rng)
+        got = (a + b).to_centered_coeffs()
+        assert got == [x + y for x, y in zip(ca, cb)]
+
+    def test_scalar_mul(self, basis):
+        rng = np.random.default_rng(4)
+        a, ca = random_poly(basis, rng)
+        got = a.scalar_mul(7).to_centered_coeffs()
+        assert got == [7 * c for c in ca]
+
+    def test_scalar_mul_bigint(self, basis):
+        rng = np.random.default_rng(5)
+        a, _ = random_poly(basis, rng)
+        s = basis.product // 3
+        got = a.scalar_mul_bigint(s).to_bigint_coeffs()
+        want = [(c * s) % basis.product for c in a.to_bigint_coeffs()]
+        assert got == want
+
+    def test_incompatible_degree(self, basis):
+        a = RingPoly.zero(basis, N)
+        b = RingPoly.zero(basis, 2 * N)
+        with pytest.raises(ParameterError):
+            _ = a + b
+
+    def test_multiply_small_case(self, basis, ntts):
+        # (1 + x) * (1 - x) = 1 - x^2
+        a = RingPoly.from_int_coeffs(basis, N, [1, 1] + [0] * (N - 2))
+        b = RingPoly.from_int_coeffs(basis, N, [1, -1] + [0] * (N - 2))
+        got = a.multiply(b, ntts).to_centered_coeffs()
+        want = [1, 0, -1] + [0] * (N - 3)
+        assert got == want
+
+    def test_multiply_negacyclic_wrap(self, basis, ntts):
+        # x^(n-1) * x = -1
+        a = RingPoly.from_int_coeffs(basis, N, [0] * (N - 1) + [1])
+        b = RingPoly.from_int_coeffs(basis, N, [0, 1] + [0] * (N - 2))
+        got = a.multiply(b, ntts).to_centered_coeffs()
+        assert got == [-1] + [0] * (N - 1)
+
+    def test_multiply_needs_all_ntts(self, basis, ntts):
+        a = RingPoly.zero(basis, N)
+        with pytest.raises(ParameterError):
+            a.multiply(a, ntts[:1])
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**32))
+    def test_property_distributive(self, seed, basis, ntts):
+        rng = np.random.default_rng(seed)
+        a, _ = random_poly(basis, rng)
+        b, _ = random_poly(basis, rng)
+        c, _ = random_poly(basis, rng)
+        lhs = a.multiply(b + c, ntts)
+        rhs = a.multiply(b, ntts) + a.multiply(c, ntts)
+        assert lhs == rhs
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**32))
+    def test_property_commutative(self, seed, basis, ntts):
+        rng = np.random.default_rng(seed)
+        a, _ = random_poly(basis, rng)
+        b, _ = random_poly(basis, rng)
+        assert a.multiply(b, ntts) == b.multiply(a, ntts)
+
+
+class TestMisc:
+    def test_copy_is_independent(self, basis):
+        a = RingPoly.zero(basis, N)
+        b = a.copy()
+        b.residues[0, 0] = 1
+        assert a.is_zero()
+        assert not b.is_zero()
+
+    def test_eq_non_poly(self, basis):
+        assert RingPoly.zero(basis, N) != "nope"
+
+    def test_not_hashable(self, basis):
+        with pytest.raises(TypeError):
+            hash(RingPoly.zero(basis, N))

@@ -1,0 +1,90 @@
+"""Unit tests for repro.ring.primes."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ring.primes import (
+    PAPER_Q_1024,
+    SEAL_128_TOTAL_BITS,
+    default_coeff_modulus_128,
+    generate_ntt_primes,
+    is_prime,
+)
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("p", [2, 3, 5, 7, 132120577, 2**31 - 1])
+    def test_known_primes(self, p):
+        assert is_prime(p)
+
+    @pytest.mark.parametrize("c", [0, 1, 4, 9, 561, 2**30, 132120575])
+    def test_known_composites_and_trivials(self, c):
+        assert not is_prime(c)
+
+    def test_carmichael_numbers_rejected(self):
+        for carmichael in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_prime(carmichael)
+
+    def test_agrees_with_sieve_below_10000(self):
+        limit = 10000
+        sieve = [True] * limit
+        sieve[0] = sieve[1] = False
+        for i in range(2, int(limit**0.5) + 1):
+            if sieve[i]:
+                for j in range(i * i, limit, i):
+                    sieve[j] = False
+        for n in range(limit):
+            assert is_prime(n) == sieve[n], n
+
+
+class TestGenerateNttPrimes:
+    def test_congruence_and_size(self):
+        primes = generate_ntt_primes(27, 3, 1024)
+        assert len(primes) == 3
+        for p in primes:
+            assert p.value % 2048 == 1
+            assert p.bit_count == 27
+            assert is_prime(p.value)
+
+    def test_distinct(self):
+        primes = generate_ntt_primes(28, 4, 4096)
+        assert len({p.value for p in primes}) == 4
+
+    def test_deterministic(self):
+        a = generate_ntt_primes(27, 2, 2048)
+        b = generate_ntt_primes(27, 2, 2048)
+        assert [p.value for p in a] == [p.value for p in b]
+
+    def test_paper_modulus_is_ntt_friendly(self):
+        assert is_prime(PAPER_Q_1024)
+        assert PAPER_Q_1024 % 2048 == 1
+        # It shows up in a downward search over 27-bit NTT primes.
+        primes = generate_ntt_primes(27, 111, 1024)
+        assert PAPER_Q_1024 in {p.value for p in primes}
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ParameterError):
+            generate_ntt_primes(27, 1, 1000)
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ParameterError):
+            generate_ntt_primes(40, 1, 1024)
+
+
+class TestDefaultCoeffModulus:
+    def test_paper_parameter_set(self):
+        chain = default_coeff_modulus_128(1024)
+        assert len(chain) == 1
+        assert chain[0].value == PAPER_Q_1024
+
+    @pytest.mark.parametrize("n", sorted(SEAL_128_TOTAL_BITS))
+    def test_total_bits_match_seal_table(self, n):
+        chain = default_coeff_modulus_128(n)
+        total = sum(p.bit_count for p in chain)
+        assert total == SEAL_128_TOTAL_BITS[n]
+        for p in chain:
+            assert p.value % (2 * n) == 1
+
+    def test_unsupported_degree(self):
+        with pytest.raises(ParameterError):
+            default_coeff_modulus_128(512)

@@ -1,0 +1,90 @@
+"""Unit and property tests for the RNS/CRT basis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.ring.modulus import Modulus
+from repro.ring.primes import generate_ntt_primes
+from repro.ring.rns import RnsBasis
+
+
+@pytest.fixture(scope="module")
+def basis():
+    return RnsBasis(generate_ntt_primes(20, 3, 64))
+
+
+class TestConstruction:
+    def test_product(self, basis):
+        expected = 1
+        for m in basis.moduli:
+            expected *= m.value
+        assert basis.product == expected
+        assert basis.size == 3
+        assert basis.total_bits == expected.bit_length()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            RnsBasis([])
+
+    def test_rejects_duplicates(self):
+        m = Modulus(132120577)
+        with pytest.raises(ParameterError):
+            RnsBasis([m, m])
+
+
+class TestComposeDecompose:
+    def test_roundtrip_small(self, basis):
+        for value in (0, 1, 12345, basis.product - 1):
+            assert basis.compose_int(basis.decompose_int(value)) == value
+
+    def test_negative_decompose(self, basis):
+        residues = basis.decompose_int(-7)
+        assert basis.compose_int(residues) == basis.product - 7
+
+    def test_compose_checks_arity(self, basis):
+        with pytest.raises(ParameterError):
+            basis.compose_int([1, 2])
+
+    def test_array_roundtrip(self, basis):
+        rng = np.random.default_rng(0)
+        values = [int(v) for v in rng.integers(0, 2**40, 10)]
+        values = [v % basis.product for v in values]
+        matrix = basis.decompose_array(values)
+        assert matrix.shape == (3, 10)
+        assert basis.compose_array(matrix) == values
+
+    def test_compose_array_shape_check(self, basis):
+        with pytest.raises(ParameterError):
+            basis.compose_array(np.zeros((2, 4), dtype=np.int64))
+
+    @settings(max_examples=50, deadline=None)
+    @given(value=st.integers(min_value=0, max_value=2**59))
+    def test_property_roundtrip(self, value, basis):
+        value %= basis.product
+        assert basis.compose_int(basis.decompose_int(value)) == value
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=st.integers(0, 2**59), b=st.integers(0, 2**59))
+    def test_property_crt_is_ring_hom(self, a, b, basis):
+        """Compose(a residues * b residues) == a*b mod Q."""
+        a %= basis.product
+        b %= basis.product
+        prod_residues = [
+            m.mul(ra, rb)
+            for m, ra, rb in zip(
+                basis.moduli, basis.decompose_int(a), basis.decompose_int(b)
+            )
+        ]
+        assert basis.compose_int(prod_residues) == (a * b) % basis.product
+
+
+class TestCentered:
+    def test_centered_range(self, basis):
+        half = basis.product // 2
+        assert basis.centered(half) == half
+        assert basis.centered(half + 1) == half + 1 - basis.product
+        assert basis.centered(basis.product - 1) == -1
+        assert basis.centered(0) == 0

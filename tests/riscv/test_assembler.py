@@ -1,0 +1,150 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.riscv.assembler import assemble
+from repro.riscv.isa import decode
+
+
+class TestBasics:
+    def test_empty_and_comments(self):
+        prog = assemble("# nothing here\n\n   \n")
+        assert len(prog) == 0
+
+    def test_single_instruction(self):
+        prog = assemble("addi a0, a0, 1")
+        assert len(prog) == 1
+        dec = decode(prog.words[0])
+        assert dec.mnemonic == "addi"
+        assert dec.imm == 1
+
+    def test_labels_forward_and_backward(self):
+        prog = assemble(
+            """
+            start:
+                j end
+                nop
+            end:
+                j start
+            """
+        )
+        assert prog.symbols["start"] == 0
+        assert prog.symbols["end"] == 8
+        assert decode(prog.words[0]).imm == 8  # forward jump
+        assert decode(prog.words[2]).imm == -8  # backward jump
+
+    def test_label_on_own_line(self):
+        prog = assemble("lone:\n  nop\n")
+        assert prog.symbols["lone"] == 0
+
+    def test_word_directive(self):
+        prog = assemble(".word 0xdeadbeef, 42")
+        assert prog.words == [0xDEADBEEF, 42]
+
+    def test_base_address_offsets_labels(self):
+        prog = assemble("here:\n nop", base_address=0x100)
+        assert prog.symbols["here"] == 0x100
+
+
+class TestPseudoInstructions:
+    def test_nop(self):
+        assert assemble("nop").words[0] == 0x00000013
+
+    def test_mv(self):
+        dec = decode(assemble("mv a1, a2").words[0])
+        assert (dec.mnemonic, dec.rd, dec.rs1, dec.imm) == ("addi", 11, 12, 0)
+
+    def test_li_small(self):
+        prog = assemble("li t0, -7")
+        assert len(prog) == 1
+        assert decode(prog.words[0]).imm == -7
+
+    def test_li_page_aligned(self):
+        prog = assemble("li t0, 0x40000000")
+        assert len(prog) == 1
+        assert decode(prog.words[0]).mnemonic == "lui"
+
+    def test_li_large_two_words(self):
+        prog = assemble("li t0, 0x12345678")
+        assert len(prog) == 2
+        assert decode(prog.words[0]).mnemonic == "lui"
+        assert decode(prog.words[1]).mnemonic == "addi"
+
+    def test_li_negative_low_part(self):
+        # values whose low 12 bits look negative need the +0x800 fixup
+        prog = assemble("li t0, 0xFFFF")
+        assert len(prog) == 2
+
+    def test_neg(self):
+        dec = decode(assemble("neg t0, t1").words[0])
+        assert (dec.mnemonic, dec.rs1, dec.rs2) == ("sub", 0, 6)
+
+    def test_branch_zero_forms(self):
+        prog = assemble(
+            """
+            top:
+                beqz a0, top
+                bnez a0, top
+                bltz a0, top
+                bgez a0, top
+                bgtz a0, top
+                blez a0, top
+            """
+        )
+        mnems = [decode(w).mnemonic for w in prog.words]
+        assert mnems == ["beq", "bne", "blt", "bge", "blt", "bge"]
+
+    def test_bgt_swaps_operands(self):
+        dec = decode(assemble("x:\n bgt a0, a1, x").words[0])
+        assert dec.mnemonic == "blt"
+        assert dec.rs1 == 11  # a1
+        assert dec.rs2 == 10  # a0
+
+    def test_call_and_ret(self):
+        prog = assemble(
+            """
+            main:
+                call fn
+                ebreak
+            fn:
+                ret
+            """
+        )
+        dec = decode(prog.words[0])
+        assert dec.mnemonic == "jal"
+        assert dec.rd == 1
+        ret = decode(prog.words[2])
+        assert (ret.mnemonic, ret.rd, ret.rs1) == ("jalr", 0, 1)
+
+
+class TestMemoryOperands:
+    def test_load(self):
+        dec = decode(assemble("lw a0, 8(sp)").words[0])
+        assert (dec.mnemonic, dec.rd, dec.rs1, dec.imm) == ("lw", 10, 2, 8)
+
+    def test_store_negative_offset(self):
+        dec = decode(assemble("sw a0, -4(sp)").words[0])
+        assert (dec.mnemonic, dec.rs2, dec.rs1, dec.imm) == ("sw", 10, 2, -4)
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblyError):
+            assemble("lw a0, sp")
+
+
+class TestErrors:
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("a:\n nop\na:\n nop")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("j nowhere")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate a0, a1")
+
+    def test_error_mentions_line(self):
+        with pytest.raises(AssemblyError, match="frobnicate"):
+            assemble("nop\nfrobnicate a0")

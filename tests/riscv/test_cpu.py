@@ -1,0 +1,215 @@
+"""Unit tests for the RV32IM interpreter."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.riscv import cycles as cy
+from repro.riscv.assembler import assemble
+from repro.riscv.cpu import Cpu
+from repro.riscv.memory import Memory
+
+
+def run_program(source, registers=None, max_instructions=100000, memory_size=1 << 16):
+    cpu = Cpu(Memory(memory_size))
+    prog = assemble(source)
+    cpu.load_program(prog.words)
+    for index, value in (registers or {}).items():
+        cpu.write_register(index, value)
+    cpu.run(max_instructions=max_instructions)
+    return cpu
+
+
+class TestArithmetic:
+    def test_addi_chain(self):
+        cpu = run_program("addi a0, zero, 5\naddi a0, a0, 7\nebreak")
+        assert cpu.read_register(10) == 12
+
+    def test_sub_wraps(self):
+        cpu = run_program("li a0, 0\nli a1, 1\nsub a2, a0, a1\nebreak")
+        assert cpu.read_register(12) == 0xFFFFFFFF
+
+    def test_x0_never_written(self):
+        cpu = run_program("addi zero, zero, 5\nebreak")
+        assert cpu.read_register(0) == 0
+
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("and", 0b1100, 0b1010, 0b1000),
+            ("or", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("sll", 1, 5, 32),
+            ("srl", 0x80000000, 4, 0x08000000),
+            ("sra", 0x80000000, 4, 0xF8000000),
+            ("slt", 0xFFFFFFFF, 1, 1),  # -1 < 1 signed
+            ("sltu", 0xFFFFFFFF, 1, 0),  # huge unsigned
+        ],
+    )
+    def test_rtype_ops(self, op, a, b, expected):
+        cpu = run_program(
+            f"{op} a2, a0, a1\nebreak", registers={10: a, 11: b}
+        )
+        assert cpu.read_register(12) == expected
+
+    def test_shift_amount_masked_to_5_bits(self):
+        cpu = run_program("sll a2, a0, a1\nebreak", registers={10: 1, 11: 33})
+        assert cpu.read_register(12) == 2
+
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("mul", 7, 6, 42),
+            ("mul", 0xFFFFFFFF, 0xFFFFFFFF, 1),  # (-1)*(-1)
+            ("mulh", 0xFFFFFFFF, 0xFFFFFFFF, 0),  # high of 1
+            ("mulhu", 0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFE),
+            ("mulhsu", 0xFFFFFFFF, 2, 0xFFFFFFFF),  # -1 * 2 = -2, high = -1
+            ("div", 7, 2, 3),
+            ("div", 0xFFFFFFF9, 2, 0xFFFFFFFD),  # -7 / 2 = -3 (trunc)
+            ("divu", 7, 2, 3),
+            ("rem", 0xFFFFFFF9, 2, 0xFFFFFFFF),  # -7 % 2 = -1 (trunc)
+            ("remu", 7, 2, 1),
+            ("div", 5, 0, 0xFFFFFFFF),  # div by zero per spec
+            ("rem", 5, 0, 5),
+            ("div", 0x80000000, 0xFFFFFFFF, 0x80000000),  # overflow case
+            ("rem", 0x80000000, 0xFFFFFFFF, 0),
+        ],
+    )
+    def test_m_extension(self, op, a, b, expected):
+        cpu = run_program(f"{op} a2, a0, a1\nebreak", registers={10: a, 11: b})
+        assert cpu.read_register(12) == expected
+
+
+class TestControlFlow:
+    def test_loop_countdown(self):
+        cpu = run_program(
+            """
+                li   t0, 10
+                li   t1, 0
+            loop:
+                addi t1, t1, 3
+                addi t0, t0, -1
+                bnez t0, loop
+                ebreak
+            """
+        )
+        assert cpu.read_register(6) == 30
+
+    def test_jal_links_return_address(self):
+        cpu = run_program(
+            """
+                call fn
+                ebreak
+            fn:
+                li a0, 99
+                ret
+            """
+        )
+        assert cpu.read_register(10) == 99
+
+    def test_branch_cycle_asymmetry(self):
+        taken = run_program("x:\n beq zero, zero, y\ny:\n ebreak")
+        not_taken = run_program("bne zero, zero, y\ny:\n ebreak")
+        assert taken.cycle_count > not_taken.cycle_count
+
+    def test_runaway_budget(self):
+        with pytest.raises(SimulationError):
+            run_program("x:\n j x\n ebreak", max_instructions=100)
+
+
+class TestMemoryOps:
+    def test_store_load_word(self):
+        cpu = run_program(
+            """
+                li   t0, 0x8000
+                li   t1, 0x12345678
+                sw   t1, 0(t0)
+                lw   a0, 0(t0)
+                ebreak
+            """
+        )
+        assert cpu.read_register(10) == 0x12345678
+
+    def test_byte_sign_extension(self):
+        cpu = run_program(
+            """
+                li  t0, 0x8000
+                li  t1, 0xFF
+                sb  t1, 0(t0)
+                lb  a0, 0(t0)
+                lbu a1, 0(t0)
+                ebreak
+            """
+        )
+        assert cpu.read_register(10) == 0xFFFFFFFF
+        assert cpu.read_register(11) == 0xFF
+
+    def test_half_sign_extension(self):
+        cpu = run_program(
+            """
+                li  t0, 0x8000
+                li  t1, 0x8001
+                sh  t1, 0(t0)
+                lh  a0, 0(t0)
+                lhu a1, 0(t0)
+                ebreak
+            """
+        )
+        assert cpu.read_register(10) == 0xFFFF8001
+        assert cpu.read_register(11) == 0x8001
+
+    def test_misaligned_word_faults(self):
+        with pytest.raises(SimulationError):
+            run_program("li t0, 0x8002\nlw a0, 0(t0)\nebreak")
+
+    def test_out_of_range_faults(self):
+        with pytest.raises(SimulationError):
+            run_program("li t0, 0x7FFFFFF0\nlw a0, 0(t0)\nebreak")
+
+
+class TestEvents:
+    def test_event_count_matches_instructions(self):
+        cpu = run_program("addi a0, zero, 1\naddi a0, a0, 1\nebreak")
+        assert len(cpu.events) == cpu.instruction_count == 3
+
+    def test_events_disabled(self):
+        cpu = Cpu(Memory(1 << 16), record_events=False)
+        prog = assemble("addi a0, zero, 1\nebreak")
+        cpu.load_program(prog.words)
+        cpu.run()
+        assert cpu.events == []
+        assert cpu.instruction_count == 2
+
+    def test_event_classes(self):
+        cpu = run_program(
+            """
+                li  t0, 0x8000
+                mul t1, t0, t0
+                sw  t1, 0(t0)
+                lw  t2, 0(t0)
+                ebreak
+            """
+        )
+        classes = [e.op_class for e in cpu.events]
+        assert cy.OP_MUL in classes
+        assert cy.OP_STORE in classes
+        assert cy.OP_LOAD in classes
+        assert classes[-1] == cy.OP_SYSTEM
+
+    def test_event_carries_operands_and_result(self):
+        cpu = run_program("addi a0, zero, 5\nadd a1, a0, a0\nebreak")
+        add_event = cpu.events[1]
+        assert add_event.rs1_value == 5
+        assert add_event.rs2_value == 5
+        assert add_event.result == 10
+
+    def test_store_event_has_address_and_data(self):
+        cpu = run_program(
+            "li t0, 0x8000\nli t1, 7\nsw t1, 4(t0)\nebreak"
+        )
+        store = [e for e in cpu.events if e.op_class == cy.OP_STORE][0]
+        assert store.address == 0x8004
+        assert store.result == 7
+
+    def test_cycle_count_accumulates(self):
+        cpu = run_program("mul t0, t0, t0\nebreak")
+        assert cpu.cycle_count == cy.CYCLES[cy.OP_MUL] + cy.CYCLES[cy.OP_SYSTEM]

@@ -1,0 +1,69 @@
+"""Property fuzz: the CPU's ALU semantics against a Python reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.riscv.assembler import assemble
+from repro.riscv.cpu import Cpu
+from repro.riscv.memory import Memory
+
+_M = 0xFFFFFFFF
+
+
+def _signed(x):
+    return x - (1 << 32) if x & 0x80000000 else x
+
+
+REFERENCE = {
+    "add": lambda a, b: (a + b) & _M,
+    "sub": lambda a, b: (a - b) & _M,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "sll": lambda a, b: (a << (b & 31)) & _M,
+    "srl": lambda a, b: a >> (b & 31),
+    "sra": lambda a, b: (_signed(a) >> (b & 31)) & _M,
+    "slt": lambda a, b: int(_signed(a) < _signed(b)),
+    "sltu": lambda a, b: int(a < b),
+    "mul": lambda a, b: (_signed(a) * _signed(b)) & _M,
+    "mulhu": lambda a, b: (a * b) >> 32,
+    "mulh": lambda a, b: ((_signed(a) * _signed(b)) >> 32) & _M,
+}
+
+
+def run_op(op, a, b):
+    cpu = Cpu(Memory(1 << 12), record_events=False)
+    cpu.load_program(assemble(f"{op} a2, a0, a1\nebreak").words)
+    cpu.write_register(10, a)
+    cpu.write_register(11, b)
+    cpu.run()
+    return cpu.read_register(12)
+
+
+class TestAluFuzz:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        op=st.sampled_from(sorted(REFERENCE)),
+        a=st.integers(0, _M),
+        b=st.integers(0, _M),
+    )
+    def test_property_matches_reference(self, op, a, b):
+        assert run_op(op, a, b) == REFERENCE[op](a, b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=st.integers(0, _M), b=st.integers(1, _M))
+    def test_property_div_rem_invariant(self, a, b):
+        """RISC-V guarantees a == div(a,b)*b + rem(a,b) (signed, trunc)."""
+        quotient = _signed(run_op("div", a, b))
+        remainder = _signed(run_op("rem", a, b))
+        assert (_signed(a) - (quotient * _signed(b) + remainder)) % (1 << 32) == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=st.integers(0, _M), b=st.integers(1, _M))
+    def test_property_divu_remu_invariant(self, a, b):
+        quotient = run_op("divu", a, b)
+        remainder = run_op("remu", a, b)
+        assert quotient * b + remainder == a
+        assert remainder < b

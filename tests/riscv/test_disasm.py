@@ -1,0 +1,58 @@
+"""Tests for the disassembler: round trip through the assembler."""
+
+import pytest
+
+from repro.riscv.assembler import assemble
+from repro.riscv.disasm import disassemble, format_instruction
+from repro.riscv.isa import decode
+from repro.riscv.programs.gaussian import gaussian_sampler_source
+
+
+class TestFormat:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("addi a0, a1, -5", "addi a0, a1, -5"),
+            ("add a0, a1, a2", "add a0, a1, a2"),
+            ("lw t0, 8(sp)", "lw t0, 8(sp)"),
+            ("sw t0, -4(sp)", "sw t0, -4(sp)"),
+            ("slli t1, t2, 7", "slli t1, t2, 7"),
+            ("ebreak", "ebreak"),
+            ("mul s1, s2, s3", "mul s1, s2, s3"),
+        ],
+    )
+    def test_simple_instructions(self, source, expected):
+        word = assemble(source).words[0]
+        assert format_instruction(decode(word)) == expected
+
+    def test_branch_shows_absolute_target(self):
+        prog = assemble("top:\n nop\n beq a0, a1, top")
+        text = format_instruction(decode(prog.words[1]), address=4)
+        assert text == "beq a0, a1, 0x0"
+
+
+class TestRoundTrip:
+    def test_kernel_reassembles_identically(self):
+        """disassemble(assemble(kernel)) reassembles to the same words."""
+        original = assemble(gaussian_sampler_source()).words
+        listing = disassemble(original)
+        # strip addresses, replace absolute branch/jump targets with
+        # offsets the assembler accepts (targets render as hex numbers)
+        rebuilt = []
+        for address, line in enumerate(listing):
+            text = line.split(": ", 1)[1]
+            mnemonic = text.split()[0]
+            if mnemonic in ("beq", "bne", "blt", "bge", "bltu", "bgeu", "jal"):
+                # convert absolute target back to a pc-relative literal
+                head, target = text.rsplit(" ", 1)
+                offset = int(target, 16) - 4 * address
+                text = f"{head} {offset}"
+            rebuilt.append(text)
+        words = assemble("\n".join(rebuilt)).words
+        assert words == original
+
+    def test_every_word_decodable(self):
+        words = assemble(gaussian_sampler_source()).words
+        lines = disassemble(words)
+        assert len(lines) == len(words)
+        assert all(":" in line for line in lines)

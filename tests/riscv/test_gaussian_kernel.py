@@ -1,0 +1,126 @@
+"""Tests for the device Gaussian kernel: bit-exactness vs the golden
+model and statistical agreement with the clipped normal distribution."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.riscv import cycles as cy
+from repro.riscv.device import GaussianSamplerDevice
+from repro.riscv.programs.gaussian import GoldenPolarSampler
+
+Q = 132120577
+
+
+@pytest.fixture(scope="module")
+def device():
+    return GaussianSamplerDevice([Q])
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("seed", [1, 2, 0xDEADBEEF, 12345, 2**31])
+    def test_matches_golden_model(self, device, seed):
+        run = device.run(seed, count=16, record_events=False)
+        golden = GoldenPolarSampler(seed).sample_vector(16)
+        assert run.values == golden
+
+    def test_zero_seed_coerced(self, device):
+        run = device.run(0, count=4, record_events=False)
+        golden = GoldenPolarSampler(0).sample_vector(4)
+        assert run.values == golden
+
+    def test_deterministic(self, device):
+        a = device.run(7, count=8, record_events=False)
+        b = device.run(7, count=8, record_events=False)
+        assert a.values == b.values
+
+
+class TestOutputBuffer:
+    def test_residue_encoding_matches_fig2(self, device):
+        """positive -> value; negative -> q - |value|; zero -> 0."""
+        run = device.run(3, count=32, record_events=False)
+        for value, residue in zip(run.values, run.residues[0]):
+            if value > 0:
+                assert residue == value
+            elif value < 0:
+                assert residue == Q - (-value)
+            else:
+                assert residue == 0
+
+    def test_multi_limb_strided_layout(self):
+        device = GaussianSamplerDevice([Q, 268369921])
+        run = device.run(11, count=8, record_events=False)
+        for value, r0, r1 in zip(run.values, run.residues[0], run.residues[1]):
+            if value >= 0:
+                assert r0 == r1 == value
+            else:
+                assert r0 == Q - (-value)
+                assert r1 == 268369921 - (-value)
+
+
+class TestDistribution:
+    def test_values_within_clip(self, device):
+        run = device.run(99, count=256, record_events=False)
+        assert all(-41 <= v <= 41 for v in run.values)
+
+    def test_statistics_match_clipped_normal(self):
+        golden = GoldenPolarSampler(seed=42)
+        values = np.array(golden.sample_vector(40_000), dtype=float)
+        assert abs(values.mean()) < 0.06
+        expected_std = math.sqrt(3.19**2 + 1 / 12)
+        assert values.std() == pytest.approx(expected_std, rel=0.03)
+
+    def test_distribution_shape_chi_square(self):
+        sigma = 3.19
+        golden = GoldenPolarSampler(seed=7)
+        count = 50_000
+        values = golden.sample_vector(count)
+        phi = lambda x: 0.5 * (1 + math.erf(x / math.sqrt(2)))
+        chi2 = 0.0
+        for k in range(-7, 8):
+            p = phi((k + 0.5) / sigma) - phi((k - 0.5) / sigma)
+            observed = sum(1 for v in values if v == k)
+            chi2 += (observed - p * count) ** 2 / (p * count)
+        # 15 bins; generous bound (fixed-point pipeline is approximate)
+        assert chi2 < 60.0
+
+    def test_zero_fraction_near_discrete_gaussian(self):
+        golden = GoldenPolarSampler(seed=9)
+        values = golden.sample_vector(30_000)
+        zero_fraction = values.count(0) / len(values)
+        assert 0.10 < zero_fraction < 0.15  # 1/(sigma*sqrt(2pi)) ~ 0.125
+
+
+class TestTiming:
+    def test_time_variant_execution(self, device):
+        """Different coefficients take different cycle counts (rejection)."""
+        cycles = []
+        for seed in range(20, 30):
+            run = device.run(seed, count=1, record_events=False)
+            cycles.append(run.cycle_count)
+        assert len(set(cycles)) > 3
+
+    def test_events_contain_mul_bursts(self, device):
+        run = device.run(5, count=1)
+        mul_count = sum(1 for e in run.events if e.op_class == cy.OP_MUL)
+        assert mul_count >= 24  # 12 squaring rounds x 2 muls minimum
+
+    def test_negative_sample_has_negation_event(self, device):
+        # find a seed giving a negative coefficient
+        for seed in range(1, 60):
+            run = device.run(seed, count=1)
+            if run.values[0] < 0:
+                break
+        else:
+            pytest.fail("no negative sample found in 60 seeds")
+        value = run.values[0]
+        negations = [
+            e
+            for e in run.events
+            if e.op_class == cy.OP_ALU and e.result == (-value & 0xFFFFFFFF) == (e.rs2_value * -1) & 0xFFFFFFFF
+        ]
+        # the `neg` instruction computes 0 - noise
+        assert any(
+            e.rs1_value == 0 and e.rs2_value == (value & 0xFFFFFFFF) for e in negations
+        )

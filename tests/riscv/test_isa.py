@@ -1,0 +1,124 @@
+"""Unit tests for RV32IM encode/decode."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AssemblyError, SimulationError
+from repro.riscv.isa import SPECS, decode, encode, register_number
+
+
+class TestRegisters:
+    def test_abi_names(self):
+        assert register_number("zero") == 0
+        assert register_number("ra") == 1
+        assert register_number("sp") == 2
+        assert register_number("a0") == 10
+        assert register_number("t6") == 31
+
+    def test_x_names(self):
+        for i in range(32):
+            assert register_number(f"x{i}") == i
+
+    def test_fp_alias(self):
+        assert register_number("fp") == register_number("s0") == 8
+
+    def test_unknown(self):
+        with pytest.raises(AssemblyError):
+            register_number("q7")
+
+
+class TestKnownEncodings:
+    """Golden words cross-checked against the RISC-V spec examples."""
+
+    @pytest.mark.parametrize(
+        "word,mnemonic",
+        [
+            (0x00100073, "ebreak"),
+            (0x00000073, "ecall"),
+            (0x00000013, "addi"),  # nop
+        ],
+    )
+    def test_special(self, word, mnemonic):
+        assert decode(word).mnemonic == mnemonic
+        if mnemonic == "addi":
+            assert encode("addi", rd=0, rs1=0, imm=0) == word
+
+    def test_addi_example(self):
+        # addi x1, x2, 100 -> imm=100, rs1=2, f3=0, rd=1, op=0x13
+        word = encode("addi", rd=1, rs1=2, imm=100)
+        assert word == (100 << 20) | (2 << 15) | (1 << 7) | 0x13
+
+    def test_mul_uses_m_extension_funct7(self):
+        word = encode("mul", rd=3, rs1=4, rs2=5)
+        assert (word >> 25) == 0x01
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("mnemonic", sorted(SPECS))
+    def test_every_mnemonic_roundtrips(self, mnemonic):
+        spec = SPECS[mnemonic]
+        kwargs = dict(rd=5, rs1=6, rs2=7, imm=0)
+        if spec.fmt == "B":
+            kwargs["imm"] = -8
+        elif spec.fmt == "J":
+            kwargs["imm"] = 2048
+        elif spec.fmt == "U":
+            kwargs["imm"] = 0x12345
+        elif mnemonic in ("slli", "srli", "srai"):
+            kwargs["imm"] = 7
+        elif spec.fmt in ("I", "S"):
+            kwargs["imm"] = -5
+        word = encode(mnemonic, **kwargs)
+        dec = decode(word)
+        assert dec.mnemonic == mnemonic
+        if spec.fmt in ("R",):
+            assert (dec.rd, dec.rs1, dec.rs2) == (5, 6, 7)
+        if spec.fmt == "B":
+            assert dec.imm == -8
+        if spec.fmt == "J":
+            assert dec.imm == 2048
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        rd=st.integers(0, 31),
+        rs1=st.integers(0, 31),
+        imm=st.integers(-2048, 2047),
+    )
+    def test_property_itype_roundtrip(self, rd, rs1, imm):
+        dec = decode(encode("addi", rd=rd, rs1=rs1, imm=imm))
+        assert (dec.rd, dec.rs1, dec.imm) == (rd, rs1, imm)
+
+    @settings(max_examples=100, deadline=None)
+    @given(imm=st.integers(-4096, 4095).map(lambda x: x * 2).filter(lambda x: -4096 <= x <= 4094))
+    def test_property_branch_offset_roundtrip(self, imm):
+        dec = decode(encode("beq", rs1=1, rs2=2, imm=imm))
+        assert dec.imm == imm
+
+    @settings(max_examples=100, deadline=None)
+    @given(imm=st.integers(-(1 << 19), (1 << 19) - 1).map(lambda x: x * 2))
+    def test_property_jal_offset_roundtrip(self, imm):
+        dec = decode(encode("jal", rd=1, imm=imm))
+        assert dec.imm == imm
+
+
+class TestValidation:
+    def test_imm_out_of_range(self):
+        with pytest.raises(AssemblyError):
+            encode("addi", rd=1, rs1=1, imm=5000)
+
+    def test_odd_branch_offset(self):
+        with pytest.raises(AssemblyError):
+            encode("beq", rs1=0, rs2=0, imm=3)
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            encode("fmadd", rd=0)
+
+    def test_illegal_word(self):
+        with pytest.raises(SimulationError):
+            decode(0xFFFFFFFF)
+
+    def test_illegal_system(self):
+        with pytest.raises(SimulationError):
+            decode(0x30200073)  # mret, unsupported

@@ -1,0 +1,86 @@
+"""Tests for the on-device ternary and uniform sampling kernels."""
+
+import numpy as np
+import pytest
+
+from repro.riscv.device import GaussianSamplerDevice
+from repro.riscv.programs.uniform import (
+    GoldenTernarySampler,
+    ternary_sampler_source,
+    uniform_sampler_source,
+)
+
+Q = 132120577
+
+
+@pytest.fixture(scope="module")
+def ternary_device():
+    return GaussianSamplerDevice([Q], program_source=ternary_sampler_source())
+
+
+@pytest.fixture(scope="module")
+def uniform_device():
+    return GaussianSamplerDevice([Q], program_source=uniform_sampler_source())
+
+
+class TestTernaryKernel:
+    def test_values_are_ternary(self, ternary_device):
+        run = ternary_device.run(5, count=128, record_events=False)
+        assert set(run.values) <= {-1, 0, 1}
+        assert set(run.values) == {-1, 0, 1}
+
+    def test_matches_golden_model(self, ternary_device):
+        for seed in (1, 42, 0xABCDEF):
+            run = ternary_device.run(seed, count=32, record_events=False)
+            assert run.values == GoldenTernarySampler(seed).sample_vector(32)
+
+    def test_residue_encoding(self, ternary_device):
+        run = ternary_device.run(9, count=64, record_events=False)
+        for value, residue in zip(run.values, run.residues[0]):
+            assert residue == (value if value >= 0 else Q - 1)
+
+    def test_roughly_uniform_over_three_values(self, ternary_device):
+        run = ternary_device.run(77, count=600, record_events=False)
+        counts = {v: run.values.count(v) for v in (-1, 0, 1)}
+        for count in counts.values():
+            assert 140 < count < 260  # ~200 each
+
+    def test_multi_limb(self):
+        from repro.ring.primes import generate_ntt_primes
+
+        moduli = [m.value for m in generate_ntt_primes(20, 2, 64)]
+        device = GaussianSamplerDevice(moduli, program_source=ternary_sampler_source())
+        run = device.run(3, count=16, record_events=False)
+        for value, r0, r1 in zip(run.values, run.residues[0], run.residues[1]):
+            if value >= 0:
+                assert r0 == r1 == value
+            else:
+                assert r0 == moduli[0] - 1
+                assert r1 == moduli[1] - 1
+
+
+class TestUniformKernel:
+    def test_residues_in_range(self, uniform_device):
+        run = uniform_device.run(11, count=256, record_events=False)
+        assert all(0 <= r < Q for r in run.residues[0])
+
+    def test_spread(self, uniform_device):
+        run = uniform_device.run(12, count=256, record_events=False)
+        residues = np.array(run.residues[0], dtype=float)
+        assert residues.max() > 0.8 * Q
+        assert residues.min() < 0.2 * Q
+        assert abs(residues.mean() / Q - 0.5) < 0.08
+
+    def test_deterministic(self, uniform_device):
+        a = uniform_device.run(13, count=32, record_events=False)
+        b = uniform_device.run(13, count=32, record_events=False)
+        assert a.residues[0] == b.residues[0]
+
+    def test_limbs_are_independent_draws(self):
+        from repro.ring.primes import generate_ntt_primes
+
+        moduli = [m.value for m in generate_ntt_primes(20, 2, 64)]
+        device = GaussianSamplerDevice(moduli, program_source=uniform_sampler_source())
+        run = device.run(14, count=64, record_events=False)
+        # residues of limb 0 and limb 1 come from separate PRNG draws
+        assert run.residues[0] != run.residues[1]

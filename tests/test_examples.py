@@ -1,0 +1,27 @@
+"""Smoke tests: every example script imports cleanly (full runs are
+exercised manually / in the demo; import catches signature drift)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        assert hasattr(module, "main"), f"{path.name} lacks a main()"
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def test_example_count():
+    """The deliverable requires at least three runnable examples."""
+    assert len(EXAMPLES) >= 3

@@ -1,0 +1,27 @@
+"""Smoke tests for the command-line reproduction entry point."""
+
+import pytest
+
+from repro.reproduce import main, run_table3, run_table4
+
+
+class TestCli:
+    def test_table3(self, capsys):
+        main(["table3"])
+        out = capsys.readouterr().out
+        assert "without hints" in out
+        assert "382.25" in out  # the paper reference is printed
+
+    def test_table4(self, capsys):
+        main(["table4"])
+        out = capsys.readouterr().out
+        assert "signs alone cannot" in out
+
+    def test_fig3(self, capsys):
+        main(["fig3"])
+        out = capsys.readouterr().out
+        assert out.count("window") == 3
+
+    def test_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            main(["table9"])

@@ -1,0 +1,90 @@
+"""Unit and property tests for bit-level helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    bit_length,
+    bit_reverse,
+    hamming_distance,
+    hamming_weight,
+    hamming_weight_array,
+)
+
+
+class TestHammingWeight:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, 0), (1, 1), (0xFF, 8), (0xFFFFFFFF, 32), (0x80000000, 1), (-1, 32)],
+    )
+    def test_known_values(self, value, expected):
+        assert hamming_weight(value) == expected
+
+    def test_masks_to_32_bits(self):
+        assert hamming_weight(1 << 40) == 0
+        assert hamming_weight((1 << 40) | 1) == 1
+
+    @settings(max_examples=100, deadline=None)
+    @given(value=st.integers(0, 2**32 - 1))
+    def test_property_matches_bin_count(self, value):
+        assert hamming_weight(value) == bin(value).count("1")
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=st.integers(0, 2**32 - 1), b=st.integers(0, 2**32 - 1))
+    def test_property_subadditive_under_or(self, a, b):
+        assert hamming_weight(a | b) <= hamming_weight(a) + hamming_weight(b)
+
+
+class TestHammingDistance:
+    def test_symmetry_and_identity(self):
+        assert hamming_distance(0b1010, 0b1010) == 0
+        assert hamming_distance(0b1010, 0b0101) == 4
+        assert hamming_distance(3, 5) == hamming_distance(5, 3)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        a=st.integers(0, 2**32 - 1),
+        b=st.integers(0, 2**32 - 1),
+        c=st.integers(0, 2**32 - 1),
+    )
+    def test_property_triangle_inequality(self, a, b, c):
+        assert hamming_distance(a, c) <= hamming_distance(a, b) + hamming_distance(b, c)
+
+
+class TestHammingWeightArray:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 2**32, 100, dtype=np.int64)
+        vector = hamming_weight_array(values)
+        assert vector.tolist() == [hamming_weight(int(v)) for v in values]
+
+    def test_2d_shape_preserved(self):
+        values = np.array([[1, 3], [7, 15]])
+        assert hamming_weight_array(values).tolist() == [[1, 2], [3, 4]]
+
+
+class TestBitReverse:
+    @pytest.mark.parametrize(
+        "value,width,expected",
+        [(0b001, 3, 0b100), (0b110, 3, 0b011), (0, 4, 0), (0b1111, 4, 0b1111)],
+    )
+    def test_known(self, value, width, expected):
+        assert bit_reverse(value, width) == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(value=st.integers(0, 1023))
+    def test_property_involution(self, value):
+        assert bit_reverse(bit_reverse(value, 10), 10) == value
+
+    def test_permutation(self):
+        width = 5
+        images = {bit_reverse(v, width) for v in range(1 << width)}
+        assert images == set(range(1 << width))
+
+
+class TestBitLength:
+    @pytest.mark.parametrize("value,expected", [(0, 0), (1, 1), (255, 8), (256, 9)])
+    def test_known(self, value, expected):
+        assert bit_length(value) == expected

@@ -1,0 +1,81 @@
+"""Tests for RNG plumbing and argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.utils.rng import derive_rng, new_rng, rng_from_optional, spawn_rngs
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+    check_type,
+)
+
+
+class TestNewRng:
+    def test_from_int_deterministic(self):
+        assert new_rng(7).integers(0, 100, 5).tolist() == new_rng(7).integers(
+            0, 100, 5
+        ).tolist()
+
+    def test_passthrough_generator(self):
+        rng = np.random.default_rng(0)
+        assert new_rng(rng) is rng
+
+    def test_none_gives_fresh(self):
+        a = new_rng(None)
+        b = new_rng(None)
+        # overwhelmingly unlikely to collide
+        assert a.integers(0, 2**63) != b.integers(0, 2**63)
+
+
+class TestDerive:
+    def test_labels_decorrelate(self):
+        parent = new_rng(1)
+        child_a = derive_rng(parent, "noise")
+        parent2 = new_rng(1)
+        child_b = derive_rng(parent2, "public-key")
+        assert child_a.integers(0, 2**63) != child_b.integers(0, 2**63)
+
+    def test_same_label_same_stream(self):
+        a = derive_rng(new_rng(1), "noise").integers(0, 2**63)
+        b = derive_rng(new_rng(1), "noise").integers(0, 2**63)
+        assert a == b
+
+    def test_spawn_rngs_independent(self):
+        streams = spawn_rngs(5, 3)
+        assert len(streams) == 3
+        draws = {int(s.integers(0, 2**63)) for s in streams}
+        assert len(draws) == 3
+
+    def test_rng_from_optional_default(self):
+        a = rng_from_optional(None, 42).integers(0, 2**63)
+        b = rng_from_optional(None, 42).integers(0, 2**63)
+        assert a == b
+
+
+class TestValidation:
+    def test_check_type(self):
+        check_type("x", 5, int)
+        with pytest.raises(ParameterError, match="x must be int"):
+            check_type("x", 5.0, int)
+
+    def test_check_positive(self):
+        check_positive("y", 0.1)
+        with pytest.raises(ParameterError):
+            check_positive("y", 0)
+
+    def test_check_in_range(self):
+        check_in_range("z", 5, 0, 10)
+        with pytest.raises(ParameterError):
+            check_in_range("z", 11, 0, 10)
+
+    @pytest.mark.parametrize("good", [1, 2, 4, 1024])
+    def test_power_of_two_accepts(self, good):
+        check_power_of_two("n", good)
+
+    @pytest.mark.parametrize("bad", [0, 3, -4, 1023])
+    def test_power_of_two_rejects(self, bad):
+        with pytest.raises(ParameterError):
+            check_power_of_two("n", bad)
