@@ -80,6 +80,27 @@ class TestDevicePerf:
         model = LeakageModel()
         benchmark(model.expand, run.events)
 
+    def test_leakage_expansion_64_coefficients(self, device, benchmark):
+        run = device.run(9, count=64)
+        model = LeakageModel()
+        benchmark(model.expand, run.events)
+
+
+class TestCapturePerf:
+    def test_capture_batch_serial(self, bench_acquisition, benchmark):
+        benchmark(
+            bench_acquisition.capture_batch, 8, coeffs_per_trace=1, first_seed=100
+        )
+
+    def test_capture_batch_workers4(self, bench_acquisition, benchmark):
+        benchmark(
+            bench_acquisition.capture_batch,
+            8,
+            coeffs_per_trace=1,
+            first_seed=100,
+            workers=4,
+        )
+
 
 class TestAttackPerf:
     def test_segmentation_8_coefficients(self, bench_acquisition, benchmark):

@@ -110,19 +110,30 @@ class SingleTraceAttack:
         coeffs_per_trace: int = 8,
         first_seed: int = 1,
         min_class_count: int = 3,
+        workers: Optional[int] = None,
     ) -> ProfilingReport:
         """Capture and learn templates from the profiled device.
 
         ``num_traces * coeffs_per_trace`` labelled slices are collected;
         classes observed fewer than ``min_class_count`` times are folded
         away (the paper observes values only in [-14, 14] despite the
-        [-41, 41] support).
+        [-41, 41] support).  ``workers`` switches the profiling-set
+        acquisition to the batch path (per-seed noise streams, optional
+        process pool — see
+        :meth:`~repro.power.capture.TraceAcquisition.capture_batch`);
+        the default keeps the bench's sequential noise stream so seeded
+        experiments reproduce historical results exactly.
         """
         # Pass 1: a few traces with coarse anchors teach the re-aligner.
-        captures = [
-            self.acquisition.capture(first_seed + i, coeffs_per_trace)
-            for i in range(num_traces)
-        ]
+        if workers is None:
+            captures = [
+                self.acquisition.capture(first_seed + i, coeffs_per_trace)
+                for i in range(num_traces)
+            ]
+        else:
+            captures = self.acquisition.capture_batch(
+                num_traces, coeffs_per_trace, first_seed=first_seed, workers=workers
+            )
         reference_pool = [c.trace.samples for c in captures[: max(8, num_traces // 20)]]
         self.refiner = AnchorRefiner.learn(self.segmenter, reference_pool)
 

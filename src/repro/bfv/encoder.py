@@ -20,7 +20,7 @@ from repro.bfv.params import BfvContext
 from repro.bfv.plaintext import Plaintext
 from repro.errors import ParameterError
 from repro.ring.modulus import Modulus
-from repro.ring.ntt import NttContext
+from repro.ring.ntt import get_ntt_context
 from repro.ring.primes import generate_ntt_primes, is_prime
 
 
@@ -90,7 +90,7 @@ class BatchEncoder:
                 f"(use find_batching_plain_modulus)"
             )
         self.context = context
-        self._ntt = NttContext(Modulus(t), n)
+        self._ntt = get_ntt_context(Modulus(t), n)
 
     @property
     def slot_count(self) -> int:

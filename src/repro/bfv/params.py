@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence
 
 from repro.errors import ParameterError
 from repro.ring.modulus import Modulus
-from repro.ring.ntt import NttContext
+from repro.ring.ntt import NttContext, get_ntt_context
 from repro.ring.primes import default_coeff_modulus_128
 from repro.ring.rns import RnsBasis
 from repro.utils.validation import check_power_of_two
@@ -88,7 +88,7 @@ class BfvContext:
         self.t: int = params.plain_modulus
         self.delta: int = self.q // self.t
         self.ntts: List[NttContext] = [
-            NttContext(m, self.n) for m in self.basis.moduli
+            get_ntt_context(m, self.n) for m in self.basis.moduli
         ]
 
     # ------------------------------------------------------------------

@@ -6,10 +6,21 @@ and triggering one execution of the sampling kernel; the returned
 :class:`CapturedTrace` carries the measured trace plus ground truth
 (the sampled values) that the *evaluation* uses to score the attack —
 the attack itself only ever sees ``trace``.
+
+Batch acquisition (:meth:`~TraceAcquisition.capture_batch`) draws each
+trace's measurement noise from an independent generator seeded by
+``(batch entropy, device seed)``, never from the bench's shared stream.
+That makes every trace's noise a pure function of its seed, so the
+``workers=`` process pool produces **bit-identical** traces to the
+serial path in any completion order — the profiling workload (thousands
+of single-coefficient captures for template building) scales across
+cores without sacrificing reproducibility.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -30,7 +41,53 @@ class CapturedTrace:
     values: List[int]  # ground-truth sampled coefficients
     seed: int
     cycle_count: int
-    event_starts: np.ndarray = field(repr=False, default=None)
+    event_starts: Optional[np.ndarray] = field(repr=False, default=None)
+
+
+def _noise_rng(batch_entropy: int, seed: int) -> np.random.Generator:
+    """The per-trace measurement-noise stream: a pure function of the
+    batch entropy and the device seed, independent of capture order."""
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=(int(batch_entropy), int(seed)))
+    )
+
+
+def _capture_one(
+    device: GaussianSamplerDevice,
+    leakage: LeakageModel,
+    scope: Oscilloscope,
+    seed: int,
+    count: int,
+    batch_entropy: int,
+) -> CapturedTrace:
+    """One batch capture; shared by the serial path and pool workers."""
+    run = device.run(seed, count=count, record_events=True)
+    noiseless, starts = leakage.expand(run.events)
+    measured = scope.capture(noiseless, rng=_noise_rng(batch_entropy, seed))
+    return CapturedTrace(
+        trace=Trace(measured, metadata={"seed": seed, "count": count}),
+        values=run.values,
+        seed=seed,
+        cycle_count=run.cycle_count,
+        event_starts=starts,
+    )
+
+
+# Worker-process state: the bench components are shipped once via the
+# pool initializer instead of being pickled into every task.
+_POOL_BENCH: dict = {}
+
+
+def _pool_init(
+    device: GaussianSamplerDevice, leakage: LeakageModel, scope: Oscilloscope
+) -> None:
+    _POOL_BENCH["parts"] = (device, leakage, scope)
+
+
+def _pool_capture(args) -> CapturedTrace:
+    seed, count, batch_entropy = args
+    device, leakage, scope = _POOL_BENCH["parts"]
+    return _capture_one(device, leakage, scope, seed, count, batch_entropy)
 
 
 class TraceAcquisition:
@@ -47,7 +104,9 @@ class TraceAcquisition:
         Acquisition front end (noise etc.).
     rng:
         Seed/generator for measurement noise (independent of the
-        device's PRNG).
+        device's PRNG).  An integer seed also fixes the batch noise
+        entropy, making :meth:`capture_batch` output reproducible
+        across bench instances and worker counts.
     """
 
     def __init__(
@@ -61,10 +120,21 @@ class TraceAcquisition:
         self.leakage = leakage if leakage is not None else LeakageModel()
         self.scope = scope if scope is not None else Oscilloscope()
         self._rng = new_rng(rng)
+        # Integer seeds pin the batch entropy immediately; otherwise it
+        # is derived lazily from the stream on first batch use so plain
+        # capture() consumes exactly the same noise values as before.
+        self._batch_entropy: Optional[int] = (
+            int(rng) if isinstance(rng, (int, np.integer)) else None
+        )
 
     # ------------------------------------------------------------------
     def capture(self, seed: int, count: int) -> CapturedTrace:
-        """Run the kernel for ``count`` coefficients and measure it."""
+        """Run the kernel for ``count`` coefficients and measure it.
+
+        Noise comes from the bench's sequential stream, so back-to-back
+        captures draw different noise; use :meth:`capture_batch` when
+        per-seed reproducibility matters.
+        """
         run = self.device.run(seed, count=count, record_events=True)
         noiseless, starts = self.leakage.expand(run.events)
         measured = self.scope.capture(noiseless, rng=self._rng)
@@ -80,11 +150,42 @@ class TraceAcquisition:
         """One-coefficient capture (the profiling workload)."""
         return self.capture(seed, count=1)
 
+    # ------------------------------------------------------------------
+    def batch_entropy(self) -> int:
+        """The entropy that keys per-trace noise streams in batches."""
+        if self._batch_entropy is None:
+            self._batch_entropy = int(self._rng.integers(0, 2**63 - 1))
+        return self._batch_entropy
+
     def capture_batch(
-        self, trace_count: int, coeffs_per_trace: int = 1, first_seed: int = 1
+        self,
+        trace_count: int,
+        coeffs_per_trace: int = 1,
+        first_seed: int = 1,
+        workers: Optional[int] = None,
     ) -> List[CapturedTrace]:
-        """Capture ``trace_count`` runs with consecutive device seeds."""
-        return [
-            self.capture(first_seed + i, coeffs_per_trace)
-            for i in range(trace_count)
+        """Capture ``trace_count`` runs with consecutive device seeds.
+
+        ``workers`` > 1 fans the captures out over a process pool.  Each
+        trace's noise generator is seeded by ``(batch entropy, device
+        seed)``, so the result is bit-identical to the serial path —
+        same seeds, same noise — regardless of worker count or
+        scheduling order.
+        """
+        entropy = self.batch_entropy()
+        tasks = [
+            (first_seed + i, coeffs_per_trace, entropy) for i in range(trace_count)
         ]
+        if workers is None or workers <= 1 or trace_count <= 1:
+            return [
+                _capture_one(self.device, self.leakage, self.scope, *task)
+                for task in tasks
+            ]
+        pool_size = min(workers, trace_count, (os.cpu_count() or 1) * 4)
+        with ProcessPoolExecutor(
+            max_workers=pool_size,
+            initializer=_pool_init,
+            initargs=(self.device, self.leakage, self.scope),
+        ) as pool:
+            chunk = max(1, trace_count // (pool_size * 4))
+            return list(pool.map(_pool_capture, tasks, chunksize=chunk))

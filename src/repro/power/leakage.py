@@ -1,8 +1,7 @@
 """Hamming-weight / Hamming-distance leakage synthesis.
 
-``LeakageModel.expand`` turns the CPU's per-instruction
-:class:`~repro.riscv.cpu.ExecutionEvent` list into one noiseless power
-sample per clock cycle:
+``LeakageModel.expand`` turns the CPU's per-instruction execution
+events into one noiseless power sample per clock cycle:
 
 - the *fetch* cycle of every instruction leaks the Hamming weight of the
   fetched word and the Hamming distance to the previously fetched word
@@ -18,6 +17,15 @@ sample per clock cycle:
   visible peaks" that the segmentation stage anchors on (Fig. 3a);
 - memory cycles leak address and data-bus weights (the
   ``coeff_modulus[j] - noise`` stores of the negative branch).
+
+The expansion is fully vectorized over the event log's int64 columns:
+32-bit Hamming weights come from a 16-bit popcount lookup table, the
+per-op-class cycle layouts are scattered into one preallocated sample
+buffer through cumulative cycle offsets, and the 32-step
+multiplier/divider engine traces are computed as ``(32, n_events)``
+bit-matrix operations.  ``expand_reference`` keeps the original scalar
+implementation; both produce bit-identical float64 output (the tests
+assert exact equality).
 """
 
 from __future__ import annotations
@@ -28,13 +36,44 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.riscv import cycles as cy
-from repro.riscv.cpu import ExecutionEvent
+from repro.riscv.cpu import EventLog, ExecutionEvent
 
 _MASK32 = 0xFFFFFFFF
+
+#: Popcount of every 16-bit value; two lookups give a 32-bit popcount.
+#: uint8 keeps the table at 64 KiB so the gathers stay cache-resident.
+_POP16 = (
+    np.unpackbits(np.arange(1 << 16, dtype=np.uint16).view(np.uint8))
+    .reshape(1 << 16, 16)
+    .sum(axis=1)
+    .astype(np.uint8)
+)
+
+#: CYCLES as a dense vector indexable by op-class arrays.
+_CYCLES_BY_CLASS = np.array(
+    [cy.CYCLES[op] for op in range(len(cy.CYCLES))], dtype=np.int64
+)
+
+_ENGINE_STEPS_UP = np.arange(32, dtype=np.int64)[:, None]
+_ENGINE_STEPS_DOWN = np.arange(31, -1, -1, dtype=np.int64)[:, None]
 
 
 def _hw(value: int) -> int:
     return (value & _MASK32).bit_count()
+
+
+def _hw32(values: np.ndarray) -> np.ndarray:
+    """Elementwise 32-bit Hamming weight of 32-bit values held in int64."""
+    return _POP16[values & 0xFFFF] + _POP16[values >> 16]
+
+
+def _event_columns(events) -> np.ndarray:
+    """Events as an ``(8, n)`` int64 matrix, zero-copy for an EventLog."""
+    if isinstance(events, EventLog):
+        return events.columns()
+    if len(events) == 0:
+        return np.zeros((len(ExecutionEvent._fields), 0), dtype=np.int64)
+    return np.asarray(events, dtype=np.int64).T
 
 
 @dataclass
@@ -58,11 +97,157 @@ class LeakageModel:
     def expand(
         self, events: Sequence[ExecutionEvent]
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Expand events into per-cycle samples.
+        """Expand events into per-cycle samples (vectorized).
 
         Returns ``(samples, starts)`` where ``starts[i]`` is the sample
         index of event ``i``'s first cycle (ground truth used only by
-        tests, never by the attack).
+        tests, never by the attack).  Accepts an
+        :class:`~repro.riscv.cpu.EventLog` (zero-copy) or any sequence
+        of :class:`~repro.riscv.cpu.ExecutionEvent`.
+        """
+        cols = _event_columns(events)
+        n = cols.shape[1]
+        if n == 0:
+            return np.zeros(0, dtype=np.float64), np.zeros(0, dtype=np.int64)
+        op, word, rs1, rs2, result, old_rd, address, _pc = cols
+
+        wd = self.weight_data
+        wt = self.weight_transition
+        wf = self.weight_fetch
+        we = self.weight_engine
+        base = self.baseline
+
+        cycles = _CYCLES_BY_CLASS[op]
+        starts = np.zeros(n, dtype=np.int64)
+        np.cumsum(cycles[:-1], out=starts[1:])
+        total = int(starts[-1] + cycles[-1])
+        samples = np.full(total, base, dtype=np.float64)
+
+        # Event indices of every op class from one stable sort; each
+        # per-class gather below is then a small fancy index instead of
+        # a full boolean scan.
+        order = np.argsort(op, kind="stable")
+        bounds = np.searchsorted(op[order], np.arange(len(cy.CYCLES) + 1))
+
+        def cls(klass: int) -> np.ndarray:
+            return order[bounds[klass] : bounds[klass + 1]]
+
+        # Hamming weights shared by several cycle layouts, computed once
+        # over the whole event log (one batched call for the contiguous
+        # rs1/rs2/result rows).  The combined per-cycle values keep the
+        # scalar reference's evaluation order so float64 output is
+        # bit-identical.
+        previous_word = np.empty_like(word)
+        previous_word[0] = 0
+        previous_word[1:] = word[:-1]
+        hw_rs1, hw_rs2, hw_res = _hw32(cols[2:5])
+        hw_wb = _hw32(result ^ old_rd)  # writeback Hamming distance
+        fetch_v = base + wf * (_hw32(word) + _hw32(word ^ previous_word))
+        operand_v = base + 0.5 * wd * (hw_rs1 + hw_rs2)
+        writeback_v = base + wd * hw_res + wt * hw_wb
+        data_v = base + wd * hw_res
+        target_v = base + wf * hw_res
+
+        # fetch cycle of every instruction: HW of the word + bus toggling
+        samples[starts] = fetch_v
+
+        # -- ALU: operand read, then writeback -------------------------
+        ev = cls(cy.OP_ALU)
+        idx = starts[ev]
+        if idx.size:
+            samples[idx + 1] = operand_v[ev]
+            samples[idx + 2] = writeback_v[ev]
+
+        # -- sequential multiplier: 32 engine steps + writeback --------
+        ev = cls(cy.OP_MUL)
+        idx = starts[ev]
+        if idx.size:
+            a = rs1[ev]
+            b = rs2[ev]
+            samples[idx + 1] = operand_v[ev]
+            # partial products gated by the multiplier bits; the running
+            # shift-add accumulator is their masked prefix sum
+            partial = ((b[None, :] >> _ENGINE_STEPS_UP) & 1) * (
+                (a[None, :] << _ENGINE_STEPS_UP) & _MASK32
+            )
+            acc = np.cumsum(partial, axis=0) & _MASK32
+            samples[idx[None, :] + 2 + _ENGINE_STEPS_UP] = (
+                base + self.engine_offset + we * _hw32(acc)
+            )
+            samples[idx + 34] = writeback_v[ev]
+            # remaining cycles up to CYCLES[OP_MUL] stay at the baseline
+
+        # -- restoring divider: 32 remainder steps + writeback ---------
+        ev = cls(cy.OP_DIV)
+        idx = starts[ev]
+        if idx.size:
+            samples[idx + 1] = operand_v[ev]
+            # The restoring-divider invariant: after consuming dividend
+            # bits 31..i the engine holds remainder = (dividend >> i) mod
+            # divisor and quotient = (dividend >> i) div divisor, so the
+            # whole 32-step evolution is one broadcast divmod.  A zero
+            # divisor never restores: the remainder window slides through
+            # the dividend and the quotient stays zero.
+            dividend = rs1[ev]
+            divisor = rs2[ev][None, :]
+            shifted = dividend[None, :] >> _ENGINE_STEPS_DOWN
+            zero = divisor == 0
+            quo_steps, rem_steps = np.divmod(shifted, np.where(zero, 1, divisor))
+            rem_steps = np.where(zero, shifted, rem_steps)
+            quo_steps = np.where(zero, 0, quo_steps)
+            samples[idx[None, :] + 2 + _ENGINE_STEPS_UP] = (
+                base
+                + self.engine_offset
+                + we * 0.5 * (_hw32(rem_steps) + _hw32(quo_steps))
+            )
+            samples[idx + 34] = writeback_v[ev]
+
+        # -- loads: address, data bus, writeback, turnaround -----------
+        ev = cls(cy.OP_LOAD)
+        idx = starts[ev]
+        if idx.size:
+            samples[idx + 1] = base + 0.5 * wd * _hw32(address[ev])
+            samples[idx + 2] = data_v[ev]
+            samples[idx + 3] = writeback_v[ev]
+
+        # -- stores: address, data bus drive, settle -------------------
+        ev = cls(cy.OP_STORE)
+        idx = starts[ev]
+        if idx.size:
+            samples[idx + 1] = base + 0.5 * wd * _hw32(address[ev])
+            samples[idx + 2] = data_v[ev]
+            samples[idx + 3] = base + 0.5 * wd * hw_res[ev]
+
+        # -- branches --------------------------------------------------
+        ev = cls(cy.OP_BRANCH_NOT_TAKEN)
+        idx = starts[ev]
+        if idx.size:
+            samples[idx + 1] = operand_v[ev]
+
+        ev = cls(cy.OP_BRANCH_TAKEN)
+        idx = starts[ev]
+        if idx.size:
+            samples[idx + 1] = operand_v[ev]
+            samples[idx + 2] = target_v[ev]  # target fetch
+
+        # -- jumps -----------------------------------------------------
+        ev = cls(cy.OP_JUMP)
+        idx = starts[ev]
+        if idx.size:
+            samples[idx + 1] = target_v[ev]
+            samples[idx + 2] = base + wt * hw_wb[ev]
+
+        # OP_SYSTEM: fetch cycle only — already written above
+        return samples, starts
+
+    # ------------------------------------------------------------------
+    def expand_reference(
+        self, events: Sequence[ExecutionEvent]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The original scalar expansion, kept as the correctness oracle.
+
+        ``expand`` must produce float64 output exactly equal to this on
+        every op class (the tests assert it).
         """
         samples: List[float] = []
         starts = np.empty(len(events), dtype=np.int64)

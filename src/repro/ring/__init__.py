@@ -9,7 +9,7 @@ polynomial container (:mod:`repro.ring.poly`).
 """
 
 from repro.ring.modulus import Modulus
-from repro.ring.ntt import NttContext
+from repro.ring.ntt import NttContext, get_ntt_context
 from repro.ring.poly import RingPoly
 from repro.ring.primes import default_coeff_modulus_128, generate_ntt_primes, is_prime
 from repro.ring.rns import RnsBasis
@@ -17,6 +17,7 @@ from repro.ring.rns import RnsBasis
 __all__ = [
     "Modulus",
     "NttContext",
+    "get_ntt_context",
     "RingPoly",
     "RnsBasis",
     "default_coeff_modulus_128",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-from repro.ring.ntt import NttContext
+from repro.ring.ntt import NttContext, get_ntt_context
 from repro.ring.primes import generate_ntt_primes
 from repro.ring.rns import RnsBasis
 
@@ -26,7 +26,7 @@ def _exact_basis(n: int, bound_bits: int) -> Tuple[RnsBasis, List[NttContext]]:
     if key not in _context_cache:
         moduli = generate_ntt_primes(limb_bits, count, n)
         basis = RnsBasis(moduli)
-        ntts = [NttContext(m, n) for m in moduli]
+        ntts = [get_ntt_context(m, n) for m in moduli]
         _context_cache[key] = (basis, ntts)
     return _context_cache[key]
 

@@ -6,11 +6,23 @@ time) forward transform and Gentleman-Sande inverse, merged with the
 domain realises multiplication modulo ``x^n + 1`` (negacyclic
 convolution), exactly as in SEAL's ``SmallNTT``.
 
-All butterflies run on numpy ``int64`` vectors; with ``q < 2**31`` every
-intermediate product fits without overflow.
+The butterflies are level-order vectorized: each stage reshapes the
+residue vector into ``(groups, 2 * gap)`` and applies the whole stage's
+butterflies as one broadcast against the per-stage twiddle column
+(precomputed in :class:`NttContext`), instead of looping over groups in
+Python.  With ``q < 2**31`` every intermediate product fits ``int64``
+without overflow.  ``forward_reference`` / ``inverse_reference`` keep
+the original per-group loops as correctness oracles.
+
+Contexts are cached process-wide by :func:`get_ntt_context` keyed on
+``(q, n)`` — the twiddle tables are immutable, so every caller (BFV
+limbs, the plaintext encoder, exact CRT multiplies) shares one table
+set per modulus/degree pair.
 """
 
 from __future__ import annotations
+
+from typing import Dict, Tuple, Union
 
 import numpy as np
 
@@ -84,6 +96,21 @@ class NttContext:
         self._root_powers = powers
         self._inv_root_powers = inv_powers
 
+        # Per-stage twiddle columns for the level-order vectorized
+        # butterflies: forward stage s has 2^s groups using
+        # powers[2^s : 2^(s+1)], the inverse stage with h groups uses
+        # inv_powers[h : 2h].
+        self._stage_twiddles = []
+        m = 1
+        while m < n:
+            self._stage_twiddles.append(powers[m : 2 * m, None].copy())
+            m *= 2
+        self._inv_stage_twiddles = []
+        h = n // 2
+        while h >= 1:
+            self._inv_stage_twiddles.append(inv_powers[h : 2 * h, None].copy())
+            h //= 2
+
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
         """Forward negacyclic NTT of an int64 residue vector.
 
@@ -91,6 +118,43 @@ class NttContext:
         order; :meth:`inverse` consumes that layout, and pointwise products
         commute with the permutation, so callers never need to reorder.
         """
+        q = self.modulus.value
+        a = np.array(coeffs, dtype=np.int64)
+        if a.shape != (self.n,):
+            raise ParameterError(f"expected shape ({self.n},), got {a.shape}")
+        t = self.n
+        for w in self._stage_twiddles:
+            t //= 2
+            view = a.reshape(w.shape[0], 2 * t)
+            lo = view[:, :t]
+            hi = view[:, t:]
+            prod = (hi * w) % q
+            hi_new = (lo - prod) % q
+            view[:, :t] = (lo + prod) % q
+            view[:, t:] = hi_new
+        return a
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Inverse negacyclic NTT; returns coefficients in standard order."""
+        q = self.modulus.value
+        a = np.array(values, dtype=np.int64)
+        if a.shape != (self.n,):
+            raise ParameterError(f"expected shape ({self.n},), got {a.shape}")
+        t = 1
+        for w in self._inv_stage_twiddles:
+            view = a.reshape(w.shape[0], 2 * t)
+            lo = view[:, :t]
+            hi = view[:, t:]
+            hi_new = ((lo - hi) * w) % q
+            view[:, :t] = (lo + hi) % q
+            view[:, t:] = hi_new
+            t *= 2
+        a = (a * self.n_inv) % q
+        return a
+
+    # ------------------------------------------------------------------
+    def forward_reference(self, coeffs: np.ndarray) -> np.ndarray:
+        """The original per-group forward loop (correctness oracle)."""
         q = self.modulus.value
         a = np.array(coeffs, dtype=np.int64)
         if a.shape != (self.n,):
@@ -112,8 +176,8 @@ class NttContext:
             m *= 2
         return a
 
-    def inverse(self, values: np.ndarray) -> np.ndarray:
-        """Inverse negacyclic NTT; returns coefficients in standard order."""
+    def inverse_reference(self, values: np.ndarray) -> np.ndarray:
+        """The original per-group inverse loop (correctness oracle)."""
         q = self.modulus.value
         a = np.array(values, dtype=np.int64)
         if a.shape != (self.n,):
@@ -145,3 +209,23 @@ class NttContext:
 
     def __repr__(self) -> str:
         return f"NttContext(q={self.modulus.value}, n={self.n})"
+
+
+#: Process-wide context cache; tables are immutable so sharing is safe.
+_CONTEXT_CACHE: Dict[Tuple[int, int], NttContext] = {}
+
+
+def get_ntt_context(modulus: Union[Modulus, int], n: int) -> NttContext:
+    """The shared :class:`NttContext` for ``(q, n)``, built on first use.
+
+    Twiddle-table construction is O(n) Python work per modulus/degree
+    pair; the BFV parameter sets, the encoder and the exact CRT
+    multiplier all hit the same pairs repeatedly, so contexts are
+    cached for the life of the process.
+    """
+    q = modulus.value if isinstance(modulus, Modulus) else int(modulus)
+    context = _CONTEXT_CACHE.get((q, n))
+    if context is None:
+        context = NttContext(modulus if isinstance(modulus, Modulus) else Modulus(q), n)
+        _CONTEXT_CACHE[(q, n)] = context
+    return context

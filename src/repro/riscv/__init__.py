@@ -16,8 +16,8 @@ instruction-set simulator:
 """
 
 from repro.riscv.assembler import assemble
-from repro.riscv.cpu import Cpu, ExecutionEvent
+from repro.riscv.cpu import Cpu, EventLog, ExecutionEvent
 from repro.riscv.isa import decode, encode
 from repro.riscv.memory import Memory
 
-__all__ = ["Cpu", "ExecutionEvent", "Memory", "assemble", "decode", "encode"]
+__all__ = ["Cpu", "EventLog", "ExecutionEvent", "Memory", "assemble", "decode", "encode"]

@@ -1,17 +1,22 @@
 """The RV32IM interpreter with execution-event recording.
 
 The core executes pre-decoded instructions and, when
-``record_events=True``, appends one :class:`ExecutionEvent` per retired
-instruction.  Events carry everything the CMOS power model needs:
-the fetched instruction word, both operand values, the result, the
-overwritten destination value (for Hamming-distance leakage) and the
-memory address/data where applicable.  The expansion of events into
-per-cycle power samples lives in :mod:`repro.power.leakage`.
+``record_events=True``, records one event per retired instruction into
+a columnar :class:`EventLog`.  Events carry everything the CMOS power
+model needs: the fetched instruction word, both operand values, the
+result, the overwritten destination value (for Hamming-distance
+leakage) and the memory address/data where applicable.  The expansion
+of events into per-cycle power samples lives in
+:mod:`repro.power.leakage`, which consumes the log's int64 column
+arrays directly — no per-event Python objects are materialised on the
+hot path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Optional
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.errors import SimulationError
 from repro.riscv import cycles as cy
@@ -38,6 +43,125 @@ class ExecutionEvent(NamedTuple):
     pc: int
 
 
+class EventLog(Sequence):
+    """Structure-of-arrays store of execution events.
+
+    One preallocated ``(8, capacity)`` int64 matrix holds every
+    :class:`ExecutionEvent` field as a row, grown geometrically on
+    overflow.  The power model reads the columns wholesale via
+    :meth:`columns` / the per-field properties; sequence access
+    (``log[i]``, iteration, ``log == [...]``) materialises
+    :class:`ExecutionEvent` tuples on demand so existing callers keep
+    working.
+    """
+
+    _NUM_FIELDS = len(ExecutionEvent._fields)
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self._data = np.zeros((self._NUM_FIELDS, max(int(capacity), 1)), dtype=np.int64)
+        self._length = 0
+
+    # -- recording ------------------------------------------------------
+    def append(
+        self,
+        op_class: int,
+        word: int,
+        rs1_value: int,
+        rs2_value: int,
+        result: int,
+        old_rd: int,
+        address: int,
+        pc: int,
+    ) -> None:
+        """Record one event (hot path: a single column store)."""
+        n = self._length
+        data = self._data
+        if n == data.shape[1]:
+            data = np.concatenate([data, np.zeros_like(data)], axis=1)
+            self._data = data
+        data[:, n] = (op_class, word, rs1_value, rs2_value, result, old_rd, address, pc)
+        self._length = n + 1
+
+    def clear(self) -> None:
+        """Drop all events; the buffer is kept for reuse."""
+        self._length = 0
+
+    # -- columnar access (what the vectorized power model consumes) ----
+    def columns(self) -> np.ndarray:
+        """The ``(8, len(self))`` int64 field matrix (a view, not a copy)."""
+        return self._data[:, : self._length]
+
+    def column(self, name: str) -> np.ndarray:
+        """One named field as an int64 vector (a view, not a copy)."""
+        return self._data[ExecutionEvent._fields.index(name), : self._length]
+
+    @property
+    def op_class(self) -> np.ndarray:
+        return self.column("op_class")
+
+    @property
+    def word(self) -> np.ndarray:
+        return self.column("word")
+
+    @property
+    def rs1_value(self) -> np.ndarray:
+        return self.column("rs1_value")
+
+    @property
+    def rs2_value(self) -> np.ndarray:
+        return self.column("rs2_value")
+
+    @property
+    def result(self) -> np.ndarray:
+        return self.column("result")
+
+    @property
+    def old_rd(self) -> np.ndarray:
+        return self.column("old_rd")
+
+    @property
+    def address(self) -> np.ndarray:
+        return self.column("address")
+
+    @property
+    def pc(self) -> np.ndarray:
+        return self.column("pc")
+
+    # -- sequence compatibility ----------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[ExecutionEvent, List[ExecutionEvent]]:
+        if isinstance(index, slice):
+            return [
+                ExecutionEvent(*(int(v) for v in self._data[:, i]))
+                for i in range(*index.indices(self._length))
+            ]
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError("event index out of range")
+        return ExecutionEvent(*(int(v) for v in self._data[:, index]))
+
+    def __iter__(self) -> Iterator[ExecutionEvent]:
+        for i in range(self._length):
+            yield ExecutionEvent(*(int(v) for v in self._data[:, i]))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EventLog):
+            return np.array_equal(self.columns(), other.columns())
+        if isinstance(other, (list, tuple)):
+            return len(other) == self._length and all(
+                a == b for a, b in zip(self, other)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"EventLog(length={self._length})"
+
+
 class Cpu:
     """A PicoRV32-like RV32IM core.
 
@@ -48,6 +172,9 @@ class Cpu:
     record_events:
         When True, :attr:`events` collects one entry per instruction;
         turn this off for functional-only runs (it is the dominant cost).
+        Disabling recording (at construction or later) empties the log,
+        so :attr:`events` never exposes stale entries from a previous
+        recorded run.
     """
 
     def __init__(
@@ -59,9 +186,19 @@ class Cpu:
         self.cycle_count = 0
         self.instruction_count = 0
         self.halted = False
+        self.events: EventLog = EventLog()
         self.record_events = record_events
-        self.events: List[ExecutionEvent] = []
         self._decoded_cache: Dict[int, Decoded] = {}
+
+    @property
+    def record_events(self) -> bool:
+        return self._record_events
+
+    @record_events.setter
+    def record_events(self, enabled: bool) -> None:
+        self._record_events = bool(enabled)
+        if not self._record_events:
+            self.events.clear()
 
     # ------------------------------------------------------------------
     def load_program(self, words: List[int], base_address: int = 0) -> None:
@@ -72,7 +209,7 @@ class Cpu:
         self.cycle_count = 0
         self.instruction_count = 0
         self.halted = False
-        self.events = []
+        self.events.clear()
         self._decoded_cache = {}
 
     def write_register(self, index: int, value: int) -> None:
@@ -275,10 +412,8 @@ class Cpu:
         self.pc = next_pc
         self.cycle_count += cy.CYCLES[op_class]
         self.instruction_count += 1
-        if self.record_events:
-            self.events.append(
-                ExecutionEvent(op_class, word, rs1, rs2, result, old_rd, address, pc)
-            )
+        if self._record_events:
+            self.events.append(op_class, word, rs1, rs2, result, old_rd, address, pc)
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence
 
 from repro.errors import SimulationError
 from repro.riscv.assembler import assemble
-from repro.riscv.cpu import Cpu, ExecutionEvent
+from repro.riscv.cpu import Cpu, EventLog
 from repro.riscv.memory import Memory
 from repro.riscv.programs.gaussian import gaussian_sampler_source
 
@@ -31,7 +31,7 @@ class DeviceRun:
 
     values: List[int]  # the signed sampled coefficients (ground truth)
     residues: List[List[int]]  # output buffer content per limb
-    events: List[ExecutionEvent]
+    events: EventLog  # columnar per-instruction log (sequence-compatible)
     cycle_count: int
     instruction_count: int
 

@@ -1,0 +1,139 @@
+"""Equivalence tests: vectorized ``expand`` vs the scalar reference.
+
+The vectorized expansion must produce float64 output **exactly** equal
+to ``expand_reference`` — not approximately — across every op class,
+including the sequential multiplier/divider engine edge cases (zero
+divisor, INT_MIN / -1) whose internal state evolution the bit-matrix
+formulation must reproduce step for step.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.power.leakage import LeakageModel
+from repro.riscv import cycles as cy
+from repro.riscv.cpu import EventLog, ExecutionEvent
+from repro.riscv.device import GaussianSamplerDevice
+
+INT_MIN = 0x80000000
+NEG_ONE = 0xFFFFFFFF
+
+EDGE_VALUES = [
+    0,
+    1,
+    2,
+    0x7FFFFFFF,
+    INT_MIN,
+    0x80000001,
+    0xC0000001,
+    0xFFFFFFFE,
+    NEG_ONE,
+]
+
+
+def synthetic_events(op_classes, operand_pairs, seed=0):
+    """One event per (op class, rs1, rs2) combination with random rest."""
+    rng = np.random.default_rng(seed)
+    events = []
+    word = itertools.count(1)
+    for op in op_classes:
+        for rs1, rs2 in operand_pairs:
+            events.append(
+                ExecutionEvent(
+                    op_class=op,
+                    word=next(word) & 0xFFFFFFFF,
+                    rs1_value=rs1,
+                    rs2_value=rs2,
+                    result=int(rng.integers(0, 2**32)),
+                    old_rd=int(rng.integers(0, 2**32)),
+                    address=int(rng.integers(0, 2**32)),
+                    pc=4 * len(events),
+                )
+            )
+    return events
+
+
+def assert_expansions_identical(model, events):
+    vec_samples, vec_starts = model.expand(events)
+    ref_samples, ref_starts = model.expand_reference(events)
+    assert vec_samples.dtype == np.float64
+    np.testing.assert_array_equal(vec_starts, ref_starts)
+    np.testing.assert_array_equal(vec_samples, ref_samples)
+
+
+class TestExactEquivalence:
+    def test_all_op_classes_edge_operands(self):
+        events = synthetic_events(
+            range(len(cy.CYCLES)), itertools.product(EDGE_VALUES, repeat=2)
+        )
+        assert_expansions_identical(LeakageModel(), events)
+
+    def test_div_zero_divisor(self):
+        events = synthetic_events(
+            [cy.OP_DIV], [(v, 0) for v in EDGE_VALUES]
+        )
+        assert_expansions_identical(LeakageModel(), events)
+
+    def test_div_int_min_by_minus_one(self):
+        events = synthetic_events(
+            [cy.OP_DIV, cy.OP_MUL], [(INT_MIN, NEG_ONE), (NEG_ONE, INT_MIN)]
+        )
+        assert_expansions_identical(LeakageModel(), events)
+
+    def test_random_event_mix(self):
+        rng = np.random.default_rng(42)
+        events = [
+            ExecutionEvent(
+                op_class=int(rng.integers(0, len(cy.CYCLES))),
+                word=int(rng.integers(0, 2**32)),
+                rs1_value=int(rng.integers(0, 2**32)),
+                rs2_value=int(rng.integers(0, 2**32)),
+                result=int(rng.integers(0, 2**32)),
+                old_rd=int(rng.integers(0, 2**32)),
+                address=int(rng.integers(0, 2**32)),
+                pc=4 * i,
+            )
+            for i in range(3000)
+        ]
+        assert_expansions_identical(LeakageModel(), events)
+
+    def test_non_default_weights(self):
+        model = LeakageModel(
+            weight_data=1.37,
+            weight_transition=0.123,
+            weight_fetch=0.777,
+            weight_engine=2.25,
+            engine_offset=13.5,
+            baseline=3.3,
+        )
+        events = synthetic_events(
+            range(len(cy.CYCLES)), itertools.product(EDGE_VALUES[::2], repeat=2)
+        )
+        assert_expansions_identical(model, events)
+
+    def test_real_device_run(self):
+        device = GaussianSamplerDevice([132120577])
+        run = device.run(3, count=4)
+        model = LeakageModel()
+        vec_samples, vec_starts = model.expand(run.events)
+        ref_samples, ref_starts = model.expand_reference(list(run.events))
+        np.testing.assert_array_equal(vec_samples, ref_samples)
+        np.testing.assert_array_equal(vec_starts, ref_starts)
+        assert len(vec_samples) == run.cycle_count
+
+    def test_empty_events(self):
+        samples, starts = LeakageModel().expand([])
+        assert samples.shape == (0,)
+        assert starts.shape == (0,)
+
+    def test_event_log_and_tuple_list_agree(self):
+        events = synthetic_events([cy.OP_ALU, cy.OP_MUL], [(5, 9), (0, NEG_ONE)])
+        log = EventLog()
+        for event in events:
+            log.append(*event)
+        model = LeakageModel()
+        from_log, _ = model.expand(log)
+        from_list, _ = model.expand(events)
+        np.testing.assert_array_equal(from_log, from_list)

@@ -213,3 +213,52 @@ class TestEvents:
     def test_cycle_count_accumulates(self):
         cpu = run_program("mul t0, t0, t0\nebreak")
         assert cpu.cycle_count == cy.CYCLES[cy.OP_MUL] + cy.CYCLES[cy.OP_SYSTEM]
+
+
+class TestEventStorageConsistency:
+    """Regressions for stale event buffers around reset / disable."""
+
+    def test_disabling_recording_drops_stale_events(self):
+        cpu = run_program("addi a0, zero, 1\nebreak")
+        assert len(cpu.events) > 0
+        cpu.record_events = False
+        assert cpu.events == []
+
+    def test_reload_clears_previous_run_events(self):
+        cpu = run_program("addi a0, zero, 1\naddi a0, a0, 1\nebreak")
+        first_run = len(cpu.events)
+        assert first_run == 3
+        prog = assemble("ebreak")
+        cpu.load_program(prog.words)
+        assert cpu.events == []
+        cpu.run()
+        assert len(cpu.events) == 1
+
+    def test_no_events_accumulate_while_disabled(self):
+        cpu = Cpu(Memory(1 << 16), record_events=False)
+        prog = assemble("addi a0, zero, 1\nebreak")
+        cpu.load_program(prog.words)
+        cpu.run()
+        cpu.record_events = True
+        assert cpu.events == []
+
+    def test_reenabling_starts_fresh(self):
+        cpu = run_program("addi a0, zero, 1\nebreak")
+        cpu.record_events = False
+        cpu.record_events = True
+        assert cpu.events == []
+        prog = assemble("addi a0, zero, 2\nebreak")
+        cpu.load_program(prog.words)
+        cpu.run()
+        assert len(cpu.events) == 2
+        assert cpu.events[0].rs2_value == 0
+
+    def test_event_log_slicing_and_iteration(self):
+        cpu = run_program("addi a0, zero, 1\naddi a0, a0, 1\nebreak")
+        events = cpu.events
+        as_list = list(events)
+        assert len(as_list) == 3
+        assert events[0] == as_list[0]
+        assert events[-1].op_class == cy.OP_SYSTEM
+        assert events[0:2] == as_list[0:2]
+        assert events == as_list
