@@ -1,0 +1,121 @@
+"""Interpreter and template-matching throughput benchmark.
+
+Measures instructions/second of the RV32IM core on the Gaussian
+sampling kernel — threaded (block-translating) engine vs the scalar
+reference interpreter, with and without event recording — plus the
+batched vs scalar template-matching rate.  The acceptance bar for the
+threaded engine is >= 5x the reference with recording enabled.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_cpu.py             # full (5 reps)
+    PYTHONPATH=src python benchmarks/bench_cpu.py --quick     # CI smoke (1 rep)
+    PYTHONPATH=src python benchmarks/bench_cpu.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.attack.template import TemplateSet, gaussian_priors
+from repro.riscv.device import GaussianSamplerDevice
+
+MODULI = [0xFFEE001, 0xFFC4001, 0x7FE2001, 0x7F54001]
+COUNT = 8
+SEED = 1234
+
+
+def bench_cpu(repetitions: int) -> Dict[str, float]:
+    """Best-of-N instructions/second for each engine/recording combo."""
+    device = GaussianSamplerDevice(MODULI)
+    results: Dict[str, float] = {}
+    for engine in ("threaded", "reference"):
+        for record in (True, False):
+            # warm-up covers translation and numpy one-time costs
+            device.run(SEED, COUNT, record_events=record, engine=engine)
+            best = 0.0
+            for _ in range(repetitions):
+                start = time.perf_counter()
+                run = device.run(SEED, COUNT, record_events=record, engine=engine)
+                elapsed = time.perf_counter() - start
+                best = max(best, run.instruction_count / elapsed)
+            key = f"{engine}_{'events_on' if record else 'events_off'}"
+            results[key] = round(best, 1)
+    results["speedup_events_on"] = round(
+        results["threaded_events_on"] / results["reference_events_on"], 2
+    )
+    results["speedup_events_off"] = round(
+        results["threaded_events_off"] / results["reference_events_off"], 2
+    )
+    return results
+
+
+def bench_template_matching(repetitions: int) -> Dict[str, float]:
+    """Slices/second: batched probabilities_matrix vs the scalar loop."""
+    rng = np.random.default_rng(5)
+    labels = list(range(-14, 15))
+    traces = {l: rng.normal(l, 1.0, size=(40, 160)) for l in labels}
+    templates = TemplateSet.build(
+        traces,
+        pois=sorted(rng.choice(160, size=24, replace=False).tolist()),
+        priors=gaussian_priors(labels, 3.19),
+    )
+    slices = rng.normal(0.0, 2.0, size=(256, 160))
+    best_batched = best_scalar = 0.0
+    for _ in range(repetitions + 1):  # first rep is warm-up
+        start = time.perf_counter()
+        templates.probabilities_matrix(slices)
+        best_batched = max(best_batched, len(slices) / (time.perf_counter() - start))
+        start = time.perf_counter()
+        for row in slices:
+            templates.probabilities(row)
+        best_scalar = max(best_scalar, len(slices) / (time.perf_counter() - start))
+    return {
+        "batched_slices_per_s": round(best_batched, 1),
+        "scalar_slices_per_s": round(best_scalar, 1),
+        "speedup": round(best_batched / best_scalar, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repetitions", type=int, default=5, help="timed repetitions per case"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke mode: 1 repetition"
+    )
+    parser.add_argument("--json", metavar="PATH", help="also write results as JSON")
+    args = parser.parse_args(argv)
+    repetitions = 1 if args.quick else args.repetitions
+
+    cpu = bench_cpu(repetitions)
+    template = bench_template_matching(repetitions)
+
+    print("RV32IM interpreter (Gaussian kernel, count=8, instr/sec, best of "
+          f"{repetitions}):")
+    for key in ("threaded_events_on", "reference_events_on",
+                "threaded_events_off", "reference_events_off"):
+        print(f"  {key:26s} {cpu[key]:>14,.0f}")
+    print(f"  speedup events on  {cpu['speedup_events_on']:.2f}x")
+    print(f"  speedup events off {cpu['speedup_events_off']:.2f}x")
+    print("Template matching (256 slices, 29 classes, 24 POIs, slices/sec):")
+    print(f"  batched {template['batched_slices_per_s']:>14,.0f}")
+    print(f"  scalar  {template['scalar_slices_per_s']:>14,.0f}")
+    print(f"  speedup {template['speedup']:.2f}x")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"cpu": cpu, "template_matching": template}, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -87,8 +87,14 @@ class BranchClassifier:
         return self.templates.classify(slice_samples)
 
     def classify_many(self, slices: Sequence[np.ndarray]) -> List[int]:
-        """Classify a batch of aligned slices."""
-        return [self.classify(s) for s in slices]
+        """Classify a batch of aligned slices in one matrix call."""
+        if len(slices) == 0:
+            return []
+        return [int(s) for s in self.classify_matrix(np.vstack(slices))]
+
+    def classify_matrix(self, slices: np.ndarray) -> np.ndarray:
+        """Vectorized branch decision over an ``(n, slice_len)`` batch."""
+        return self.templates.classify_matrix(slices)
 
     def probabilities(self, slice_samples: np.ndarray) -> Dict[int, float]:
         """Posterior over the three branches."""

@@ -189,27 +189,48 @@ class SingleTraceAttack:
     # Attack
     # ------------------------------------------------------------------
     def attack_samples(self, samples: np.ndarray) -> AttackResult:
-        """Run the single-trace attack on a raw trace's samples."""
+        """Run the single-trace attack on a raw trace's samples.
+
+        All coefficient slices of the trace are matched in one batched
+        template call (sign classification, then a single
+        :meth:`~repro.attack.template.TemplateSet.probabilities_matrix`
+        over the non-zero slices with per-row sign restrictions).
+        """
         if self.templates is None or self.branch_classifier is None:
             raise AttackError("profile() must run before attack()")
         aligned = self.segmenter.aligned_slices(samples, refiner=self.refiner)
-        signs: List[int] = []
-        estimates: List[int] = []
-        tables: List[Dict[int, float]] = []
+        if not len(aligned):
+            return AttackResult(signs=[], estimates=[], probabilities=[])
+        matrix = np.vstack([self._normalise(piece) for piece in aligned])
+        signs = [int(s) for s in self.branch_classifier.classify_matrix(matrix)]
+
         all_labels = self.templates.labels
-        for piece in map(self._normalise, aligned):
-            sign = self.branch_classifier.classify(piece)
-            signs.append(sign)
-            if sign == ZERO:
-                estimates.append(0)
-                tables.append({0: 1.0})
-                continue
-            candidates = [l for l in all_labels if sign_of(l) == sign]
-            if not candidates:
-                raise AttackError(f"no templates for sign {sign}")
-            probs = self.templates.probabilities(piece, restrict=candidates)
-            tables.append(probs)
-            estimates.append(max(probs, key=probs.get))
+        label_signs = [sign_of(l) for l in all_labels]
+        candidate_rows = {
+            sign: np.array([ls == sign for ls in label_signs], dtype=bool)
+            for sign in (NEGATIVE, POSITIVE)
+        }
+        nonzero = [i for i, sign in enumerate(signs) if sign != ZERO]
+        for i in nonzero:
+            if not candidate_rows[signs[i]].any():
+                raise AttackError(f"no templates for sign {signs[i]}")
+
+        estimates: List[int] = [0] * len(signs)
+        tables: List[Dict[int, float]] = [{0: 1.0} for _ in signs]
+        if nonzero:
+            mask = np.vstack([candidate_rows[signs[i]] for i in nonzero])
+            probs = self.templates.probabilities_matrix(
+                matrix[nonzero], restrict=mask
+            )
+            label_array = np.asarray(all_labels)
+            picks = label_array[np.argmax(probs, axis=1)]
+            for row, i in enumerate(nonzero):
+                keep = mask[row]
+                tables[i] = {
+                    int(l): float(p)
+                    for l, p in zip(label_array[keep], probs[row, keep])
+                }
+                estimates[i] = int(picks[row])
         return AttackResult(signs=signs, estimates=estimates, probabilities=tables)
 
     def attack(self, captured) -> AttackResult:

@@ -49,9 +49,36 @@ class TemplateSet:
     class_precisions: Optional[Dict[int, np.ndarray]] = None
     class_log_dets: Optional[Dict[int, float]] = None
     _labels: List[int] = field(init=False, repr=False)
+    _means_matrix: np.ndarray = field(init=False, repr=False)
+    _prec_stack: Optional[np.ndarray] = field(init=False, repr=False)
+    _logdet_vec: Optional[np.ndarray] = field(init=False, repr=False)
+    _log_priors: Optional[np.ndarray] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._labels = sorted(self.means)
+        # Stacked (classes, pois) views for the batched matchers; row
+        # order is the sorted label order everywhere.
+        self._means_matrix = np.vstack(
+            [np.asarray(self.means[l], dtype=np.float64) for l in self._labels]
+        )
+        if self.class_precisions is not None:
+            self._prec_stack = np.stack(
+                [self.class_precisions[l] for l in self._labels]
+            )
+            self._logdet_vec = np.array(
+                [self.class_log_dets[l] for l in self._labels]
+            )
+        else:
+            self._prec_stack = None
+            self._logdet_vec = None
+        if self.priors:
+            self._log_priors = np.log(
+                np.array(
+                    [max(self.priors.get(l, 1e-300), 1e-300) for l in self._labels]
+                )
+            )
+        else:
+            self._log_priors = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -154,6 +181,78 @@ class TemplateSet:
         """Most likely class (the paper's Table I decision rule)."""
         probs = self.probabilities(slice_samples, restrict=restrict)
         return max(probs, key=probs.get)
+
+    # ------------------------------------------------------------------
+    # Batched matchers: one call over a whole trace's worth of slices.
+    # Results agree with the scalar methods up to float reassociation.
+    def log_likelihoods_matrix(self, slices: np.ndarray) -> np.ndarray:
+        """Log-likelihood matrix of shape ``(n_slices, n_classes)``.
+
+        Columns follow :attr:`labels` (sorted) order.  ``slices`` is a
+        2-D array of aligned slices (full slice length; the POIs are
+        selected here).
+        """
+        x = np.asarray(slices, dtype=np.float64)[:, self.pois]
+        d = x[:, None, :] - self._means_matrix[None, :, :]
+        if self._prec_stack is not None:
+            quad = np.einsum("ncp,cpq,ncq->nc", d, self._prec_stack, d)
+            return -0.5 * quad - 0.5 * self._logdet_vec[None, :]
+        quad = np.einsum("ncp,pq,ncq->nc", d, self.precision, d)
+        return -0.5 * quad
+
+    def _restrict_mask(self, restrict, n_rows: int) -> Optional[np.ndarray]:
+        """Normalise ``restrict`` into an ``(n_rows, n_classes)`` bool mask."""
+        if restrict is None:
+            return None
+        if isinstance(restrict, (set, frozenset)):
+            restrict = sorted(restrict)
+        restrict = np.asarray(restrict)
+        if restrict.ndim == 2:
+            if restrict.shape != (n_rows, len(self._labels)):
+                raise AttackError(
+                    f"restriction mask shape {restrict.shape} does not match "
+                    f"({n_rows}, {len(self._labels)})"
+                )
+            mask = restrict.astype(bool)
+        else:
+            allowed = set(int(l) for l in restrict.tolist())
+            row = np.array([l in allowed for l in self._labels], dtype=bool)
+            mask = np.broadcast_to(row, (n_rows, len(self._labels)))
+        if not mask.any(axis=1).all():
+            raise AttackError("restriction excludes every template class")
+        return mask
+
+    def probabilities_matrix(
+        self, slices: np.ndarray, restrict=None
+    ) -> np.ndarray:
+        """Posterior matrix of shape ``(n_slices, n_classes)``.
+
+        ``restrict`` is ``None``, a label sequence applied to every row,
+        or a per-row boolean mask over :attr:`labels`; excluded classes
+        get probability 0.  Each row is a max-subtracted softmax over
+        the (prior-weighted) log-likelihoods, matching the scalar
+        :meth:`probabilities` up to float reassociation.
+        """
+        scores = self.log_likelihoods_matrix(slices)
+        if self._log_priors is not None:
+            scores = scores + self._log_priors[None, :]
+        mask = self._restrict_mask(restrict, scores.shape[0])
+        if mask is not None:
+            scores = np.where(mask, scores, -np.inf)
+        scores = scores - scores.max(axis=1, keepdims=True)
+        weights = np.exp(scores)
+        weights /= weights.sum(axis=1, keepdims=True)
+        return weights
+
+    def classify_matrix(self, slices: np.ndarray, restrict=None) -> np.ndarray:
+        """Per-row argmax labels for a batch of slices.
+
+        Ties break toward the lowest label, matching the scalar
+        ``max(probs, key=probs.get)`` over the sorted-label dict.
+        """
+        probs = self.probabilities_matrix(slices, restrict=restrict)
+        labels = np.asarray(self._labels)
+        return labels[np.argmax(probs, axis=1)]
 
 
 def gaussian_priors(labels: Sequence[int], sigma: float) -> Dict[int, float]:

@@ -1,20 +1,32 @@
 """The RV32IM interpreter with execution-event recording.
 
-The core executes pre-decoded instructions and, when
-``record_events=True``, records one event per retired instruction into
-a columnar :class:`EventLog`.  Events carry everything the CMOS power
-model needs: the fetched instruction word, both operand values, the
-result, the overwritten destination value (for Hamming-distance
-leakage) and the memory address/data where applicable.  The expansion
-of events into per-cycle power samples lives in
-:mod:`repro.power.leakage`, which consumes the log's int64 column
-arrays directly — no per-event Python objects are materialised on the
-hot path.
+Two execution engines share one architectural state:
+
+- :meth:`Cpu.run` drives the **threaded-code engine**
+  (:mod:`repro.riscv.threaded`): basic blocks are decoded once,
+  compiled into specialized straight-line handler functions, cached by
+  pc, and their execution events are recorded as deferred bulk writes
+  (:meth:`EventLog.append_block`) instead of one columnar store per
+  retirement.
+- :meth:`Cpu.step_reference` / :meth:`Cpu.run_reference` keep the
+  original one-instruction-at-a-time interpreter as the semantic
+  reference.  The threaded engine is asserted bit-for-bit identical to
+  it (registers, pc, cycle/instruction counts, the event log, and every
+  ``SimulationError``) in ``tests/riscv/test_threaded_engine.py``.
+
+Events carry everything the CMOS power model needs: the fetched
+instruction word, both operand values, the result, the overwritten
+destination value (for Hamming-distance leakage) and the memory
+address/data where applicable.  The expansion of events into per-cycle
+power samples lives in :mod:`repro.power.leakage`, which consumes the
+log's int64 column arrays directly — no per-event Python objects are
+materialised on the hot path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Union
+from array import array
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -22,6 +34,7 @@ from repro.errors import SimulationError
 from repro.riscv import cycles as cy
 from repro.riscv.isa import Decoded, decode
 from repro.riscv.memory import Memory
+from repro.riscv.threaded import TranslatedBlock, translate
 
 _MASK32 = 0xFFFFFFFF
 
@@ -46,20 +59,34 @@ class ExecutionEvent(NamedTuple):
 class EventLog(Sequence):
     """Structure-of-arrays store of execution events.
 
-    One preallocated ``(8, capacity)`` int64 matrix holds every
-    :class:`ExecutionEvent` field as a row, grown geometrically on
-    overflow.  The power model reads the columns wholesale via
-    :meth:`columns` / the per-field properties; sequence access
-    (``log[i]``, iteration, ``log == [...]``) materialises
-    :class:`ExecutionEvent` tuples on demand so existing callers keep
-    working.
+    One preallocated ``(capacity, 8)`` int64 matrix holds one event per
+    row (event-major, so a block of consecutive events is one contiguous
+    slab), grown by :meth:`reserve` — a single doubled-buffer copy,
+    never repeated ``np.concatenate``.  The power model reads the
+    fields wholesale via :meth:`columns` / the per-field properties;
+    sequence access (``log[i]``, iteration, ``log == [...]``)
+    materialises :class:`ExecutionEvent` tuples on demand so existing
+    callers keep working.
+
+    The threaded engine records **deferred**: :meth:`append_block`
+    queues a ``(TranslatedBlock, count)`` pair plus the block's dynamic
+    field values, and the queue is scattered into the matrix in bulk on
+    first read (static fields — op class, instruction word, pc,
+    constant results — come from the block's cached
+    :meth:`~repro.riscv.threaded.TranslatedBlock.flush_plan`).
+    Every reader flushes first, so the deferral is invisible to callers.
     """
 
     _NUM_FIELDS = len(ExecutionEvent._fields)
 
     def __init__(self, capacity: int = 1024) -> None:
-        self._data = np.zeros((self._NUM_FIELDS, max(int(capacity), 1)), dtype=np.int64)
+        self._data = np.zeros((max(int(capacity), 1), self._NUM_FIELDS), dtype=np.int64)
         self._length = 0
+        # Deferred block recordings: (block, retired_count) pairs plus a
+        # flat array of their dynamic field values in emission order
+        # (array('q') so the flush reads it zero-copy via frombuffer).
+        self._pending_meta: List[Tuple[TranslatedBlock, int]] = []
+        self._pending_dyn = array("q")
 
     # -- recording ------------------------------------------------------
     def append(
@@ -73,27 +100,120 @@ class EventLog(Sequence):
         address: int,
         pc: int,
     ) -> None:
-        """Record one event (hot path: a single column store)."""
+        """Record one event (reference-engine path: one row store)."""
+        if self._pending_meta:
+            self._flush()
         n = self._length
         data = self._data
-        if n == data.shape[1]:
-            data = np.concatenate([data, np.zeros_like(data)], axis=1)
-            self._data = data
-        data[:, n] = (op_class, word, rs1_value, rs2_value, result, old_rd, address, pc)
+        if n == data.shape[0]:
+            self.reserve(1)
+            data = self._data
+        data[n] = (op_class, word, rs1_value, rs2_value, result, old_rd, address, pc)
         self._length = n + 1
 
+    def append_block(self, block: TranslatedBlock, count: int, dyn_values) -> None:
+        """Queue ``count`` retired instructions of a translated block.
+
+        ``dyn_values`` is the flat sequence of the block's *distinct*
+        dynamic values (first-emission order); the block's cached flush
+        plan fans each value out to every event cell that carries it and
+        fills the static fields.  The actual write happens lazily in
+        bulk.
+        """
+        self._pending_meta.append((block, count))
+        self._pending_dyn.extend(dyn_values)
+
+    def reserve(self, extra: int) -> None:
+        """Ensure room for ``extra`` more events past the current length.
+
+        Growth is a single geometric reallocation (zeroed buffer + one
+        slab copy); callers recording whole blocks therefore never pay
+        repeated per-append reallocation.
+        """
+        need = self._length + extra
+        capacity = self._data.shape[0]
+        if need <= capacity:
+            return
+        new_capacity = max(capacity, 1)
+        while new_capacity < need:
+            new_capacity *= 2
+        grown = np.zeros((new_capacity, self._NUM_FIELDS), dtype=np.int64)
+        grown[: self._length] = self._data[: self._length]
+        self._data = grown
+
+    def _flush(self) -> None:
+        """Scatter every queued block recording into the matrix.
+
+        Occurrences are bucketed by ``(block, count)`` — a kernel loop
+        replays the same handful of blocks thousands of times, so each
+        distinct block flushes with two numpy scatters total (template
+        broadcast + dynamic-value fan-out over every occurrence) instead
+        of one write per executed block.
+        """
+        meta = self._pending_meta
+        if not meta:
+            return
+        dyn = np.frombuffer(self._pending_dyn, dtype=np.int64)
+        fields = self._NUM_FIELDS
+        groups: Dict[Tuple[int, int], Tuple] = {}
+        event_pos = self._length
+        dyn_pos = 0
+        for block, count in meta:
+            key = (id(block), count)
+            group = groups.get(key)
+            if group is None:
+                groups[key] = group = (block, count, [], [])
+            group[2].append(event_pos * fields)
+            group[3].append(dyn_pos)
+            event_pos += count
+            dyn_pos += block.uniq_prefix[count]
+        self.reserve(event_pos - self._length)
+        flat = self._data.reshape(-1)
+        for block, count, bases, dyn_starts in groups.values():
+            template, cells, gather, n_uniq = block.flush_template(count)
+            span = count * fields
+            if len(bases) == 1:
+                base = bases[0]
+                segment = flat[base : base + span]
+                segment[:] = template
+                if n_uniq:
+                    start = dyn_starts[0]
+                    values = dyn[start : start + n_uniq]
+                    segment[cells] = values if gather is None else values[gather]
+            else:
+                b = np.asarray(bases, dtype=np.intp)[:, None]
+                flat[b + np.arange(span)] = template
+                if n_uniq:
+                    starts = np.asarray(dyn_starts, dtype=np.intp)[:, None]
+                    values = dyn[starts + np.arange(n_uniq)]
+                    flat[b + cells] = values if gather is None else values[:, gather]
+        self._length = event_pos
+        meta.clear()
+        # Release every frombuffer view before resizing the export source.
+        values = None  # noqa: F841 - may still view the pending buffer
+        del dyn
+        del self._pending_dyn[:]
+
     def clear(self) -> None:
-        """Drop all events; the buffer is kept for reuse."""
+        """Drop all events; the buffer is kept (and re-zeroed) for reuse."""
+        self._pending_meta.clear()
+        del self._pending_dyn[:]
+        if self._length:
+            self._data[: self._length].fill(0)
         self._length = 0
 
     # -- columnar access (what the vectorized power model consumes) ----
     def columns(self) -> np.ndarray:
         """The ``(8, len(self))`` int64 field matrix (a view, not a copy)."""
-        return self._data[:, : self._length]
+        if self._pending_meta:
+            self._flush()
+        return self._data[: self._length].T
 
     def column(self, name: str) -> np.ndarray:
         """One named field as an int64 vector (a view, not a copy)."""
-        return self._data[ExecutionEvent._fields.index(name), : self._length]
+        if self._pending_meta:
+            self._flush()
+        return self._data[: self._length, ExecutionEvent._fields.index(name)]
 
     @property
     def op_class(self) -> np.ndarray:
@@ -129,36 +249,62 @@ class EventLog(Sequence):
 
     # -- sequence compatibility ----------------------------------------
     def __len__(self) -> int:
+        if self._pending_meta:
+            self._flush()
         return self._length
 
     def __getitem__(
         self, index: Union[int, slice]
     ) -> Union[ExecutionEvent, List[ExecutionEvent]]:
+        if self._pending_meta:
+            self._flush()
         if isinstance(index, slice):
             return [
-                ExecutionEvent(*(int(v) for v in self._data[:, i]))
+                ExecutionEvent(*(int(v) for v in self._data[i]))
                 for i in range(*index.indices(self._length))
             ]
         if index < 0:
             index += self._length
         if not 0 <= index < self._length:
             raise IndexError("event index out of range")
-        return ExecutionEvent(*(int(v) for v in self._data[:, index]))
+        return ExecutionEvent(*(int(v) for v in self._data[index]))
 
     def __iter__(self) -> Iterator[ExecutionEvent]:
+        if self._pending_meta:
+            self._flush()
         for i in range(self._length):
-            yield ExecutionEvent(*(int(v) for v in self._data[:, i]))
+            yield ExecutionEvent(*(int(v) for v in self._data[i]))
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, EventLog):
             return np.array_equal(self.columns(), other.columns())
-        if isinstance(other, (list, tuple)):
-            return len(other) == self._length and all(
-                a == b for a, b in zip(self, other)
-            )
+        if isinstance(other, (list, tuple, Sequence)) and not isinstance(
+            other, (str, bytes)
+        ):
+            if len(other) != len(self):
+                return False
+            try:
+                return all(a == b for a, b in zip(self, other))
+            except TypeError:
+                return NotImplemented
         return NotImplemented
 
+    # -- pickling (translated blocks hold unpicklable generated code) --
+    def __getstate__(self) -> dict:
+        self._flush()
+        return {"rows": self._data[: self._length].copy()}
+
+    def __setstate__(self, state: dict) -> None:
+        rows = np.asarray(state["rows"], dtype=np.int64).reshape(-1, self._NUM_FIELDS)
+        self._data = np.zeros((max(rows.shape[0], 1), self._NUM_FIELDS), dtype=np.int64)
+        self._data[: rows.shape[0]] = rows
+        self._length = rows.shape[0]
+        self._pending_meta = []
+        self._pending_dyn = array("q")
+
     def __repr__(self) -> str:
+        if self._pending_meta:
+            self._flush()
         return f"EventLog(length={self._length})"
 
 
@@ -189,6 +335,11 @@ class Cpu:
         self.events: EventLog = EventLog()
         self.record_events = record_events
         self._decoded_cache: Dict[int, Decoded] = {}
+        # Threaded-engine state: pc -> compiled block, plus the set of
+        # word addresses currently covered by a cached block (for the
+        # self-modifying-code guard).
+        self._block_cache: Dict[int, TranslatedBlock] = {}
+        self._code_words: Set[int] = set()
 
     @property
     def record_events(self) -> bool:
@@ -211,6 +362,8 @@ class Cpu:
         self.halted = False
         self.events.clear()
         self._decoded_cache = {}
+        self._block_cache = {}
+        self._code_words = set()
 
     def write_register(self, index: int, value: int) -> None:
         """Set a register (used to pass arguments into kernels)."""
@@ -221,6 +374,29 @@ class Cpu:
         """Read a register value (unsigned 32-bit)."""
         return self.registers[index]
 
+    def _invalidate_blocks(self) -> None:
+        """Drop cached translations after a store into translated code."""
+        self._block_cache.clear()
+        self._code_words.clear()
+
+    def adopt_translations(
+        self, block_cache: Dict[int, TranslatedBlock], code_words: Set[int]
+    ) -> None:
+        """Share a persistent per-program block cache with this core.
+
+        A device that re-runs the same kernel on a fresh :class:`Cpu`
+        per capture (so architectural state starts clean) can keep one
+        ``{pc: TranslatedBlock}`` dict plus its code-word set across
+        runs and attach them here — translations depend only on the
+        instruction words, never on data memory or registers, so reuse
+        is safe as long as the program is unchanged.  Must be called
+        *after* :meth:`load_program` (which resets both containers to
+        empty per-core ones).  The self-modifying-code guard keeps
+        working: an invalidation clears the shared containers in place.
+        """
+        self._block_cache = block_cache
+        self._code_words = code_words
+
     # ------------------------------------------------------------------
     def run(self, max_instructions: int = 10_000_000) -> int:
         """Execute until ``ebreak`` or the instruction budget runs out.
@@ -228,19 +404,85 @@ class Cpu:
         Returns the number of instructions retired.  Raises
         :class:`SimulationError` if the budget is exhausted (runaway
         program) or an illegal instruction is hit.
+
+        This is the threaded-code engine: straight-line basic blocks
+        are translated once (:func:`repro.riscv.threaded.translate`),
+        cached by pc, and replayed as specialized Python functions with
+        one deferred :meth:`EventLog.append_block` per block.  The
+        budget check runs at block granularity; when fewer instructions
+        remain than the next block would retire, execution falls back
+        to :meth:`step_reference` so exhaustion raises at exactly the
+        same instruction — with the same message and machine state — as
+        :meth:`run_reference`.
         """
+        executed = 0
+        memory = self.memory
+        regs = self.registers
+        cache = self._block_cache
+        if self._record_events:
+            log = self.events
+            extend_dyn = log._pending_dyn.extend
+            push_meta = log._pending_meta.append
+            while not self.halted:
+                block = cache.get(self.pc)
+                if block is None:
+                    if executed >= max_instructions:
+                        raise SimulationError(
+                            f"instruction budget {max_instructions} exhausted"
+                            f" at pc={self.pc:#x}"
+                        )
+                    block = translate(memory, self.pc)
+                    cache[self.pc] = block
+                    self._code_words.update(block.pcs)
+                if executed + block.length > max_instructions:
+                    return self._run_budget_tail(executed, max_instructions)
+                executed += block.run_recording(self, regs, memory, extend_dyn, push_meta)
+        else:
+            while not self.halted:
+                block = cache.get(self.pc)
+                if block is None:
+                    if executed >= max_instructions:
+                        raise SimulationError(
+                            f"instruction budget {max_instructions} exhausted"
+                            f" at pc={self.pc:#x}"
+                        )
+                    block = translate(memory, self.pc)
+                    cache[self.pc] = block
+                    self._code_words.update(block.pcs)
+                if executed + block.length > max_instructions:
+                    return self._run_budget_tail(executed, max_instructions)
+                executed += block.run_fast(self, regs, memory)
+        return executed
+
+    def _run_budget_tail(self, executed: int, max_instructions: int) -> int:
+        """Single-step the last few instructions before the budget line."""
+        while not self.halted:
+            if executed >= max_instructions:
+                raise SimulationError(
+                    f"instruction budget {max_instructions} exhausted at pc={self.pc:#x}"
+                )
+            self.step_reference()
+            executed += 1
+        return executed
+
+    def run_reference(self, max_instructions: int = 10_000_000) -> int:
+        """The seed interpreter loop (one :meth:`step_reference` per turn)."""
         executed = 0
         while not self.halted:
             if executed >= max_instructions:
                 raise SimulationError(
                     f"instruction budget {max_instructions} exhausted at pc={self.pc:#x}"
                 )
-            self.step()
+            self.step_reference()
             executed += 1
         return executed
 
     def step(self) -> None:
         """Fetch, decode and execute a single instruction."""
+        self.step_reference()
+
+    def step_reference(self) -> None:
+        """The reference scalar interpreter (one retirement per call)."""
         pc = self.pc
         word = self.memory.load_word(pc)
         ins = self._decoded_cache.get(pc)
@@ -414,6 +656,14 @@ class Cpu:
         self.instruction_count += 1
         if self._record_events:
             self.events.append(op_class, word, rs1, rs2, result, old_rd, address, pc)
+        if (
+            op_class == cy.OP_STORE
+            and self._code_words
+            and (address & 0xFFFFFFFC) in self._code_words
+        ):
+            # Same self-modifying-code contract as the threaded engine:
+            # a store into translated code drops the cached blocks.
+            self._invalidate_blocks()
 
     # ------------------------------------------------------------------
     @staticmethod

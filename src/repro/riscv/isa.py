@@ -111,6 +111,14 @@ SPECS: Dict[str, InstructionSpec] = {
     ]
 }
 
+#: Dense integer opcode ids, assigned in SPECS order.  The threaded-code
+#: engine (:mod:`repro.riscv.threaded`) indexes its handler-template
+#: table with these instead of comparing mnemonic strings.
+OPCODE_IDS: Dict[str, int] = {m: i for i, m in enumerate(SPECS)}
+
+#: Number of distinct opcode ids (table size for dense dispatch).
+NUM_OPCODES = len(OPCODE_IDS)
+
 _MASK32 = 0xFFFFFFFF
 
 
@@ -196,7 +204,12 @@ def encode(
 
 @dataclass(frozen=True)
 class Decoded:
-    """A decoded instruction ready for execution."""
+    """A decoded instruction ready for execution.
+
+    ``op_id`` is the dense integer opcode id (:data:`OPCODE_IDS`); it is
+    derived from the mnemonic automatically so every construction site —
+    including tests building ``Decoded`` by hand — gets a valid id.
+    """
 
     mnemonic: str
     rd: int
@@ -204,6 +217,11 @@ class Decoded:
     rs2: int
     imm: int
     word: int
+    op_id: int = -1
+
+    def __post_init__(self) -> None:
+        if self.op_id < 0:
+            object.__setattr__(self, "op_id", OPCODE_IDS[self.mnemonic])
 
 
 def _sign_extend(value: int, bits: int) -> int:

@@ -1,0 +1,191 @@
+"""Vectorized template matching vs the scalar reference methods.
+
+The batched entry points (``log_likelihoods_matrix``,
+``probabilities_matrix``, ``classify_matrix``) must agree with the
+per-slice scalar methods up to float reassociation, and the batched
+``SingleTraceAttack.attack_samples`` must reproduce the scalar
+per-slice attack loop exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attack.branch import ZERO, sign_of
+from repro.attack.pipeline import SingleTraceAttack
+from repro.attack.template import TemplateSet, gaussian_priors
+from repro.errors import AttackError
+from repro.power.capture import TraceAcquisition
+from repro.power.scope import Oscilloscope
+from repro.riscv.device import GaussianSamplerDevice
+
+MODULI = [0xFFEE001, 0xFFC4001]
+
+
+@pytest.fixture(scope="module", params=["pooled", "per_class"])
+def template_set(request):
+    rng = np.random.default_rng(7)
+    labels = [-3, -1, 0, 2, 5]
+    traces = {l: rng.normal(l, 1.0, size=(30, 40)) for l in labels}
+    priors = gaussian_priors(labels, 3.19)
+    return TemplateSet.build(
+        traces,
+        pois=[3, 7, 11, 19, 25, 33],
+        priors=priors,
+        pooled=request.param == "pooled",
+    )
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return np.random.default_rng(21).normal(0.0, 2.0, size=(17, 40))
+
+
+def test_log_likelihood_matrix_matches_scalar(template_set, batch):
+    matrix = template_set.log_likelihoods_matrix(batch)
+    assert matrix.shape == (len(batch), len(template_set.labels))
+    for i, row in enumerate(batch):
+        scalar = template_set.log_likelihoods(row)
+        for j, label in enumerate(template_set.labels):
+            assert matrix[i, j] == pytest.approx(scalar[label], rel=1e-9, abs=1e-9)
+
+
+def test_probabilities_matrix_matches_scalar(template_set, batch):
+    matrix = template_set.probabilities_matrix(batch)
+    np.testing.assert_allclose(matrix.sum(axis=1), 1.0, rtol=1e-12)
+    for i, row in enumerate(batch):
+        scalar = template_set.probabilities(row)
+        for j, label in enumerate(template_set.labels):
+            assert matrix[i, j] == pytest.approx(scalar[label], abs=1e-9)
+
+
+def test_probabilities_matrix_label_restriction(template_set, batch):
+    restrict = [-3, 2, 5]
+    matrix = template_set.probabilities_matrix(batch, restrict=restrict)
+    for i, row in enumerate(batch):
+        scalar = template_set.probabilities(row, restrict=restrict)
+        for j, label in enumerate(template_set.labels):
+            assert matrix[i, j] == pytest.approx(scalar.get(label, 0.0), abs=1e-9)
+
+
+def test_probabilities_matrix_per_row_masks(template_set, batch):
+    rng = np.random.default_rng(3)
+    mask = rng.random((len(batch), len(template_set.labels))) > 0.4
+    mask[:, 0] = True  # keep every row satisfiable
+    matrix = template_set.probabilities_matrix(batch, restrict=mask)
+    for i, row in enumerate(batch):
+        allowed = [l for j, l in enumerate(template_set.labels) if mask[i, j]]
+        scalar = template_set.probabilities(row, restrict=allowed)
+        for j, label in enumerate(template_set.labels):
+            assert matrix[i, j] == pytest.approx(scalar.get(label, 0.0), abs=1e-9)
+
+
+def test_classify_matrix_matches_scalar(template_set, batch):
+    picks = template_set.classify_matrix(batch)
+    for i, row in enumerate(batch):
+        assert int(picks[i]) == template_set.classify(row)
+
+
+def test_empty_restriction_raises(template_set, batch):
+    with pytest.raises(AttackError, match="excludes every template class"):
+        template_set.probabilities_matrix(batch, restrict=[99])
+    bad_mask = np.zeros((len(batch), len(template_set.labels)), dtype=bool)
+    bad_mask[0, 0] = True  # row 1 onwards excluded
+    with pytest.raises(AttackError, match="excludes every template class"):
+        template_set.probabilities_matrix(batch, restrict=bad_mask)
+
+
+def test_mask_shape_mismatch_raises(template_set, batch):
+    wrong = np.ones((len(batch), len(template_set.labels) + 1), dtype=bool)
+    with pytest.raises(AttackError, match="does not match"):
+        template_set.probabilities_matrix(batch, restrict=wrong)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: batched attack loop and engine parity
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def bench():
+    device = GaussianSamplerDevice(MODULI)
+    return TraceAcquisition(device, scope=Oscilloscope(noise_std=1.0), rng=0)
+
+
+@pytest.fixture(scope="module")
+def profiled(bench):
+    attack = SingleTraceAttack(bench)
+    attack.profile(num_traces=60, coeffs_per_trace=8)
+    return attack
+
+
+def _scalar_attack(attack, samples):
+    """The pre-vectorization per-slice loop, kept as the test oracle."""
+    aligned = attack.segmenter.aligned_slices(samples, refiner=attack.refiner)
+    signs, estimates, tables = [], [], []
+    all_labels = attack.templates.labels
+    for piece in map(attack._normalise, aligned):
+        sign = attack.branch_classifier.classify(piece)
+        signs.append(sign)
+        if sign == ZERO:
+            estimates.append(0)
+            tables.append({0: 1.0})
+            continue
+        candidates = [l for l in all_labels if sign_of(l) == sign]
+        if not candidates:
+            raise AttackError(f"no templates for sign {sign}")
+        probs = attack.templates.probabilities(piece, restrict=candidates)
+        tables.append(probs)
+        estimates.append(max(probs, key=probs.get))
+    return signs, estimates, tables
+
+
+@pytest.mark.parametrize("seed", [9001, 1234])
+def test_attack_samples_batched_matches_scalar_loop(profiled, bench, seed):
+    captured = bench.capture(seed, 8)
+    result = profiled.attack(captured)
+    signs, estimates, tables = _scalar_attack(profiled, captured.trace.samples)
+    assert result.signs == signs
+    assert result.estimates == estimates
+    assert len(result.probabilities) == len(tables)
+    for got, want in zip(result.probabilities, tables):
+        assert set(got) == set(want)
+        for label in want:
+            assert got[label] == pytest.approx(want[label], abs=1e-9)
+
+
+def test_profile_attack_identical_across_engines():
+    # The whole pipeline (profiling captures + attack trace) must not
+    # depend on which interpreter engine produced the traces.
+    results = []
+    for engine in ("threaded", "reference"):
+        device = GaussianSamplerDevice(MODULI)
+        original_run = device.run
+        def run_with_engine(seed, count, _orig=original_run, _e=engine, **kw):
+            kw["engine"] = _e
+            return _orig(seed, count, **kw)
+        device.run = run_with_engine
+        bench = TraceAcquisition(device, scope=Oscilloscope(noise_std=1.0), rng=0)
+        attack = SingleTraceAttack(bench)
+        attack.profile(num_traces=40, coeffs_per_trace=6)
+        captured = bench.capture(31337, 6)
+        result = attack.attack(captured)
+        results.append((result.signs, result.estimates, result.probabilities,
+                        captured.values))
+    (signs_a, est_a, prob_a, values_a), (signs_b, est_b, prob_b, values_b) = results
+    assert values_a == values_b
+    assert signs_a == signs_b
+    assert est_a == est_b
+    for got, want in zip(prob_a, prob_b):
+        assert set(got) == set(want)
+        for label in want:
+            assert got[label] == pytest.approx(want[label], abs=1e-9)
+
+
+def test_classify_many_batched(profiled, bench):
+    captured = bench.capture(555, 8)
+    aligned = profiled.segmenter.aligned_slices(
+        captured.trace.samples, refiner=profiled.refiner
+    )
+    pieces = [profiled._normalise(p) for p in aligned]
+    batched = profiled.branch_classifier.classify_many(pieces)
+    scalar = [profiled.branch_classifier.classify(p) for p in pieces]
+    assert batched == scalar
+    assert profiled.branch_classifier.classify_many([]) == []
