@@ -8,7 +8,9 @@ minutes range.
 The ``REVEAL_SCALE`` environment variable scales the trace budgets:
 1.0 (default) runs a reduced but statistically meaningful version of
 the paper's 220,000-profile / 25,000-attack campaign; raise it for
-tighter statistics.
+tighter statistics.  ``REVEAL_WORKERS`` (default: serial) fans
+profiling and the attack campaign across a process pool via the
+campaign engine — results are bit-identical for any worker count.
 """
 
 import os
@@ -16,6 +18,7 @@ import os
 import numpy as np
 import pytest
 
+from repro.attack.campaign import run_campaign
 from repro.attack.metrics import ConfusionMatrix
 from repro.attack.pipeline import SingleTraceAttack
 from repro.power.capture import TraceAcquisition
@@ -33,6 +36,12 @@ def scaled(count: int) -> int:
     return max(8, int(count * scale()))
 
 
+def workers():
+    """Process-pool size from ``REVEAL_WORKERS`` (None = serial)."""
+    value = int(os.environ.get("REVEAL_WORKERS", "0"))
+    return value if value > 1 else None
+
+
 @pytest.fixture(scope="session")
 def device():
     return GaussianSamplerDevice([PAPER_Q])
@@ -48,27 +57,31 @@ def profiled_attack(bench_acquisition):
     """The profiled single-trace attack shared by the table benches."""
     attack = SingleTraceAttack(bench_acquisition, poi_count=24)
     attack.profile(
-        num_traces=scaled(400), coeffs_per_trace=8, first_seed=100_000
+        num_traces=scaled(400),
+        coeffs_per_trace=8,
+        first_seed=100_000,
+        workers=workers(),
     )
     return attack
 
 
 @pytest.fixture(scope="session")
-def attack_corpus(bench_acquisition, profiled_attack):
+def attack_corpus(profiled_attack):
     """Attack-phase outcomes: (true value, sign, estimate, probabilities).
 
     The paper captures 25,000 attack traces; we default to
-    ``scaled(150) * 8`` coefficients and report the budget used.
+    ``scaled(150) * 8`` coefficients and report the budget used.  The
+    corpus comes off the campaign engine (per-seed noise streams), so
+    it is identical for any ``REVEAL_WORKERS`` value.
     """
-    outcomes = []
-    for seed in range(1, scaled(150) + 1):
-        captured = bench_acquisition.capture(seed, 8)
-        result = profiled_attack.attack(captured)
-        for value, sign, estimate, table in zip(
-            captured.values, result.signs, result.estimates, result.probabilities
-        ):
-            outcomes.append((value, sign, estimate, table))
-    return outcomes
+    report = run_campaign(
+        profiled_attack,
+        trace_count=scaled(150),
+        coeffs_per_trace=8,
+        first_seed=1,
+        workers=workers(),
+    )
+    return report.outcomes
 
 
 @pytest.fixture(scope="session")

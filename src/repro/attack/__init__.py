@@ -20,13 +20,19 @@ Stages, in order:
    (Table I).
 
 Supporting tools: :mod:`repro.attack.search` (best-first exploration of
-the remaining space), :mod:`repro.attack.evaluation` (attack-campaign
-orchestration), :mod:`repro.attack.cpa` (unprofiled correlation
-analysis) and :mod:`repro.attack.persistence` (profile once, attack
-later).
+the remaining space), :mod:`repro.attack.evaluation` (serial
+attack-campaign orchestration), :mod:`repro.attack.campaign` (the
+parallel campaign engine with streaming statistics and a profile
+cache), :mod:`repro.attack.cpa` (unprofiled correlation analysis) and
+:mod:`repro.attack.persistence` (profile once, attack later).
 """
 
 from repro.attack.branch import BranchClassifier
+from repro.attack.campaign import (
+    CampaignReport,
+    profile_cache_key,
+    profiled_attack_cached,
+)
 from repro.attack.cpa import correlation_trace, locate_value_leakage
 from repro.attack.evaluation import CampaignResult, run_campaign
 from repro.attack.metrics import ConfusionMatrix
@@ -41,13 +47,18 @@ from repro.attack.recovery import (
 )
 from repro.attack.search import SearchResult, enumerate_candidates, search_message
 from repro.attack.segmentation import Segmenter, SegmenterConfig
-from repro.attack.template import TemplateSet
+from repro.attack.template import MomentAccumulator, RunningMoments, TemplateSet
 
 __all__ = [
     "AttackResult",
     "BranchClassifier",
+    "CampaignReport",
     "CampaignResult",
     "ConfusionMatrix",
+    "MomentAccumulator",
+    "RunningMoments",
+    "profile_cache_key",
+    "profiled_attack_cached",
     "correlation_trace",
     "load_attack",
     "locate_value_leakage",

@@ -21,8 +21,8 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.attack.poi import select_pois_sosd
-from repro.attack.template import TemplateSet
+from repro.attack.poi import _pick_spread, select_pois_sosd
+from repro.attack.template import RunningMoments, TemplateSet
 from repro.errors import AttackError
 
 #: Branch labels.
@@ -78,6 +78,43 @@ class BranchClassifier:
         # shift POIs back into slice coordinates
         templates = TemplateSet.build(
             slices_by_sign, [p + region_start for p in pois]
+        )
+        return cls(templates, region_start, region_end)
+
+    @classmethod
+    def from_moments(
+        cls,
+        moments_by_sign: Dict[int, RunningMoments],
+        region_start: int,
+        region_end: int,
+        poi_count: int = 20,
+    ) -> "BranchClassifier":
+        """Learn branch templates from streaming per-sign moments.
+
+        The moments are :class:`~repro.attack.template.RunningMoments`
+        over full-length aligned slices (typically obtained by merging
+        per-value accumulators sign-wise); SOSD POI selection over the
+        branch region and the template build both work directly off the
+        accumulated statistics, matching :meth:`build` within float
+        accumulation error.
+        """
+        missing = {POSITIVE, ZERO, NEGATIVE} - set(moments_by_sign)
+        if missing:
+            raise AttackError(
+                f"profiling corpus lacks branches {sorted(missing)}; "
+                "capture more profiling traces"
+            )
+        region_means = np.vstack(
+            [moments_by_sign[s].mean[region_start:region_end]
+             for s in moments_by_sign]
+        )
+        scores = np.zeros(region_means.shape[1])
+        for i in range(region_means.shape[0]):
+            for j in range(i + 1, region_means.shape[0]):
+                scores += (region_means[i] - region_means[j]) ** 2
+        pois = _pick_spread(scores, poi_count, min_distance=2)
+        templates = TemplateSet.from_moments(
+            moments_by_sign, [p + region_start for p in pois]
         )
         return cls(templates, region_start, region_end)
 

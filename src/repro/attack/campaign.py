@@ -1,0 +1,371 @@
+"""Campaign-scale parallel end-to-end attack evaluation.
+
+The paper profiles with 220,000 device executions and evaluates on tens
+of thousands of attack traces; :mod:`repro.attack.evaluation` runs that
+loop serially in the parent process.  This module is the throughput
+path:
+
+- :func:`run_campaign` fans ``capture -> segment -> classify -> score``
+  for N victim seeds across a process pool.  Every worker does the
+  whole chain locally and ships back only per-coefficient outcomes (a
+  few hundred bytes per trace), and every trace's measurement noise is
+  a pure function of ``(batch entropy, seed)`` — so the report is
+  **identical** for any worker count or pool scheduling order.
+- :class:`CampaignReport` aggregates accuracies, the confusion matrix,
+  the probability tables (the LWE-with-hints input) and **per-stage
+  wall-time counters**, the honest end-to-end throughput trajectory
+  BENCH_core.json tracks.
+- :func:`profiled_attack_cached` keys a profiled attack archive
+  (:mod:`repro.attack.persistence`) by a hash of the full attack +
+  profiling + bench configuration, so a campaign profiles once per
+  configuration and every later run loads in milliseconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.attack.branch import sign_of
+from repro.attack.evaluation import CampaignResult
+from repro.attack.metrics import ConfusionMatrix
+from repro.attack.pipeline import ProfilingReport, SingleTraceAttack
+from repro.attack.persistence import load_attack, save_attack
+from repro.errors import AttackError
+from repro.power.capture import _capture_one
+
+#: Timing stages reported by the campaign workers, in pipeline order.
+STAGES = ("capture", "segment", "classify", "score")
+
+
+@dataclass
+class SeedOutcome:
+    """One victim seed's end-to-end result (the worker return payload)."""
+
+    seed: int
+    values: List[int]
+    signs: List[int]
+    estimates: List[int]
+    tables: List[Dict[int, float]]
+    timings: Dict[str, float]
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated outcome of a parallel attack campaign."""
+
+    outcomes: List[Tuple[int, int, int, Dict[int, float]]] = field(repr=False)
+    confusion: ConfusionMatrix = field(repr=False)
+    sign_accuracy: float
+    value_accuracy: float
+    coefficients_attacked: int
+    traces_attacked: int
+    traces_failed: int
+    failures: List[Tuple[int, str]] = field(repr=False)
+    timings: Dict[str, float]
+    wall_seconds: float
+    workers: int
+
+    @property
+    def coefficients_per_second(self) -> float:
+        """End-to-end throughput (capture included)."""
+        return self.coefficients_attacked / max(self.wall_seconds, 1e-12)
+
+    @property
+    def probability_tables(self) -> List[Dict[int, float]]:
+        return [table for _, _, _, table in self.outcomes]
+
+    def to_result(self) -> CampaignResult:
+        """The legacy :class:`~repro.attack.evaluation.CampaignResult`
+        view (hint statistics, bikz estimation)."""
+        return CampaignResult(
+            confusion=self.confusion,
+            sign_accuracy=self.sign_accuracy,
+            value_accuracy=self.value_accuracy,
+            coefficients_attacked=self.coefficients_attacked,
+            probability_tables=self.probability_tables,
+        )
+
+    def format_timings(self) -> str:
+        """Per-stage timing table (summed worker seconds + wall clock)."""
+        busy = sum(self.timings.get(stage, 0.0) for stage in STAGES)
+        lines = [f"per-stage timings ({self.workers} worker(s)):"]
+        for stage in STAGES:
+            seconds = self.timings.get(stage, 0.0)
+            share = 100.0 * seconds / max(busy, 1e-12)
+            lines.append(f"  {stage:<9} {seconds:8.3f} s  ({share:4.1f}%)")
+        lines.append(
+            f"  {'wall':<9} {self.wall_seconds:8.3f} s  "
+            f"({self.coefficients_per_second:,.0f} coefficients/s)"
+        )
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                f"traces attacked       : {self.traces_attacked} "
+                f"({self.traces_failed} failed)",
+                f"coefficients attacked : {self.coefficients_attacked}",
+                f"sign accuracy         : {100 * self.sign_accuracy:.2f}%",
+                f"value accuracy        : {100 * self.value_accuracy:.2f}%",
+                self.format_timings(),
+            ]
+        )
+
+
+def _attack_seed(
+    attack: SingleTraceAttack, seed: int, count: int, entropy: int
+) -> SeedOutcome:
+    """The whole per-seed chain, shared by the serial path and workers."""
+    acquisition = attack.acquisition
+    timings: Dict[str, float] = {}
+    tick = time.perf_counter()
+    captured = _capture_one(
+        acquisition.device, acquisition.leakage, acquisition.scope, seed, count, entropy
+    )
+    timings["capture"] = time.perf_counter() - tick
+
+    tick = time.perf_counter()
+    try:
+        aligned = attack.segmenter.aligned_slices(
+            captured.trace.samples, refiner=attack.refiner
+        )
+    except AttackError as exc:
+        timings["segment"] = time.perf_counter() - tick
+        return SeedOutcome(seed, captured.values, [], [], [], timings, str(exc))
+    timings["segment"] = time.perf_counter() - tick
+    if len(aligned) != len(captured.values):
+        return SeedOutcome(
+            seed,
+            captured.values,
+            [],
+            [],
+            [],
+            timings,
+            f"segmented {len(aligned)} coefficients, expected {len(captured.values)}",
+        )
+
+    tick = time.perf_counter()
+    try:
+        result = attack.attack_aligned(np.vstack(aligned))
+    except AttackError as exc:
+        timings["classify"] = time.perf_counter() - tick
+        return SeedOutcome(seed, captured.values, [], [], [], timings, str(exc))
+    timings["classify"] = time.perf_counter() - tick
+
+    tick = time.perf_counter()
+    outcome = SeedOutcome(
+        seed=seed,
+        values=captured.values,
+        signs=result.signs,
+        estimates=result.estimates,
+        tables=result.probabilities,
+        timings=timings,
+    )
+    timings["score"] = time.perf_counter() - tick
+    return outcome
+
+
+# Worker-process state: the profiled attack is shipped once via the
+# pool initializer instead of being pickled into every task.
+_CAMPAIGN_STATE: dict = {}
+
+
+def _campaign_init(attack: SingleTraceAttack, entropy: int) -> None:
+    _CAMPAIGN_STATE["attack"] = attack
+    _CAMPAIGN_STATE["entropy"] = entropy
+
+
+def _campaign_worker(args) -> SeedOutcome:
+    seed, count = args
+    return _attack_seed(
+        _CAMPAIGN_STATE["attack"], seed, count, _CAMPAIGN_STATE["entropy"]
+    )
+
+
+def run_campaign(
+    attack: SingleTraceAttack,
+    trace_count: int,
+    coeffs_per_trace: int = 8,
+    first_seed: int = 1,
+    workers: Optional[int] = None,
+) -> CampaignReport:
+    """Attack ``trace_count`` fresh executions, optionally in parallel.
+
+    The attack must already be profiled.  Noise is drawn from the
+    bench's batch-entropy streams (per-seed), so the report is
+    bit-identical for any ``workers`` value and any pool completion
+    order.  Traces that fail to segment are recorded in
+    ``report.failures`` and excluded from the statistics, as in the
+    serial :func:`repro.attack.evaluation.run_campaign`.
+    """
+    if attack.templates is None or attack.branch_classifier is None:
+        raise AttackError("profile() must run before a campaign")
+    entropy = attack.acquisition.batch_entropy()
+    tasks = [(first_seed + i, coeffs_per_trace) for i in range(trace_count)]
+    start = time.perf_counter()
+    if workers is None or workers <= 1 or trace_count <= 1:
+        pool_size = 1
+        results = [
+            _attack_seed(attack, seed, count, entropy) for seed, count in tasks
+        ]
+    else:
+        pool_size = min(workers, trace_count, (os.cpu_count() or 1) * 4)
+        with ProcessPoolExecutor(
+            max_workers=pool_size,
+            initializer=_campaign_init,
+            initargs=(attack, entropy),
+        ) as pool:
+            chunk = max(1, trace_count // (pool_size * 4))
+            results = list(pool.map(_campaign_worker, tasks, chunksize=chunk))
+    wall = time.perf_counter() - start
+
+    confusion = ConfusionMatrix()
+    outcomes: List[Tuple[int, int, int, Dict[int, float]]] = []
+    failures: List[Tuple[int, str]] = []
+    timings = {stage: 0.0 for stage in STAGES}
+    sign_hits = value_hits = 0
+    for outcome in results:
+        for stage, seconds in outcome.timings.items():
+            timings[stage] = timings.get(stage, 0.0) + seconds
+        if not outcome.ok:
+            failures.append((outcome.seed, outcome.error))
+            continue
+        for value, sign, estimate, table in zip(
+            outcome.values, outcome.signs, outcome.estimates, outcome.tables
+        ):
+            sign_hits += sign_of(value) == sign
+            value_hits += estimate == value
+            confusion.record(value, estimate)
+            outcomes.append((value, sign, estimate, table))
+    if not outcomes:
+        raise AttackError("no trace in the campaign could be attacked")
+    total = len(outcomes)
+    return CampaignReport(
+        outcomes=outcomes,
+        confusion=confusion,
+        sign_accuracy=sign_hits / total,
+        value_accuracy=value_hits / total,
+        coefficients_attacked=total,
+        traces_attacked=trace_count - len(failures),
+        traces_failed=len(failures),
+        failures=failures,
+        timings=timings,
+        wall_seconds=wall,
+        workers=pool_size,
+    )
+
+
+# ----------------------------------------------------------------------
+# Config-hash-keyed profile cache
+# ----------------------------------------------------------------------
+def _jsonable(value):
+    """Best-effort stable JSON representation for hashing."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer, np.floating)):
+        return value.item()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def profile_cache_key(
+    attack: SingleTraceAttack,
+    num_traces: int,
+    coeffs_per_trace: int,
+    first_seed: int,
+    noise_mode: str,
+) -> str:
+    """Hash of everything the profiled state depends on.
+
+    Covers the attack configuration (segmenter tunables, POI method and
+    count, priors, covariance/standardisation modes, branch region),
+    the profiling budget and seeds, the acquisition noise mode and the
+    measurement bench itself (device moduli and clipping bound, scope
+    front-end, leakage weights, batch entropy).  Any change produces a
+    different key, so stale cache entries can never be served.
+    """
+    acquisition = attack.acquisition
+    device = acquisition.device
+    descriptor = {
+        "segmenter": _jsonable(attack.segmenter.config),
+        "poi_method": attack.poi_method,
+        "poi_count": attack.poi_count,
+        "use_prior": attack.use_prior,
+        "sigma": attack.sigma,
+        "pooled_covariance": attack.pooled_covariance,
+        "standardize": attack.standardize,
+        "branch_region": list(attack.branch_region),
+        "num_traces": int(num_traces),
+        "coeffs_per_trace": int(coeffs_per_trace),
+        "first_seed": int(first_seed),
+        "noise_mode": noise_mode,
+        "batch_entropy": acquisition.batch_entropy(),
+        "moduli": getattr(device, "moduli", None),
+        "max_deviation": getattr(device, "max_deviation", None),
+        "scope": _jsonable(acquisition.scope),
+        "leakage": _jsonable(acquisition.leakage),
+    }
+    blob = json.dumps(descriptor, sort_keys=True, default=repr).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def profiled_attack_cached(
+    acquisition,
+    cache_dir: Union[str, Path],
+    attack_kwargs: Optional[dict] = None,
+    num_traces: int = 400,
+    coeffs_per_trace: int = 8,
+    first_seed: int = 1,
+    min_class_count: int = 3,
+    workers: Optional[int] = None,
+) -> Tuple[SingleTraceAttack, bool, Optional[ProfilingReport]]:
+    """Profile once per configuration; later calls load from disk.
+
+    Returns ``(attack, was_cached, profiling_report)`` — the report is
+    ``None`` on a cache hit.  The archive is keyed by
+    :func:`profile_cache_key`, so any change to the attack, profiling
+    budget or bench produces a fresh profile instead of a stale hit.
+
+    Note the profiling *noise* differs between serial (bench-sequential
+    stream) and batch (per-seed streams) acquisition; the mode is part
+    of the key.
+    """
+    attack = SingleTraceAttack(acquisition, **(attack_kwargs or {}))
+    noise_mode = "sequential" if workers is None else "per-seed"
+    key = profile_cache_key(
+        attack, num_traces, coeffs_per_trace, first_seed, noise_mode
+    )
+    cache_dir = Path(cache_dir)
+    path = cache_dir / f"profile-{key[:16]}.npz"
+    if path.exists():
+        return load_attack(acquisition, path), True, None
+    report = attack.profile(
+        num_traces=num_traces,
+        coeffs_per_trace=coeffs_per_trace,
+        first_seed=first_seed,
+        min_class_count=min_class_count,
+        workers=workers,
+    )
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    save_attack(attack, path)
+    return attack, False, report

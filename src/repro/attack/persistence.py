@@ -23,7 +23,10 @@ from repro.attack.segmentation import AnchorRefiner, Segmenter, SegmenterConfig
 from repro.attack.template import TemplateSet
 from repro.errors import AttackError
 
-_FORMAT_VERSION = 1
+#: Version 2 adds ``standardize``/``pooled_covariance`` to the config
+#: and the per-class covariance arrays of ``pooled=False`` templates.
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def save_attack(attack: SingleTraceAttack, path: Union[str, Path]) -> None:
@@ -45,6 +48,8 @@ def save_attack(attack: SingleTraceAttack, path: Union[str, Path]) -> None:
                     "branch_region": list(attack.branch_region),
                     "refiner_before": attack.refiner.before,
                     "refiner_after": attack.refiner.after,
+                    "standardize": attack.standardize,
+                    "pooled_covariance": attack.pooled_covariance,
                 }
             ).encode(),
             dtype=np.uint8,
@@ -66,13 +71,20 @@ def save_attack(attack: SingleTraceAttack, path: Union[str, Path]) -> None:
         # alignment
         "refiner_reference": attack.refiner.reference,
     }
+    if templates.class_precisions is not None:
+        payload["value_class_precisions"] = np.stack(
+            [templates.class_precisions[l] for l in templates.labels]
+        )
+        payload["value_class_log_dets"] = np.array(
+            [templates.class_log_dets[l] for l in templates.labels]
+        )
     np.savez_compressed(Path(path), **payload)
 
 
 def load_attack(acquisition, path: Union[str, Path]) -> SingleTraceAttack:
     """Reconstruct a profiled attack bound to a (new) acquisition bench."""
     archive = np.load(Path(path), allow_pickle=False)
-    if int(archive["version"][0]) != _FORMAT_VERSION:
+    if int(archive["version"][0]) not in _SUPPORTED_VERSIONS:
         raise AttackError(
             f"unsupported attack archive version {archive['version'][0]}"
         )
@@ -87,6 +99,9 @@ def load_attack(acquisition, path: Union[str, Path]) -> SingleTraceAttack:
         use_prior=config["use_prior"],
         branch_region=tuple(config["branch_region"]),
         sigma=config["sigma"],
+        # version-1 archives predate these knobs; their defaults match.
+        pooled_covariance=config.get("pooled_covariance", True),
+        standardize=config.get("standardize", False),
     )
 
     value_labels = [int(l) for l in archive["value_labels"]]
@@ -94,6 +109,16 @@ def load_attack(acquisition, path: Union[str, Path]) -> SingleTraceAttack:
     priors = None
     if not np.isnan(priors_raw).any():
         priors = {l: float(p) for l, p in zip(value_labels, priors_raw)}
+    class_precisions = class_log_dets = None
+    if "value_class_precisions" in archive:
+        class_precisions = {
+            l: archive["value_class_precisions"][i]
+            for i, l in enumerate(value_labels)
+        }
+        class_log_dets = {
+            l: float(archive["value_class_log_dets"][i])
+            for i, l in enumerate(value_labels)
+        }
     attack.templates = TemplateSet(
         pois=[int(p) for p in archive["value_pois"]],
         means={
@@ -101,6 +126,8 @@ def load_attack(acquisition, path: Union[str, Path]) -> SingleTraceAttack:
         },
         precision=archive["value_precision"],
         priors=priors,
+        class_precisions=class_precisions,
+        class_log_dets=class_log_dets,
     )
 
     branch_labels = [int(l) for l in archive["branch_labels"]]

@@ -16,15 +16,21 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.attack.branch import NEGATIVE, POSITIVE, ZERO, BranchClassifier, sign_of
-from repro.attack.poi import POI_METHODS
+from repro.attack.poi import POI_METHODS, POI_METHODS_MOMENTS
 from repro.attack.segmentation import AnchorRefiner, Segmenter, SegmenterConfig
-from repro.attack.template import TemplateSet, gaussian_priors
+from repro.attack.template import (
+    MomentAccumulator,
+    RunningMoments,
+    TemplateSet,
+    gaussian_priors,
+)
 from repro.errors import AttackError
 from repro.power.capture import TraceAcquisition
 
@@ -43,12 +49,27 @@ class AttackResult:
 
 @dataclass
 class ProfilingReport:
-    """What profiling produced (sizes, classes, diagnostics)."""
+    """What profiling produced (sizes, classes, diagnostics).
+
+    ``timings`` (streaming path only) holds per-stage wall seconds:
+    ``capture``, ``segment`` (includes the moment accumulation) and
+    ``build`` (POI selection + template construction).
+    """
 
     slice_count: int
     classes: List[int]
     pois: List[int]
     branch_separation: float
+    timings: Optional[Dict[str, float]] = None
+
+
+def _reference_pool_size(num_traces: int) -> int:
+    """Traces held back for anchor-reference learning (pass 1).
+
+    ``max(8, 5%)`` as before, now capped at 64 so the materialized part
+    of profiling stays O(1) no matter how large the campaign is.
+    """
+    return min(max(8, num_traces // 20), 64)
 
 
 class SingleTraceAttack:
@@ -117,13 +138,155 @@ class SingleTraceAttack:
         ``num_traces * coeffs_per_trace`` labelled slices are collected;
         classes observed fewer than ``min_class_count`` times are folded
         away (the paper observes values only in [-14, 14] despite the
-        [-41, 41] support).  ``workers`` switches the profiling-set
-        acquisition to the batch path (per-seed noise streams, optional
-        process pool — see
-        :meth:`~repro.power.capture.TraceAcquisition.capture_batch`);
-        the default keeps the bench's sequential noise stream so seeded
-        experiments reproduce historical results exactly.
+        [-41, 41] support).
+
+        The profiling set is consumed as one-pass **streaming sufficient
+        statistics** (per-class count/mean/scatter via Welford-Chan
+        accumulation, :class:`~repro.attack.template.RunningMoments`):
+        no slice matrix is ever materialized, so profiling sets far
+        larger than memory are fine.  The resulting templates, branch
+        classifier and POIs match the materialized
+        :meth:`profile_reference` path within float accumulation error
+        (the tests pin 1e-9 parity).
+
+        ``workers`` switches acquisition to the batch path with
+        **worker-side segmentation** (per-seed noise streams, slices
+        extracted inside the pool workers so only a few KB per trace
+        crosses the process boundary — see :meth:`~repro.power.capture.
+        TraceAcquisition.capture_segmented_batch`); the default keeps
+        the bench's sequential noise stream so seeded experiments
+        reproduce historical results exactly.
         """
+        timings = {"capture": 0.0, "segment": 0.0, "build": 0.0}
+        pool_size = _reference_pool_size(num_traces)
+
+        # Pass 1: a few traces with coarse anchors teach the re-aligner.
+        tick = time.perf_counter()
+        if workers is None:
+            head = [
+                self.acquisition.capture(first_seed + i, coeffs_per_trace)
+                for i in range(min(pool_size, num_traces))
+            ]
+        else:
+            head = self.acquisition.capture_batch(
+                min(pool_size, num_traces),
+                coeffs_per_trace,
+                first_seed=first_seed,
+                workers=workers,
+            )
+        timings["capture"] += time.perf_counter() - tick
+        tick = time.perf_counter()
+        self.refiner = AnchorRefiner.learn(
+            self.segmenter, [c.trace.samples for c in head]
+        )
+        timings["segment"] += time.perf_counter() - tick
+
+        # Pass 2: stream refined, labelled slices into the accumulators.
+        accumulator = MomentAccumulator(self.segmenter.slice_length)
+        accumulate = accumulator.add
+
+        if workers is None:
+            for index in range(num_traces):
+                tick = time.perf_counter()
+                if index < len(head):
+                    captured = head[index]
+                else:
+                    captured = self.acquisition.capture(
+                        first_seed + index, coeffs_per_trace
+                    )
+                timings["capture"] += time.perf_counter() - tick
+                tick = time.perf_counter()
+                try:
+                    aligned = self.segmenter.aligned_slices(
+                        captured.trace.samples, refiner=self.refiner
+                    )
+                except AttackError:
+                    timings["segment"] += time.perf_counter() - tick
+                    continue  # a profiling trace may rarely fail to segment
+                if len(aligned) == len(captured.values):
+                    accumulate(self._normalise_matrix(np.vstack(aligned)),
+                               captured.values)
+                timings["segment"] += time.perf_counter() - tick
+        else:
+            tick = time.perf_counter()
+            for segmented in self.acquisition.capture_segmented_batch(
+                num_traces,
+                coeffs_per_trace,
+                first_seed=first_seed,
+                workers=workers,
+                segmenter=self.segmenter,
+                refiner=self.refiner,
+            ):
+                if segmented.ok and segmented.slices.shape[0] == len(
+                    segmented.values
+                ):
+                    accumulate(
+                        self._normalise_matrix(segmented.slices), segmented.values
+                    )
+            timings["segment"] += time.perf_counter() - tick
+
+        if accumulator.count == 0:
+            raise AttackError("profiling produced no usable slices")
+        tick = time.perf_counter()
+        report = self._build_from_moments(
+            accumulator.moments(), min_class_count, accumulator.count
+        )
+        timings["build"] += time.perf_counter() - tick
+        report.timings = timings
+        return report
+
+    def _build_from_moments(
+        self,
+        moments: Dict[int, RunningMoments],
+        min_class_count: int,
+        slice_count: int,
+    ) -> ProfilingReport:
+        """Templates + branch classifier from accumulated moments."""
+        by_value = {
+            value: m
+            for value, m in sorted(moments.items())
+            if m.count >= min_class_count
+        }
+
+        # Sign classes are unions of value classes, so their moments are
+        # exact Chan merges of the per-value accumulators (all observed
+        # values, including ones rarer than min_class_count).
+        by_sign: Dict[int, RunningMoments] = {}
+        for value, m in sorted(moments.items()):
+            sign = sign_of(value)
+            if sign in by_sign:
+                by_sign[sign].merge(m.copy())
+            else:
+                by_sign[sign] = m.copy()
+        self.branch_classifier = BranchClassifier.from_moments(
+            by_sign, self.branch_region[0], self.branch_region[1]
+        )
+
+        pois = POI_METHODS_MOMENTS[self.poi_method](by_value, self.poi_count)
+        priors = None
+        if self.use_prior:
+            priors = gaussian_priors(list(by_value), self.sigma)
+        self.templates = TemplateSet.from_moments(
+            by_value, pois, priors=priors, pooled=self.pooled_covariance
+        )
+        return ProfilingReport(
+            slice_count=slice_count,
+            classes=sorted(by_value),
+            pois=pois,
+            branch_separation=self.branch_classifier.separation(),
+        )
+
+    def profile_reference(
+        self,
+        num_traces: int = 400,
+        coeffs_per_trace: int = 8,
+        first_seed: int = 1,
+        min_class_count: int = 3,
+        workers: Optional[int] = None,
+    ) -> ProfilingReport:
+        """Materialized profiling: the original capture-everything,
+        vstack-then-group flow, kept as the parity/throughput reference
+        for the streaming :meth:`profile`."""
         # Pass 1: a few traces with coarse anchors teach the re-aligner.
         if workers is None:
             captures = [
@@ -134,7 +297,9 @@ class SingleTraceAttack:
             captures = self.acquisition.capture_batch(
                 num_traces, coeffs_per_trace, first_seed=first_seed, workers=workers
             )
-        reference_pool = [c.trace.samples for c in captures[: max(8, num_traces // 20)]]
+        reference_pool = [
+            c.trace.samples for c in captures[: _reference_pool_size(num_traces)]
+        ]
         self.refiner = AnchorRefiner.learn(self.segmenter, reference_pool)
 
         # Pass 2: refined, labelled slices.
@@ -201,7 +366,16 @@ class SingleTraceAttack:
         aligned = self.segmenter.aligned_slices(samples, refiner=self.refiner)
         if not len(aligned):
             return AttackResult(signs=[], estimates=[], probabilities=[])
-        matrix = np.vstack([self._normalise(piece) for piece in aligned])
+        return self.attack_aligned(np.vstack(aligned))
+
+    def attack_aligned(self, slices: np.ndarray) -> AttackResult:
+        """Attack pre-segmented aligned slices (an ``(n, slice_len)``
+        matrix, e.g. from worker-side segmentation)."""
+        if self.templates is None or self.branch_classifier is None:
+            raise AttackError("profile() must run before attack()")
+        if slices.shape[0] == 0:
+            return AttackResult(signs=[], estimates=[], probabilities=[])
+        matrix = self._normalise_matrix(slices)
         signs = [int(s) for s in self.branch_classifier.classify_matrix(matrix)]
 
         all_labels = self.templates.labels
@@ -245,3 +419,10 @@ class SingleTraceAttack:
         if spread <= 1e-12:
             return piece - float(piece.mean())
         return (piece - float(piece.mean())) / spread
+
+    def _normalise_matrix(self, slices: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`_normalise` (bit-identical to the per-piece
+        path — each row goes through the same scalar code)."""
+        if not self.standardize:
+            return slices
+        return np.vstack([self._normalise(row) for row in slices])

@@ -98,3 +98,71 @@ POI_METHODS = {
     "sost": select_pois_sost,
     "dom": select_pois_dom,
 }
+
+
+# ----------------------------------------------------------------------
+# Moments-based selection: the same statistics computed from streaming
+# sufficient statistics (per-class count/mean/variance) instead of
+# materialized trace matrices.  Every score above depends only on these
+# moments, so the streaming profiling path selects POIs without ever
+# holding the profiling set in memory; results match the matrix path up
+# to float accumulation error.
+def _stacked_stats(moments_by_label: Dict[int, "object"]):
+    """Stack per-class streaming moments into (means, variances, counts)."""
+    if not moments_by_label:
+        raise AttackError("no profiling classes given")
+    labels = list(moments_by_label)
+    means = np.vstack([np.asarray(moments_by_label[l].mean) for l in labels])
+    variances = np.vstack(
+        [np.asarray(moments_by_label[l].variances()) + 1e-12 for l in labels]
+    )
+    counts = np.array([moments_by_label[l].count for l in labels])
+    return means, variances, counts
+
+
+def _pairwise_scores(
+    means: np.ndarray,
+    kind: str,
+    variances: np.ndarray = None,
+    counts: np.ndarray = None,
+) -> np.ndarray:
+    n = means.shape[0]
+    scores = np.zeros(means.shape[1])
+    for i in range(n):
+        for j in range(i + 1, n):
+            diff = means[i] - means[j]
+            if kind == "sosd":
+                scores += diff**2
+            elif kind == "dom":
+                scores += np.abs(diff)
+            else:  # sost
+                denom = variances[i] / counts[i] + variances[j] / counts[j]
+                scores += diff**2 / denom
+    return scores
+
+
+def select_pois_sosd_moments(moments_by_label, count: int, min_distance: int = 2):
+    """SOSD selection from streaming per-class moments."""
+    means, _, _ = _stacked_stats(moments_by_label)
+    return _pick_spread(_pairwise_scores(means, "sosd"), count, min_distance)
+
+
+def select_pois_sost_moments(moments_by_label, count: int, min_distance: int = 2):
+    """SOST selection from streaming per-class moments."""
+    means, variances, counts = _stacked_stats(moments_by_label)
+    return _pick_spread(
+        _pairwise_scores(means, "sost", variances, counts), count, min_distance
+    )
+
+
+def select_pois_dom_moments(moments_by_label, count: int, min_distance: int = 2):
+    """DOM selection from streaming per-class moments."""
+    means, _, _ = _stacked_stats(moments_by_label)
+    return _pick_spread(_pairwise_scores(means, "dom"), count, min_distance)
+
+
+POI_METHODS_MOMENTS = {
+    "sosd": select_pois_sosd_moments,
+    "sost": select_pois_sost_moments,
+    "dom": select_pois_dom_moments,
+}

@@ -49,11 +49,37 @@ class SegmenterConfig:
     slice_after: int = 160  # ... and after
 
 
-def _moving_average(x: np.ndarray, window: int) -> np.ndarray:
+def _moving_average_reference(x: np.ndarray, window: int) -> np.ndarray:
+    """Original convolution-based sliding mean (O(n*w)); kept as the
+    parity reference for :func:`_moving_average`."""
     if window <= 1:
         return x
     kernel = np.ones(window) / window
     return np.convolve(x, kernel, mode="same")
+
+
+def _moving_average(x: np.ndarray, window: int) -> np.ndarray:
+    """Cumulative-sum sliding mean, O(n) regardless of window size.
+
+    Matches ``np.convolve(x, ones(w)/w, mode="same")`` — same centering
+    and same zero-padded edges — up to float reassociation (the
+    reference multiplies by 1/w before summing; this sums first).
+    """
+    if window <= 1:
+        return x
+    n = len(x)
+    if window > n:
+        # np.convolve swaps its arguments when the kernel is longer than
+        # the input, changing the output length; defer to the reference
+        # for that degenerate shape.
+        return _moving_average_reference(x, window)
+    csum = np.empty(n + 1, dtype=np.float64)
+    csum[0] = 0.0
+    np.cumsum(x, dtype=np.float64, out=csum[1:])
+    mid = np.arange(n) + (window - 1) // 2
+    lo = np.maximum(mid - window + 1, 0)
+    hi = np.minimum(mid, n - 1) + 1
+    return (csum[hi] - csum[lo]) / window
 
 
 def _active_regions(mask: np.ndarray, merge_gap: int, min_length: int) -> List[Tuple[int, int]]:
@@ -61,16 +87,12 @@ def _active_regions(mask: np.ndarray, merge_gap: int, min_length: int) -> List[T
     idx = np.flatnonzero(mask)
     if idx.size == 0:
         return []
-    regions: List[Tuple[int, int]] = []
-    start = prev = int(idx[0])
-    for i in idx[1:]:
-        i = int(i)
-        if i - prev - 1 > merge_gap:
-            regions.append((start, prev + 1))
-            start = i
-        prev = i
-    regions.append((start, prev + 1))
-    return [(s, e) for s, e in regions if e - s >= min_length]
+    breaks = np.flatnonzero(np.diff(idx) > merge_gap + 1)
+    starts = idx[np.concatenate(([0], breaks + 1))]
+    ends = idx[np.concatenate((breaks, [idx.size - 1]))] + 1
+    return [
+        (int(s), int(e)) for s, e in zip(starts, ends) if e - s >= min_length
+    ]
 
 
 @dataclass
@@ -263,8 +285,13 @@ class AnchorRefiner:
         segment = samples[lo:hi]
         if len(segment) < length:
             return window.anchor
-        # SSD(delta) = sum(x^2) - 2 x.R + sum(R^2); vectorised via correlate
-        windowed_energy = np.convolve(segment**2, np.ones(length), mode="valid")
+        # SSD(delta) = sum(x^2) - 2 x.R + sum(R^2); the windowed energy
+        # is a cumulative-sum sliding window (O(n)), the cross term a
+        # direct correlation
+        squared = np.empty(len(segment) + 1, dtype=np.float64)
+        squared[0] = 0.0
+        np.cumsum(segment * segment, dtype=np.float64, out=squared[1:])
+        windowed_energy = squared[length:] - squared[: len(segment) - length + 1]
         cross = np.correlate(segment, self.reference, mode="valid")
         ssd = windowed_energy - 2.0 * cross  # + const
         best = int(np.argmin(ssd))

@@ -14,7 +14,7 @@ Hamming distance of state transitions, plus Gaussian amplifier noise.
   device, a leakage model and a scope.
 """
 
-from repro.power.capture import CapturedTrace, TraceAcquisition
+from repro.power.capture import CapturedTrace, SegmentedCapture, TraceAcquisition
 from repro.power.leakage import LeakageModel
 from repro.power.scope import Oscilloscope
 from repro.power.trace import Trace, TraceSet
@@ -22,6 +22,7 @@ from repro.power.visualize import ascii_trace, ascii_trace_with_windows, sparkli
 
 __all__ = [
     "CapturedTrace",
+    "SegmentedCapture",
     "LeakageModel",
     "Oscilloscope",
     "Trace",

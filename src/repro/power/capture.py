@@ -22,7 +22,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -35,13 +35,44 @@ from repro.utils.rng import new_rng
 
 @dataclass
 class CapturedTrace:
-    """One armed-and-triggered measurement."""
+    """One armed-and-triggered measurement.
 
-    trace: Trace
+    ``trace`` is ``None`` only for slim ground-truth-only captures
+    (:meth:`TraceAcquisition.capture_batch` with ``return_traces=False``).
+    """
+
+    trace: Optional[Trace]
     values: List[int]  # ground-truth sampled coefficients
     seed: int
     cycle_count: int
     event_starts: Optional[np.ndarray] = field(repr=False, default=None)
+
+
+@dataclass
+class SegmentedCapture:
+    """Worker-side segmentation result: aligned slices, no raw trace.
+
+    A full multi-coefficient trace is hundreds of thousands of samples
+    plus an event-start array of comparable size; the aligned slices
+    the profiling/attack stages actually consume are a few KB.  Moving
+    segmentation into the pool workers makes the batch-capture payload
+    the slices, cutting inter-process pickle traffic by more than an
+    order of magnitude.
+
+    ``slices`` is an ``(n_coefficients, slice_length)`` float64 matrix
+    (bit-identical to what the serial segment-in-parent path produces),
+    or ``None`` when segmentation failed (``error`` holds the reason).
+    """
+
+    slices: Optional[np.ndarray]
+    values: List[int]  # ground-truth sampled coefficients
+    seed: int
+    cycle_count: int
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.slices is not None
 
 
 def _noise_rng(batch_entropy: int, seed: int) -> np.random.Generator:
@@ -59,8 +90,23 @@ def _capture_one(
     seed: int,
     count: int,
     batch_entropy: int,
+    return_traces: bool = True,
 ) -> CapturedTrace:
-    """One batch capture; shared by the serial path and pool workers."""
+    """One batch capture; shared by the serial path and pool workers.
+
+    ``return_traces=False`` is the slim ground-truth mode: the leakage
+    expansion, scope chain and event bookkeeping are skipped entirely
+    and the record carries only values/seed/cycle count, so pool pickles
+    stay a few bytes per capture.
+    """
+    if not return_traces:
+        run = device.run(seed, count=count, record_events=False)
+        return CapturedTrace(
+            trace=None,
+            values=run.values,
+            seed=seed,
+            cycle_count=run.cycle_count,
+        )
     run = device.run(seed, count=count, record_events=True)
     noiseless, starts = leakage.expand(run.events)
     measured = scope.capture(noiseless, rng=_noise_rng(batch_entropy, seed))
@@ -70,6 +116,42 @@ def _capture_one(
         seed=seed,
         cycle_count=run.cycle_count,
         event_starts=starts,
+    )
+
+
+def _segment_one(
+    device: GaussianSamplerDevice,
+    leakage: LeakageModel,
+    scope: Oscilloscope,
+    segmenter,
+    refiner,
+    seed: int,
+    count: int,
+    batch_entropy: int,
+) -> SegmentedCapture:
+    """Capture one trace and segment it in place (worker-side path)."""
+    from repro.errors import AttackError
+
+    captured = _capture_one(device, leakage, scope, seed, count, batch_entropy)
+    try:
+        aligned = segmenter.aligned_slices(captured.trace.samples, refiner=refiner)
+    except AttackError as exc:
+        return SegmentedCapture(
+            slices=None,
+            values=captured.values,
+            seed=seed,
+            cycle_count=captured.cycle_count,
+            error=str(exc),
+        )
+    if aligned:
+        slices = np.vstack(aligned)
+    else:
+        slices = np.empty((0, segmenter.slice_length), dtype=np.float64)
+    return SegmentedCapture(
+        slices=slices,
+        values=captured.values,
+        seed=seed,
+        cycle_count=captured.cycle_count,
     )
 
 
@@ -85,9 +167,31 @@ def _pool_init(
 
 
 def _pool_capture(args) -> CapturedTrace:
+    seed, count, batch_entropy, return_traces = args
+    device, leakage, scope = _POOL_BENCH["parts"]
+    return _capture_one(
+        device, leakage, scope, seed, count, batch_entropy, return_traces
+    )
+
+
+def _pool_init_segmented(
+    device: GaussianSamplerDevice,
+    leakage: LeakageModel,
+    scope: Oscilloscope,
+    segmenter,
+    refiner,
+) -> None:
+    _POOL_BENCH["parts"] = (device, leakage, scope)
+    _POOL_BENCH["segmentation"] = (segmenter, refiner)
+
+
+def _pool_capture_segmented(args) -> SegmentedCapture:
     seed, count, batch_entropy = args
     device, leakage, scope = _POOL_BENCH["parts"]
-    return _capture_one(device, leakage, scope, seed, count, batch_entropy)
+    segmenter, refiner = _POOL_BENCH["segmentation"]
+    return _segment_one(
+        device, leakage, scope, segmenter, refiner, seed, count, batch_entropy
+    )
 
 
 class TraceAcquisition:
@@ -163,6 +267,7 @@ class TraceAcquisition:
         coeffs_per_trace: int = 1,
         first_seed: int = 1,
         workers: Optional[int] = None,
+        return_traces: bool = True,
     ) -> List[CapturedTrace]:
         """Capture ``trace_count`` runs with consecutive device seeds.
 
@@ -171,10 +276,17 @@ class TraceAcquisition:
         seed)``, so the result is bit-identical to the serial path —
         same seeds, same noise — regardless of worker count or
         scheduling order.
+
+        ``return_traces=False`` returns slim ground-truth records
+        (``trace``/``event_starts`` set to ``None``): the per-capture
+        pool pickle shrinks from hundreds of KB of samples and event
+        starts to a few bytes of values, for callers that only need the
+        sampled coefficients (class surveys, label generation).
         """
         entropy = self.batch_entropy()
         tasks = [
-            (first_seed + i, coeffs_per_trace, entropy) for i in range(trace_count)
+            (first_seed + i, coeffs_per_trace, entropy, return_traces)
+            for i in range(trace_count)
         ]
         if workers is None or workers <= 1 or trace_count <= 1:
             return [
@@ -189,3 +301,49 @@ class TraceAcquisition:
         ) as pool:
             chunk = max(1, trace_count // (pool_size * 4))
             return list(pool.map(_pool_capture, tasks, chunksize=chunk))
+
+    def capture_segmented_batch(
+        self,
+        trace_count: int,
+        coeffs_per_trace: int = 1,
+        first_seed: int = 1,
+        workers: Optional[int] = None,
+        segmenter=None,
+        refiner=None,
+    ) -> Iterator[SegmentedCapture]:
+        """Capture and segment in the workers; yield only aligned slices.
+
+        The campaign-scale acquisition path: each worker runs
+        ``capture -> segment -> slice extraction`` locally and ships back
+        a :class:`SegmentedCapture` — an ``(n_coeffs, slice_length)``
+        slice matrix plus labels, a few KB — instead of the full
+        multi-hundred-k-sample trace.  Slices are bit-identical to
+        segmenting the same capture in the parent (same code, same
+        per-seed noise), in any pool completion order; results are
+        yielded lazily in seed order so the caller can accumulate
+        streaming statistics without holding the batch in memory.
+
+        ``segmenter`` is required (an :class:`~repro.attack.segmentation.
+        Segmenter`); ``refiner`` is the optional anchor refiner learned
+        during profiling pass 1.
+        """
+        if segmenter is None:
+            raise ValueError("capture_segmented_batch requires a segmenter")
+        entropy = self.batch_entropy()
+        tasks = [
+            (first_seed + i, coeffs_per_trace, entropy) for i in range(trace_count)
+        ]
+        if workers is None or workers <= 1 or trace_count <= 1:
+            for task in tasks:
+                yield _segment_one(
+                    self.device, self.leakage, self.scope, segmenter, refiner, *task
+                )
+            return
+        pool_size = min(workers, trace_count, (os.cpu_count() or 1) * 4)
+        with ProcessPoolExecutor(
+            max_workers=pool_size,
+            initializer=_pool_init_segmented,
+            initargs=(self.device, self.leakage, self.scope, segmenter, refiner),
+        ) as pool:
+            chunk = max(1, trace_count // (pool_size * 4))
+            yield from pool.map(_pool_capture_segmented, tasks, chunksize=chunk)

@@ -7,10 +7,14 @@ Usage::
     python -m repro.reproduce fig3            # needs ~10 s of simulation
     python -m repro.reproduce table1 --traces 80
     python -m repro.reproduce table2 --traces 40
-    python -m repro.reproduce all
+    python -m repro.reproduce all --workers 4
 
 The pytest benchmarks in ``benchmarks/`` are the full-fidelity
-regeneration path; this module is the quick look.
+regeneration path; this module is the quick look.  ``table1``/``table2``
+run on the campaign engine (:mod:`repro.attack.campaign`): ``--workers
+N`` fans profiling captures and the attack phase across a process pool
+(bit-identical results for any worker count), and each run prints the
+engine's per-stage timing counters.
 """
 
 from __future__ import annotations
@@ -29,11 +33,19 @@ def _make_bench(noise: float = 1.0):
     return TraceAcquisition(device, scope=Oscilloscope(noise_std=noise), rng=0)
 
 
-def _profiled_attack(bench, traces: int):
+def _profiled_attack(bench, traces: int, workers=None):
     from repro.attack.pipeline import SingleTraceAttack
 
     attack = SingleTraceAttack(bench, poi_count=24)
-    attack.profile(num_traces=max(traces, 60), coeffs_per_trace=8, first_seed=100_000)
+    report = attack.profile(
+        num_traces=max(traces, 60),
+        coeffs_per_trace=8,
+        first_seed=100_000,
+        workers=workers,
+    )
+    timings = report.timings or {}
+    stages = "  ".join(f"{k} {v:.2f}s" for k, v in timings.items())
+    print(f"profiling ({report.slice_count} slices): {stages}")
     return attack
 
 
@@ -49,44 +61,43 @@ def run_fig3() -> None:
               f"anchor {window.anchor}")
 
 
-def run_table1(traces: int) -> None:
-    from repro.attack.metrics import ConfusionMatrix
+def run_table1(traces: int, workers=None) -> None:
+    from repro.attack.campaign import run_campaign
 
     bench = _make_bench()
-    attack = _profiled_attack(bench, traces)
-    matrix = ConfusionMatrix()
-    sign_hits = total = 0
-    for seed in range(1, traces + 1):
-        captured = bench.capture(seed, 8)
-        result = attack.attack(captured)
-        matrix.record_many(captured.values, result.estimates)
-        for value, sign in zip(captured.values, result.signs):
-            total += 1
-            sign_hits += int(np.sign(value)) == sign
-    labels = [v for v in range(-5, 6) if matrix.total(v) >= 3]
+    attack = _profiled_attack(bench, traces, workers=workers)
+    report = run_campaign(
+        attack, trace_count=traces, coeffs_per_trace=8, first_seed=1,
+        workers=workers,
+    )
+    labels = [v for v in range(-5, 6) if report.confusion.total(v) >= 3]
     print("Table I (condensed):")
-    print(matrix.format_table(labels))
-    print(f"sign accuracy {100 * sign_hits / total:.2f}% [paper: 100%]")
+    print(report.confusion.format_table(labels))
+    print(f"sign accuracy {100 * report.sign_accuracy:.2f}% [paper: 100%]")
+    print(report.format_timings())
 
 
-def run_table2(traces: int) -> None:
+def run_table2(traces: int, workers=None) -> None:
+    from repro.attack.campaign import run_campaign
     from repro.hints.hintgen import moments_of_table
 
     bench = _make_bench()
-    attack = _profiled_attack(bench, traces)
+    attack = _profiled_attack(bench, traces, workers=workers)
+    report = run_campaign(
+        attack, trace_count=traces, coeffs_per_trace=8, first_seed=1,
+        workers=workers,
+    )
     print("Table II: probability tables (centered / variance):")
     shown = set()
-    for seed in range(1, traces + 1):
-        captured = bench.capture(seed, 8)
-        result = attack.attack(captured)
-        for value, table in zip(captured.values, result.probabilities):
-            if value in shown or not (-2 <= value <= 2):
-                continue
-            shown.add(value)
-            mean, variance = moments_of_table(table)
-            print(f"  secret {value:3d}: centered {mean:7.3f}  variance {variance:.3e}")
+    for value, _, _, table in report.outcomes:
+        if value in shown or not (-2 <= value <= 2):
+            continue
+        shown.add(value)
+        mean, variance = moments_of_table(table)
+        print(f"  secret {value:3d}: centered {mean:7.3f}  variance {variance:.3e}")
         if len(shown) == 5:
             break
+    print(report.format_timings())
 
 
 def run_table3() -> None:
@@ -158,11 +169,18 @@ def main(argv=None) -> None:
         default=60,
         help="attack/profiling trace budget for table1/table2 (default 60)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for table1/table2 capture+attack "
+        "(default: serial)",
+    )
     args = parser.parse_args(argv)
     runners = {
         "fig3": run_fig3,
-        "table1": lambda: run_table1(args.traces),
-        "table2": lambda: run_table2(args.traces),
+        "table1": lambda: run_table1(args.traces, args.workers),
+        "table2": lambda: run_table2(args.traces, args.workers),
         "table3": run_table3,
         "table4": run_table4,
     }

@@ -69,6 +69,13 @@ class GaussianSamplerDevice:
         self._block_cache: dict = {}
         self._code_words: set = set()
 
+    # -- pickling (translated blocks hold unpicklable generated code) --
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_block_cache"] = {}
+        state["_code_words"] = set()
+        return state
+
     # ------------------------------------------------------------------
     def run(
         self,

@@ -50,3 +50,51 @@ class TestPersistence:
         np.savez_compressed(path, **data)
         with pytest.raises(AttackError):
             load_attack(bench, path)
+
+    def test_roundtrip_full_configuration(self, bench, tmp_path):
+        """Version 2 persists every attack knob: standardize, covariance
+        mode, priors, branch region, POI method."""
+        attack = SingleTraceAttack(
+            bench,
+            poi_count=16,
+            poi_method="sost",
+            use_prior=False,
+            standardize=True,
+            branch_region=(170, 240),
+        )
+        attack.profile(num_traces=60, coeffs_per_trace=4, first_seed=50_000)
+        path = tmp_path / "attack.npz"
+        save_attack(attack, path)
+        restored = load_attack(bench, path)
+        assert restored.standardize is True
+        assert restored.pooled_covariance is True
+        assert restored.poi_method == "sost"
+        assert restored.use_prior is False
+        assert restored.branch_region == (170, 240)
+        assert restored.templates.priors is None
+        captured = bench.capture(777, 4)
+        a, b = attack.attack(captured), restored.attack(captured)
+        assert a.signs == b.signs and a.estimates == b.estimates
+
+    def test_roundtrip_per_class_covariances(self, bench, tmp_path):
+        """pooled=False templates (per-class precisions) survive the trip."""
+        attack = SingleTraceAttack(bench, poi_count=12, pooled_covariance=False)
+        attack.profile(num_traces=80, coeffs_per_trace=4, first_seed=50_000)
+        assert attack.templates.class_precisions is not None
+        path = tmp_path / "attack.npz"
+        save_attack(attack, path)
+        restored = load_attack(bench, path)
+        assert restored.pooled_covariance is False
+        assert restored.templates.class_precisions is not None
+        for label in attack.templates.labels:
+            np.testing.assert_allclose(
+                restored.templates.class_precisions[label],
+                attack.templates.class_precisions[label],
+                atol=1e-12,
+            )
+            assert restored.templates.class_log_dets[label] == pytest.approx(
+                attack.templates.class_log_dets[label]
+            )
+        captured = bench.capture(778, 4)
+        a, b = attack.attack(captured), restored.attack(captured)
+        assert a.signs == b.signs and a.estimates == b.estimates

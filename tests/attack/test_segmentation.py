@@ -3,12 +3,14 @@
 import numpy as np
 import pytest
 
+import repro.attack.segmentation as segmentation
 from repro.attack.segmentation import (
     AnchorRefiner,
     Segmenter,
     SegmenterConfig,
     _active_regions,
     _moving_average,
+    _moving_average_reference,
 )
 from repro.errors import AttackError
 from repro.riscv import cycles as cy
@@ -47,6 +49,68 @@ class TestHelpers:
 
     def test_active_regions_empty(self):
         assert _active_regions(np.zeros(5, dtype=bool), 1, 1) == []
+
+    def test_active_regions_matches_loop_reference(self):
+        """The vectorized extractor is integer-exact vs a naive scan."""
+
+        def reference(mask, merge_gap, min_length):
+            regions, start, last = [], None, None
+            for i in np.flatnonzero(mask):
+                i = int(i)
+                if start is None:
+                    start, last = i, i
+                elif i - last <= merge_gap + 1:
+                    last = i
+                else:
+                    regions.append((start, last + 1))
+                    start, last = i, i
+            if start is not None:
+                regions.append((start, last + 1))
+            return [(s, e) for s, e in regions if e - s >= min_length]
+
+        rng = np.random.default_rng(42)
+        for density in (0.05, 0.3, 0.8):
+            mask = rng.random(500) < density
+            for merge_gap in (0, 1, 3):
+                for min_length in (1, 2, 5):
+                    assert _active_regions(mask, merge_gap, min_length) == reference(
+                        mask, merge_gap, min_length
+                    )
+
+
+class TestMovingAverageParity:
+    """The O(n) cumsum sliding mean must match the convolve reference."""
+
+    def test_numeric_parity_random(self):
+        rng = np.random.default_rng(0)
+        for n in (1, 2, 7, 64, 1000):
+            x = rng.normal(0, 3, n)
+            for window in (1, 2, 3, 8, 31, n, n + 5):
+                np.testing.assert_allclose(
+                    _moving_average(x, window),
+                    _moving_average_reference(x, window),
+                    rtol=0,
+                    atol=1e-9,
+                )
+
+    def test_window_longer_than_input_falls_back(self):
+        x = np.arange(4, dtype=float)
+        np.testing.assert_array_equal(
+            _moving_average(x, 9), _moving_average_reference(x, 9)
+        )
+
+    def test_identical_windows_and_anchors(self, bench, monkeypatch):
+        """Swapping in the reference smoother yields the same windows on
+        a real trace — the fast path changes nothing downstream."""
+        cap = bench.capture(123, 5)
+        fast = Segmenter().windows(cap.trace.samples)
+        monkeypatch.setattr(
+            segmentation, "_moving_average", _moving_average_reference
+        )
+        slow = Segmenter().windows(cap.trace.samples)
+        assert [(w.start, w.end, w.anchor) for w in fast] == [
+            (w.start, w.end, w.anchor) for w in slow
+        ]
 
 
 class TestWindows:

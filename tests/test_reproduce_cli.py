@@ -25,3 +25,12 @@ class TestCli:
     def test_rejects_unknown_target(self):
         with pytest.raises(SystemExit):
             main(["table9"])
+
+    def test_table1_prints_campaign_timings(self, capsys):
+        main(["table1", "--traces", "8"])
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "sign accuracy" in out
+        assert "per-stage timings" in out
+        for stage in ("capture", "segment", "classify", "wall"):
+            assert stage in out
