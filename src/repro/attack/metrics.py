@@ -28,6 +28,10 @@ class ConfusionMatrix:
         for a, p in zip(actual, predicted):
             self.record(a, p)
 
+    def counts(self) -> Dict[Tuple[int, int], int]:
+        """A copy of the raw ``(actual, predicted) -> count`` table."""
+        return dict(self._counts)
+
     # ------------------------------------------------------------------
     @property
     def actual_labels(self) -> List[int]:

@@ -128,6 +128,10 @@ class Segmenter:
         """Locate every coefficient's window and anchor in the trace."""
         cfg = self.config
         samples = np.asarray(samples, dtype=np.float64)
+        if samples.size == 0:
+            raise AttackError("cannot segment an empty trace")
+        if not np.isfinite(samples).all():
+            raise AttackError("cannot segment a trace with non-finite samples")
         envelope = _moving_average(samples, cfg.envelope_window)
         threshold = self._engine_threshold(envelope)
 

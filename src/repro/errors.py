@@ -25,6 +25,14 @@ class AttackError(ReproError, RuntimeError):
     """The side-channel attack pipeline could not complete a stage."""
 
 
+class TraceValidationError(ReproError, ValueError):
+    """A captured trace is unusable (empty or contains non-finite samples)."""
+
+
+class VerificationError(ReproError, AssertionError):
+    """A fast/reference oracle pair diverged during differential checking."""
+
+
 class LatticeError(ReproError, RuntimeError):
     """Lattice reduction failed (non-full-rank basis, no solution found...)."""
 

@@ -26,6 +26,7 @@ from typing import Iterator, List, Optional
 
 import numpy as np
 
+from repro.errors import TraceValidationError
 from repro.power.leakage import LeakageModel
 from repro.power.scope import Oscilloscope
 from repro.power.trace import Trace
@@ -46,6 +47,23 @@ class CapturedTrace:
     seed: int
     cycle_count: int
     event_starts: Optional[np.ndarray] = field(repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        # Fail at the bench, not as a numpy warning three stages later
+        # inside segmentation or template fitting.
+        if self.trace is None:
+            return
+        samples = self.trace.samples
+        if samples.size == 0:
+            raise TraceValidationError(
+                f"captured trace for seed {self.seed} is empty"
+            )
+        if not np.isfinite(samples).all():
+            bad = int(np.count_nonzero(~np.isfinite(samples)))
+            raise TraceValidationError(
+                f"captured trace for seed {self.seed} contains {bad} "
+                f"non-finite sample(s)"
+            )
 
 
 @dataclass
@@ -69,6 +87,25 @@ class SegmentedCapture:
     seed: int
     cycle_count: int
     error: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        # ``slices is None`` is the explicit failure path (``error``
+        # says why); a zero-*row* matrix just means no aligned windows.
+        # Zero-length or non-finite slices would silently poison the
+        # streaming moment accumulators downstream.
+        if self.slices is None:
+            return
+        if self.slices.ndim != 2 or self.slices.shape[1] == 0:
+            raise TraceValidationError(
+                f"segmented capture for seed {self.seed} has unusable "
+                f"slice shape {self.slices.shape}"
+            )
+        if not np.isfinite(self.slices).all():
+            bad = int(np.count_nonzero(~np.isfinite(self.slices)))
+            raise TraceValidationError(
+                f"segmented capture for seed {self.seed} contains {bad} "
+                f"non-finite sample(s)"
+            )
 
     @property
     def ok(self) -> bool:

@@ -1,0 +1,46 @@
+"""Differential verification of every fast/reference pair in the repo.
+
+Three layers:
+
+- :mod:`repro.verify.compare` — structural diffing with tolerance
+  envelopes (``diff_values``, ``assert_equivalent``);
+- :mod:`repro.verify.oracles` — the :class:`Oracle` registry pairing
+  each optimised path with its pinned reference, each with a seeded
+  case sampler so failures replay from ``(oracle name, case seed)``;
+- :mod:`repro.verify.goldens` — bit-exact end-to-end JSON fixtures for
+  the Table 1/2 campaign flow.
+
+Run ``python -m repro.verify --help`` for the CLI (list / run /
+replay / golden); the Hypothesis suites under ``tests/differential/``
+drive the same oracles with shrinking strategies.
+"""
+
+from repro.verify.compare import (
+    EXACT,
+    Tolerance,
+    assert_equivalent,
+    diff_values,
+)
+from repro.verify.oracles import (
+    Oracle,
+    OracleReport,
+    all_oracles,
+    format_repro_command,
+    get_oracle,
+    register,
+    run_oracle,
+)
+
+__all__ = [
+    "EXACT",
+    "Tolerance",
+    "assert_equivalent",
+    "diff_values",
+    "Oracle",
+    "OracleReport",
+    "all_oracles",
+    "format_repro_command",
+    "get_oracle",
+    "register",
+    "run_oracle",
+]

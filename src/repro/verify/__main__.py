@@ -1,0 +1,139 @@
+"""Command-line front end for the differential verification harness.
+
+::
+
+    python -m repro.verify list
+    python -m repro.verify run [oracle ...] [--examples N] [--seed S]
+                               [--expensive]
+    python -m repro.verify replay <oracle> --case-seed S
+    python -m repro.verify golden [--regen] [--path FILE] [--workers N]
+
+``run`` sweeps seeded random cases through the registered oracles and
+prints, for every divergence, the one-line command that replays it.
+``replay`` re-runs a single case (the command printed on failure, and
+the one the Hypothesis suites embed in their failure notes).  ``golden``
+checks — or regenerates, with ``--regen`` — the committed end-to-end
+fixture.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.verify import oracles as oracle_registry
+from repro.verify.oracles import all_oracles, format_repro_command, get_oracle
+
+DEFAULT_GOLDEN = Path("tests/golden/campaign_small.json")
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for oracle in all_oracles():
+        marker = " [expensive]" if oracle.expensive else ""
+        print(f"{oracle.name}{marker}")
+        print(f"    {oracle.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.oracles:
+        selected = [get_oracle(name) for name in args.oracles]
+    else:
+        selected = all_oracles(include_expensive=args.expensive)
+    failures = 0
+    for oracle in selected:
+        examples = (
+            max(1, args.examples // 10) if oracle.expensive else args.examples
+        )
+        start = time.perf_counter()
+        reports = oracle_registry.run_oracle(oracle, examples, args.seed)
+        elapsed = time.perf_counter() - start
+        bad = [report for report in reports if not report.ok]
+        status = "ok" if not bad else f"{len(bad)} FAILED"
+        print(f"{oracle.name}: {len(reports)} cases, {status} ({elapsed:.1f}s)")
+        for report in bad:
+            failures += 1
+            print(f"  case seed {report.case_seed} ({report.case_summary}):")
+            for line in report.mismatches[:5]:
+                print(f"    {line}")
+            print(f"  replay: {report.repro_command()}")
+    return 1 if failures else 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    oracle = get_oracle(args.oracle)
+    report = oracle.check_seed(args.case_seed)
+    if report.ok:
+        print(f"{oracle.name} case {args.case_seed}: fast == reference")
+        return 0
+    print(f"{oracle.name} case {args.case_seed} ({report.case_summary}) DIVERGED:")
+    for line in report.mismatches:
+        print(f"  {line}")
+    return 1
+
+
+def _cmd_golden(args: argparse.Namespace) -> int:
+    from repro.verify import goldens
+
+    path = Path(args.path)
+    payload = goldens.golden_payload(workers=args.workers)
+    if args.regen:
+        goldens.save_golden(goldens.canonical(payload), path)
+        print(f"golden fixture written to {path}")
+        return 0
+    if not path.exists():
+        print(f"no golden fixture at {path}; run with --regen first")
+        return 1
+    mismatches = goldens.compare_golden(payload, goldens.load_golden(path))
+    if not mismatches:
+        print(f"golden fixture {path}: bit-exact")
+        return 0
+    print(f"golden fixture {path} DIVERGED:")
+    for line in mismatches[:20]:
+        print(f"  {line}")
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="differential verification of fast/reference pairs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered oracles").set_defaults(
+        func=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="sweep random cases through oracles")
+    run.add_argument("oracles", nargs="*", help="oracle names (default: all)")
+    run.add_argument("--examples", type=int, default=25)
+    run.add_argument("--seed", type=int, default=0, help="base case seed")
+    run.add_argument(
+        "--expensive",
+        action="store_true",
+        help="include expensive oracles when none are named",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    replay = sub.add_parser("replay", help="re-run one failing case")
+    replay.add_argument("oracle")
+    replay.add_argument("--case-seed", type=int, required=True)
+    replay.set_defaults(func=_cmd_replay)
+
+    golden = sub.add_parser("golden", help="check or regenerate the fixture")
+    golden.add_argument("--regen", action="store_true")
+    golden.add_argument("--path", default=str(DEFAULT_GOLDEN))
+    golden.add_argument(
+        "--workers", type=int, default=None, help="default: REVEAL_WORKERS or 1"
+    )
+    golden.set_defaults(func=_cmd_golden)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,185 @@
+"""Structural comparison machinery for differential verification.
+
+The oracle harness needs one comparator that can diff whatever a
+fast/reference pair returns — machine-state dicts, ``(samples, starts)``
+tuples, template dictionaries, nested dataclasses — and report *where*
+the first divergence lives, not just that one exists.  ``diff_values``
+walks both structures in lockstep and returns human-readable mismatch
+paths (``registers[13]``, ``templates.means[-3][7]``...); ``Tolerance``
+decides whether two float leaves are "equal" (exact by default, or an
+``allclose``-style rtol/atol envelope for pairs that are only pinned up
+to float reassociation, like the streaming profiling moments).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Any, List
+
+import numpy as np
+
+from repro.errors import VerificationError
+
+#: Cap on reported mismatches so a totally-divergent array does not
+#: produce a million lines; the first few localise the bug.
+MAX_MISMATCHES = 10
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Float comparison envelope.  ``rtol == atol == 0`` means bit-exact.
+
+    NaNs are always treated as equal to NaNs — a pair that both produce
+    NaN at the same leaf agrees (the divergence worth reporting is one
+    side producing NaN and the other a number).
+
+    ``overrides`` widens (or tightens) the envelope for specific
+    sub-structures: a tuple of ``(path_substring, Tolerance)`` pairs,
+    first match wins.  This is for leaves whose error model genuinely
+    differs from the rest of the result — e.g. per-class precision
+    matrices, where inverting a covariance estimated from a handful of
+    profiling slices amplifies last-bit input differences by the
+    condition number.
+    """
+
+    rtol: float = 0.0
+    atol: float = 0.0
+    overrides: tuple = ()
+
+    @property
+    def exact(self) -> bool:
+        return self.rtol == 0.0 and self.atol == 0.0
+
+    def for_path(self, path: str) -> "Tolerance":
+        """The envelope that applies at ``path``."""
+        for needle, tolerance in self.overrides:
+            if needle in path:
+                return tolerance
+        return self
+
+    def floats_equal(self, a: float, b: float) -> bool:
+        if math.isnan(a) or math.isnan(b):
+            return math.isnan(a) and math.isnan(b)
+        if self.exact:
+            return a == b
+        return abs(a - b) <= self.atol + self.rtol * abs(b)
+
+    def arrays_equal(self, a: np.ndarray, b: np.ndarray) -> bool:
+        if self.exact:
+            return bool(np.array_equal(a, b, equal_nan=True))
+        return bool(np.allclose(a, b, rtol=self.rtol, atol=self.atol, equal_nan=True))
+
+
+EXACT = Tolerance()
+
+
+def _array_mismatches(
+    a: np.ndarray, b: np.ndarray, tolerance: Tolerance, path: str
+) -> List[str]:
+    if a.shape != b.shape:
+        return [f"{path}: shape {a.shape} != {b.shape}"]
+    tolerance = tolerance.for_path(path)
+    if tolerance.arrays_equal(a, b):
+        return []
+    if a.dtype.kind in "fc" or b.dtype.kind in "fc":
+        af = np.asarray(a, dtype=np.float64)
+        bf = np.asarray(b, dtype=np.float64)
+        both_nan = np.isnan(af) & np.isnan(bf)
+        if tolerance.exact:
+            bad = ~((af == bf) | both_nan)
+        else:
+            with np.errstate(invalid="ignore"):
+                bad = ~(
+                    (np.abs(af - bf) <= tolerance.atol + tolerance.rtol * np.abs(bf))
+                    | both_nan
+                )
+    else:
+        bad = a != b
+    out = []
+    for index in np.argwhere(bad)[:MAX_MISMATCHES]:
+        key = tuple(int(i) for i in index)
+        spot = key[0] if len(key) == 1 else key
+        out.append(f"{path}[{spot}]: {a[key]!r} != {b[key]!r}")
+    remaining = int(bad.sum()) - len(out)
+    if remaining > 0:
+        out.append(f"{path}: ... and {remaining} more differing elements")
+    return out
+
+
+def diff_values(
+    fast: Any, reference: Any, tolerance: Tolerance = EXACT, path: str = "value"
+) -> List[str]:
+    """All mismatch paths between two result structures (empty == equal).
+
+    Handles numpy arrays, dicts, sequences, dataclasses, floats (via
+    ``tolerance``) and arbitrary ``==``-comparable leaves.  Containers
+    of different shapes or types report one mismatch at the container
+    path rather than recursing.
+    """
+    if fast is None or reference is None:
+        return [] if fast is None and reference is None else [
+            f"{path}: {type(fast).__name__} != {type(reference).__name__}"
+        ]
+    if isinstance(fast, np.ndarray) or isinstance(reference, np.ndarray):
+        return _array_mismatches(
+            np.asarray(fast), np.asarray(reference), tolerance, path
+        )
+    if dataclasses.is_dataclass(fast) and not isinstance(fast, type):
+        if type(fast) is not type(reference):
+            return [f"{path}: {type(fast).__name__} != {type(reference).__name__}"]
+        out: List[str] = []
+        for field in dataclasses.fields(fast):
+            out.extend(
+                diff_values(
+                    getattr(fast, field.name),
+                    getattr(reference, field.name),
+                    tolerance,
+                    f"{path}.{field.name}",
+                )
+            )
+        return out
+    if isinstance(fast, dict) and isinstance(reference, dict):
+        out = []
+        missing = sorted(set(reference) - set(fast), key=repr)
+        extra = sorted(set(fast) - set(reference), key=repr)
+        if missing:
+            out.append(f"{path}: missing keys {missing}")
+        if extra:
+            out.append(f"{path}: unexpected keys {extra}")
+        for key in fast:
+            if key in reference:
+                out.extend(
+                    diff_values(fast[key], reference[key], tolerance, f"{path}[{key!r}]")
+                )
+        return out
+    if isinstance(fast, (list, tuple)) and isinstance(reference, (list, tuple)):
+        if len(fast) != len(reference):
+            return [f"{path}: length {len(fast)} != {len(reference)}"]
+        out = []
+        for i, (a, b) in enumerate(zip(fast, reference)):
+            out.extend(diff_values(a, b, tolerance, f"{path}[{i}]"))
+        return out
+    if isinstance(fast, float) or isinstance(reference, float):
+        if tolerance.for_path(path).floats_equal(float(fast), float(reference)):
+            return []
+        return [f"{path}: {fast!r} != {reference!r}"]
+    if fast == reference:
+        return []
+    return [f"{path}: {fast!r} != {reference!r}"]
+
+
+def assert_equivalent(
+    fast: Any,
+    reference: Any,
+    tolerance: Tolerance = EXACT,
+    context: str = "",
+) -> None:
+    """Raise :class:`~repro.errors.VerificationError` on any divergence."""
+    mismatches = diff_values(fast, reference, tolerance)
+    if mismatches:
+        header = f"fast/reference divergence ({context}):" if context else (
+            "fast/reference divergence:"
+        )
+        raise VerificationError("\n".join([header, *mismatches]))

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.attack.cpa import (
     correlation_trace,
@@ -88,3 +90,70 @@ class TestDeviceLeakage:
         slices, values = corpus
         with pytest.raises(AttackError):
             locate_value_leakage(slices, values, model="magic")
+
+
+seeds = st.integers(0, 2**31 - 1)
+
+
+class TestCorrelationProperties:
+    """Hypothesis sweeps over the Pearson-correlation invariants."""
+
+    @given(seeds)
+    def test_bounded_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        traces = rng.normal(0.0, 1.0, (12, 40))
+        predictions = rng.normal(0.0, 1.0, 12)
+        rho = correlation_trace(traces, predictions)
+        assert np.all(np.abs(rho) <= 1.0 + 1e-12)
+
+    @given(seeds)
+    def test_affine_invariance_of_predictions(self, seed):
+        # Pearson correlation is invariant under positive affine maps
+        # of either argument.
+        rng = np.random.default_rng(seed)
+        traces = rng.normal(0.0, 1.0, (10, 24))
+        predictions = rng.normal(0.0, 1.0, 10)
+        rho = correlation_trace(traces, predictions)
+        scaled = correlation_trace(traces, 3.5 * predictions + 11.0)
+        assert np.allclose(rho, scaled, atol=1e-12)
+
+    @given(seeds)
+    def test_perfect_leak_correlates_to_one(self, seed):
+        rng = np.random.default_rng(seed)
+        predictions = rng.normal(0.0, 1.0, 16)
+        traces = rng.normal(0.0, 0.001, (16, 8))
+        traces[:, 3] = 2.0 * predictions + 7.0  # exact linear leak
+        rho = correlation_trace(traces, predictions)
+        assert rho[3] > 0.999999
+        assert int(np.argmax(np.abs(rho))) == 3
+
+    @given(seeds)
+    def test_negating_predictions_flips_sign(self, seed):
+        rng = np.random.default_rng(seed)
+        traces = rng.normal(0.0, 1.0, (10, 24))
+        predictions = rng.normal(0.0, 1.0, 10)
+        assert np.allclose(
+            correlation_trace(traces, predictions),
+            -correlation_trace(traces, -predictions),
+            atol=1e-12,
+        )
+
+
+class TestLocateValueLeakage:
+    def test_peaks_are_sorted_and_within_slice(self):
+        rng = np.random.default_rng(4)
+        values = list(rng.integers(-14, 15, 20))
+        slices = rng.normal(0.0, 1.0, (20, 30))
+        slices[:, 11] += np.array(hamming_weight_predictions(values), dtype=float)
+        rho, peaks = locate_value_leakage(slices, values, model="hw", top=5)
+        assert len(rho) == 30
+        assert peaks == sorted(peaks)
+        assert all(0 <= p < 30 for p in peaks)
+        assert 11 in peaks
+
+    def test_top_is_clamped_to_slice_length(self):
+        rng = np.random.default_rng(5)
+        values = list(rng.integers(-14, 15, 12))
+        slices = rng.normal(0.0, 1.0, (12, 6))
+        _, peaks = locate_value_leakage(slices, values, top=50)
+        assert len(peaks) == 6

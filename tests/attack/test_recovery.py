@@ -113,3 +113,37 @@ class TestEndToEndWithDevice:
         # decrypts correctly and e2 recovery works
         assert decryptor.decrypt(ct) == m
         assert recover_message(ctx, ct, pk, run2.values) == m
+
+
+class TestRecoveryProperties:
+    """Property sweep: equations (2)-(3) invert encryption for any seed."""
+
+    def test_recovery_roundtrip_over_seeds(self, setup):
+        ctx, pk, _, _ = setup
+        for seed in range(12):
+            m, ct, art = encrypt_with_artifacts(setup, seed=seed)
+            u = recover_u(ctx, ct, pk, art.e2)
+            assert u.to_centered_coeffs() == art.u
+            assert recover_message(ctx, ct, pk, art.e2) == m
+            assert recovery_is_plausible(ctx, ct, pk, art.e2)
+
+    def test_implied_e1_matches_artifacts(self, setup):
+        ctx, pk, _, _ = setup
+        m, ct, art = encrypt_with_artifacts(setup, seed=31)
+        e1 = residual_e1(ctx, ct, pk, art.e2, m)
+        assert e1 == list(art.e1)
+
+    def test_single_symbol_corruption_is_detected(self, setup):
+        # Flipping one recovered e2 coefficient must break plausibility
+        # (the implied u stops being ternary) in the common case - the
+        # keyless self-check the paper relies on to reject bad traces.
+        ctx, pk, _, _ = setup
+        detected = 0
+        trials = 8
+        for seed in range(trials):
+            _, ct, art = encrypt_with_artifacts(setup, seed=seed + 50)
+            corrupted = list(art.e2)
+            corrupted[seed % ctx.n] += 7
+            if not recovery_is_plausible(ctx, ct, pk, corrupted):
+                detected += 1
+        assert detected >= trials - 1

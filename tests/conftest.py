@@ -1,0 +1,57 @@
+"""Repo-wide test configuration: Hypothesis tiers and golden regen.
+
+Two Hypothesis profiles implement the quick/deep testing tiers:
+
+- ``quick`` (default): small deterministic example budgets, suitable
+  for every push — the whole suite stays under the CI time floor.
+- ``deep`` (``REVEAL_DEEP=1``): 250+ examples per property, run on the
+  scheduled CI job.  Both profiles are **derandomized** so a CI failure
+  reproduces locally from the printed blob or, for oracle-driven
+  differential tests, from the ``python -m repro.verify replay``
+  command embedded in the failure notes.
+
+``--regen-goldens`` switches the golden-fixture tests from comparing
+to rewriting ``tests/golden/*.json`` (use after an intentional
+behaviour change, then commit the diff).
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+#: True on the scheduled deep tier (REVEAL_DEEP=1).
+DEEP = os.environ.get("REVEAL_DEEP", "") not in ("", "0")
+
+_COMMON = dict(
+    deadline=None,
+    derandomize=True,
+    print_blob=True,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        HealthCheck.filter_too_much,
+    ],
+)
+settings.register_profile("quick", max_examples=25, **_COMMON)
+settings.register_profile("deep", max_examples=250, **_COMMON)
+settings.load_profile("deep" if DEEP else "quick")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite golden JSON fixtures instead of comparing",
+    )
+
+
+@pytest.fixture(scope="session")
+def regen_goldens(request):
+    return request.config.getoption("--regen-goldens")
+
+
+@pytest.fixture(scope="session")
+def deep_tier():
+    return DEEP

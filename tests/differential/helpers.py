@@ -1,0 +1,14 @@
+"""Shared assertion helper for the differential suites."""
+
+from repro.verify.oracles import OracleReport
+
+
+def assert_ok(report: OracleReport) -> None:
+    """Fail with the mismatch paths and, when seeded, the replay command."""
+    if report.ok:
+        return
+    lines = [f"{report.oracle} diverged ({report.case_summary})"]
+    if report.case_seed >= 0:
+        lines.append(f"replay: {report.repro_command()}")
+    lines.extend(report.mismatches[:10])
+    raise AssertionError("\n".join(lines))

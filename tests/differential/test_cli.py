@@ -1,0 +1,68 @@
+"""The ``python -m repro.verify`` CLI, driven in-process."""
+
+import json
+
+import pytest
+
+from repro.verify.__main__ import main
+
+
+def test_list_names_every_oracle(capsys):
+    assert main(["list"]) == 0
+    output = capsys.readouterr().out
+    for name in ("cpu.run", "leakage.expand", "ring.ntt", "attack.profile"):
+        assert name in output
+    assert "[expensive]" in output
+
+
+def test_run_selected_oracles(capsys):
+    exit_code = main(
+        ["run", "segmentation.moving_average", "leakage.expand",
+         "--examples", "3", "--seed", "11"]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "segmentation.moving_average: 3 cases, ok" in output
+    assert "leakage.expand: 3 cases, ok" in output
+
+
+def test_run_default_skips_expensive(capsys):
+    assert main(["run", "--examples", "1"]) == 0
+    assert "attack.profile" not in capsys.readouterr().out
+
+
+def test_replay_passing_case(capsys):
+    assert main(["replay", "leakage.expand", "--case-seed", "3"]) == 0
+    assert "fast == reference" in capsys.readouterr().out
+
+
+def test_replay_unknown_oracle_raises():
+    from repro.errors import VerificationError
+
+    with pytest.raises(VerificationError, match="unknown oracle"):
+        main(["replay", "bogus.oracle", "--case-seed", "1"])
+
+
+def test_golden_regen_then_check(tmp_path, capsys):
+    path = tmp_path / "golden.json"
+    assert main(["golden", "--regen", "--path", str(path), "--workers", "1"]) == 0
+    assert path.exists()
+    payload = json.loads(path.read_text())
+    assert payload["table1"]["sign_accuracy"] == 1.0
+    assert main(["golden", "--path", str(path), "--workers", "1"]) == 0
+    assert "bit-exact" in capsys.readouterr().out
+
+
+def test_golden_missing_fixture_fails(tmp_path, capsys):
+    assert main(["golden", "--path", str(tmp_path / "absent.json")]) == 1
+    assert "--regen" in capsys.readouterr().out
+
+
+def test_golden_detects_divergence(tmp_path, capsys):
+    path = tmp_path / "golden.json"
+    assert main(["golden", "--regen", "--path", str(path), "--workers", "1"]) == 0
+    payload = json.loads(path.read_text())
+    payload["table1"]["sign_accuracy"] = 0.25
+    path.write_text(json.dumps(payload))
+    assert main(["golden", "--path", str(path), "--workers", "1"]) == 1
+    assert "DIVERGED" in capsys.readouterr().out

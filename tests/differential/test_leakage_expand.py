@@ -1,0 +1,42 @@
+"""Differential: vectorized leakage expansion vs the scalar reference.
+
+The vectorized path builds the whole trace with numpy gathers; parity
+with the per-event loop must be bit-exact float64, including for empty
+event lists and corner-valued operands (Hamming weights of 0 and 32).
+"""
+
+import numpy as np
+from hypothesis import given
+
+from repro.power.leakage import LeakageModel
+from repro.verify.oracles import get_oracle, sample_events
+from tests.differential.helpers import assert_ok
+from tests.strategies import case_seeds, leakage_cases
+
+ORACLE = get_oracle("leakage.expand")
+
+
+@given(leakage_cases())
+def test_expand_matches_reference(case):
+    assert_ok(ORACLE.check_case(case))
+
+
+@given(case_seeds)
+def test_expand_matches_reference_seeded(seed):
+    assert_ok(ORACLE.check_seed(seed))
+
+
+def test_empty_event_list():
+    model = LeakageModel()
+    samples, starts = model.expand([])
+    ref_samples, ref_starts = model.expand_reference([])
+    assert samples.shape == ref_samples.shape == (0,)
+    assert np.array_equal(starts, ref_starts)
+
+
+def test_starts_index_event_boundaries():
+    events = sample_events(np.random.default_rng(7), max_events=30)
+    samples, starts = LeakageModel().expand(events)
+    assert len(starts) == len(events)
+    assert all(0 <= s <= len(samples) for s in starts)
+    assert list(starts) == sorted(starts)

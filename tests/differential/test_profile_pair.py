@@ -1,0 +1,36 @@
+"""Differential: streaming-moments profiling vs the materialized flow.
+
+The streaming path (Welford/Chan merges, batched noise) must land
+within 1e-9 of the reference that materialises every slice — over
+random standardize/pooled configurations and profiling scales — except
+for the *inverted* per-class template blocks, where the covariance is
+estimated from only a handful of slices and inversion amplifies the
+last-bit moment differences by the condition number (the oracle gives
+those leaves condition-number headroom; see `_PROFILE_TOLERANCE`).
+Each case profiles twice end to end, so the quick tier runs a couple
+and the deep tier a larger sweep.
+"""
+
+from repro.verify.oracles import get_oracle
+from tests.conftest import DEEP
+from tests.differential.helpers import assert_ok
+
+ORACLE = get_oracle("attack.profile")
+
+EXAMPLES = 12 if DEEP else 2
+
+
+def test_profile_matches_reference_seeded():
+    for seed in range(EXAMPLES):
+        assert_ok(ORACLE.check_seed(seed))
+
+
+def test_ill_conditioned_per_class_precision_counterexample():
+    # Deep-sweep counterexample: 26x4 traces, standardize=True,
+    # pooled=False.  A per-class precision entry drifted ~3e-9 relative
+    # between the streaming and materialized paths — beyond the raw
+    # 1e-9 moment envelope, because the class covariance built from so
+    # few slices is ill-conditioned and its inverse magnifies last-bit
+    # input differences.  Pinned so the override tolerance keeps
+    # covering it.
+    assert_ok(ORACLE.check_seed(8))

@@ -1,0 +1,34 @@
+"""Fixtures for the algebraic property suites: a toy BFV deployment."""
+
+import pytest
+
+from repro.bfv.decryptor import Decryptor
+from repro.bfv.encryptor import Encryptor
+from repro.bfv.evaluator import Evaluator
+from repro.bfv.keygen import KeyGenerator
+from repro.bfv.params import BfvContext
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return BfvContext.toy(poly_degree=64, plain_modulus=17)
+
+
+@pytest.fixture(scope="session")
+def keygen(ctx):
+    return KeyGenerator(ctx, rng=4321)
+
+
+@pytest.fixture(scope="session")
+def encryptor(ctx, keygen):
+    return Encryptor(ctx, keygen.public_key())
+
+
+@pytest.fixture(scope="session")
+def decryptor(ctx, keygen):
+    return Decryptor(ctx, keygen.secret_key())
+
+
+@pytest.fixture(scope="session")
+def evaluator(ctx):
+    return Evaluator(ctx)

@@ -1,0 +1,89 @@
+"""Algebraic properties of the ring layer: CRT and NTT laws.
+
+The oracles pin fast-vs-reference; these pin both against the algebra
+itself — CRT compose/decompose are mutually inverse over random bases,
+the NTT is linear and invertible, and the negacyclic convolution
+theorem holds through the full multiply pipeline.
+"""
+
+import random
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ring.ntt import get_ntt_context
+from repro.ring.rns import RnsBasis
+from repro.verify.oracles import schoolbook_negacyclic_multiply
+from tests.strategies import ntt_cases, rns_bases
+
+value_seeds = st.integers(0, 2**31 - 1)
+
+
+class TestCrt:
+    @given(rns_bases(), value_seeds)
+    def test_decompose_compose_roundtrip(self, primes, seed):
+        basis = RnsBasis(primes)
+        # basis.product can exceed int64; draw big ints in pure Python.
+        rng = random.Random(seed)
+        for value in (0, 1, basis.product - 1, rng.randrange(basis.product)):
+            assert basis.compose_int(basis.decompose_int(value)) == value
+
+    @given(rns_bases(), value_seeds)
+    def test_array_roundtrip_matches_scalar(self, primes, seed):
+        basis = RnsBasis(primes)
+        rng = random.Random(seed)
+        values = [rng.randrange(basis.product) for _ in range(16)]
+        residues = basis.decompose_array(values)
+        assert basis.compose_array(residues) == values
+        for column, value in zip(residues.T, values):
+            assert list(column) == basis.decompose_int(value)
+
+    @given(rns_bases())
+    def test_residues_are_reductions(self, primes):
+        basis = RnsBasis(primes)
+        value = basis.product - 12345 if basis.product > 12345 else 1
+        for residue, modulus in zip(basis.decompose_int(value), primes):
+            assert residue == value % modulus.value
+
+
+class TestNttLaws:
+    @given(ntt_cases())
+    def test_linearity(self, case):
+        context = get_ntt_context(case["modulus"], case["n"])
+        q = case["modulus"].value
+        lhs = context.forward((case["a"] + case["b"]) % q)
+        rhs = (context.forward(case["a"]) + context.forward(case["b"])) % q
+        assert np.array_equal(lhs, rhs)
+
+    @given(ntt_cases())
+    def test_forward_inverse_identity_both_ways(self, case):
+        context = get_ntt_context(case["modulus"], case["n"])
+        assert np.array_equal(
+            context.inverse(context.forward(case["a"])), case["a"]
+        )
+        assert np.array_equal(
+            context.forward(context.inverse(case["b"])), case["b"]
+        )
+
+    @given(ntt_cases())
+    def test_convolution_theorem(self, case):
+        context = get_ntt_context(case["modulus"], case["n"])
+        assert np.array_equal(
+            context.multiply(case["a"], case["b"]),
+            schoolbook_negacyclic_multiply(
+                case["a"], case["b"], case["modulus"].value
+            ),
+        )
+
+    @given(ntt_cases())
+    def test_multiply_by_x_rotates_with_sign(self, case):
+        # a(x) * x in Z_q[x]/(x^n + 1): shift right, wraparound negates.
+        context = get_ntt_context(case["modulus"], case["n"])
+        q = case["modulus"].value
+        x = np.zeros(case["n"], dtype=np.int64)
+        x[1] = 1
+        rotated = context.multiply(case["a"], x)
+        expected = np.roll(case["a"], 1)
+        expected[0] = (-expected[0]) % q
+        assert np.array_equal(rotated, expected)
