@@ -1,0 +1,159 @@
+"""Lane-engine throughput benchmark: batched capture vs threaded.
+
+Measures traces/second of the lane-vectorized engine at lane widths
+L in {1, 16, 64} against the threaded single-lane baseline, at both
+the device level (``run_lanes``, the raw emulation rate) and the
+capture level (``capture_batch(engine="lanes")``, the end-to-end rate
+the campaign engine sees: emulation + leakage expansion + noise).
+Per-lane results are bit-identical to the threaded engine (the
+``cpu.run_lanes`` oracle and tests/differential/test_lanes.py), so
+this is a pure throughput comparison.
+
+The capture pipeline is dominated by stages both engines share —
+leakage expansion and the per-trace scope-noise stream — so the
+end-to-end L=64 speedup is bounded well below the raw emulation gain
+(Amdahl); measured numbers live in benchmarks/BENCH_core.json under
+"lanes".  ``--quick`` is the CI smoke: it requires L=64 capture to
+stay at or above the threaded baseline, with a small tolerance so one
+noisy shared-runner rep cannot flake the build.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_lanes.py            # full (5 reps)
+    PYTHONPATH=src python benchmarks/bench_lanes.py --quick    # CI smoke (1 rep)
+    PYTHONPATH=src python benchmarks/bench_lanes.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict
+
+from repro.power.capture import TraceAcquisition
+from repro.power.scope import Oscilloscope
+from repro.riscv.device import GaussianSamplerDevice
+
+MODULI = [0xFFEE001, 0xFFC4001, 0x7FE2001, 0x7F54001]
+TRACES = 64
+COUNT = 8
+FIRST_SEED = 1000
+LANE_WIDTHS = (1, 16, 64)
+
+
+def bench_device(repetitions: int) -> Dict[str, float]:
+    """Raw emulation rate: traces/second of run_lanes vs run.
+
+    Configurations are interleaved within each repetition (threaded,
+    then every lane width) so the reported speedup compares both
+    engines under the same instantaneous machine conditions — on a
+    shared container the absolute rates drift far more between phases
+    than between back-to-back runs.
+    """
+    device = GaussianSamplerDevice(MODULI)
+    seeds = list(range(FIRST_SEED, FIRST_SEED + TRACES))
+    results: Dict[str, float] = {}
+
+    device.run(seeds[0], COUNT)  # warm the threaded translation cache
+    for width in LANE_WIDTHS:
+        device.run_lanes(seeds[:width], COUNT)  # warm the lane block cache
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        for seed in seeds:
+            device.run(seed, COUNT)
+        rate = TRACES / (time.perf_counter() - start)
+        key = "threaded_traces_per_s"
+        results[key] = round(max(results.get(key, 0.0), rate), 1)
+        for width in LANE_WIDTHS:
+            start = time.perf_counter()
+            for i in range(0, TRACES, width):
+                device.run_lanes(seeds[i : i + width], COUNT)
+            rate = TRACES / (time.perf_counter() - start)
+            key = f"lanes{width}_traces_per_s"
+            results[key] = round(max(results.get(key, 0.0), rate), 1)
+    results["speedup_lanes64_vs_threaded"] = round(
+        results["lanes64_traces_per_s"] / results["threaded_traces_per_s"], 2
+    )
+    return results
+
+
+def bench_capture(repetitions: int) -> Dict[str, float]:
+    """End-to-end capture rate: emulation + expansion + scope noise.
+
+    Interleaved like :func:`bench_device`, for the same reason: the
+    lanes-vs-threaded ratio is the guarded quantity and must compare
+    like-for-like machine conditions.
+    """
+    bench = TraceAcquisition(
+        GaussianSamplerDevice(MODULI), scope=Oscilloscope(noise_std=1.0), rng=0
+    )
+    results: Dict[str, float] = {}
+    configs = [("threaded", {})] + [
+        (f"lanes{width}", {"engine": "lanes", "lanes": width})
+        for width in LANE_WIDTHS
+    ]
+
+    for _, kwargs in configs:  # warm caches once per configuration
+        bench.capture_batch(TRACES, coeffs_per_trace=COUNT,
+                            first_seed=FIRST_SEED, **kwargs)
+    for _ in range(repetitions):
+        for name, kwargs in configs:
+            start = time.perf_counter()
+            bench.capture_batch(TRACES, coeffs_per_trace=COUNT,
+                                first_seed=FIRST_SEED, **kwargs)
+            rate = TRACES / (time.perf_counter() - start)
+            key = f"{name}_traces_per_s"
+            results[key] = round(max(results.get(key, 0.0), rate), 1)
+    results["speedup_lanes64_vs_threaded"] = round(
+        results["lanes64_traces_per_s"] / results["threaded_traces_per_s"], 2
+    )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repetitions", type=int, default=5, help="timed repetitions per case"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: 1 repetition + L=64-beats-threaded guard",
+    )
+    parser.add_argument("--json", metavar="PATH", help="also write results as JSON")
+    args = parser.parse_args(argv)
+    repetitions = 1 if args.quick else args.repetitions
+
+    device = bench_device(repetitions)
+    capture = bench_capture(repetitions)
+
+    print(f"Lane engine ({TRACES} traces x {COUNT} coefficients, traces/sec, "
+          f"best of {repetitions}):")
+    print("  device level (run_lanes):")
+    for key in ("threaded", *(f"lanes{w}" for w in LANE_WIDTHS)):
+        print(f"    {key:10s} {device[f'{key}_traces_per_s']:>10,.0f}")
+    print(f"    speedup L=64 vs threaded {device['speedup_lanes64_vs_threaded']:.2f}x")
+    print("  capture level (capture_batch):")
+    for key in ("threaded", *(f"lanes{w}" for w in LANE_WIDTHS)):
+        print(f"    {key:10s} {capture[f'{key}_traces_per_s']:>10,.0f}")
+    print(f"    speedup L=64 vs threaded {capture['speedup_lanes64_vs_threaded']:.2f}x")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"device": device, "capture": capture}, fh, indent=2)
+        print(f"wrote {args.json}")
+
+    # Guard: lanes at L=64 must not fall below the threaded baseline.
+    # 0.9 rather than 1.0 because one CI repetition on a shared runner
+    # jitters by ~10%; a real regression (lanes losing its batching
+    # advantage) lands far below this.
+    if args.quick and capture["speedup_lanes64_vs_threaded"] < 0.9:
+        print("REGRESSION: lanes L=64 capture throughput fell below the "
+              "threaded single-lane baseline", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,7 +41,8 @@ from repro.attack.metrics import ConfusionMatrix
 from repro.attack.pipeline import ProfilingReport, SingleTraceAttack
 from repro.attack.persistence import load_attack, save_attack
 from repro.errors import AttackError
-from repro.power.capture import _capture_one
+from repro.power.capture import CapturedTrace, _capture_lane_chunk, _capture_one
+from repro.riscv.device import resolve_engine
 
 #: Timing stages reported by the campaign workers, in pipeline order.
 STAGES = ("capture", "segment", "classify", "score")
@@ -79,6 +80,7 @@ class CampaignReport:
     timings: Dict[str, float]
     wall_seconds: float
     workers: int
+    engine: str = "threaded"
 
     @property
     def coefficients_per_second(self) -> float:
@@ -103,7 +105,10 @@ class CampaignReport:
     def format_timings(self) -> str:
         """Per-stage timing table (summed worker seconds + wall clock)."""
         busy = sum(self.timings.get(stage, 0.0) for stage in STAGES)
-        lines = [f"per-stage timings ({self.workers} worker(s)):"]
+        lines = [
+            f"per-stage timings ({self.workers} worker(s), "
+            f"{self.engine} engine):"
+        ]
         for stage in STAGES:
             seconds = self.timings.get(stage, 0.0)
             share = 100.0 * seconds / max(busy, 1e-12)
@@ -128,16 +133,56 @@ class CampaignReport:
 
 
 def _attack_seed(
-    attack: SingleTraceAttack, seed: int, count: int, entropy: int
+    attack: SingleTraceAttack,
+    seed: int,
+    count: int,
+    entropy: int,
+    engine: str = "threaded",
 ) -> SeedOutcome:
     """The whole per-seed chain, shared by the serial path and workers."""
     acquisition = attack.acquisition
-    timings: Dict[str, float] = {}
     tick = time.perf_counter()
     captured = _capture_one(
-        acquisition.device, acquisition.leakage, acquisition.scope, seed, count, entropy
+        acquisition.device,
+        acquisition.leakage,
+        acquisition.scope,
+        seed,
+        count,
+        entropy,
+        engine=engine,
     )
-    timings["capture"] = time.perf_counter() - tick
+    return _attack_captured(attack, captured, time.perf_counter() - tick)
+
+
+def _attack_lane_chunk(
+    attack: SingleTraceAttack, seeds, count: int, entropy: int
+) -> List[SeedOutcome]:
+    """Capture a whole lane chunk at once, then attack each trace.
+
+    The chunk's capture wall time is split evenly across its traces so
+    the aggregated per-stage timings stay comparable to the scalar
+    path's per-seed accounting.
+    """
+    acquisition = attack.acquisition
+    tick = time.perf_counter()
+    captures = _capture_lane_chunk(
+        acquisition.device,
+        acquisition.leakage,
+        acquisition.scope,
+        list(seeds),
+        count,
+        entropy,
+    )
+    share = (time.perf_counter() - tick) / max(len(captures), 1)
+    return [_attack_captured(attack, captured, share) for captured in captures]
+
+
+def _attack_captured(
+    attack: SingleTraceAttack, captured: CapturedTrace, capture_seconds: float
+) -> SeedOutcome:
+    """Segment, classify and score one captured trace."""
+    seed = captured.seed
+    timings: Dict[str, float] = {"capture": capture_seconds}
 
     tick = time.perf_counter()
     try:
@@ -191,9 +236,16 @@ def _campaign_init(attack: SingleTraceAttack, entropy: int) -> None:
 
 
 def _campaign_worker(args) -> SeedOutcome:
-    seed, count = args
+    seed, count, engine = args
     return _attack_seed(
-        _CAMPAIGN_STATE["attack"], seed, count, _CAMPAIGN_STATE["entropy"]
+        _CAMPAIGN_STATE["attack"], seed, count, _CAMPAIGN_STATE["entropy"], engine
+    )
+
+
+def _campaign_lane_worker(args) -> List[SeedOutcome]:
+    seeds, count = args
+    return _attack_lane_chunk(
+        _CAMPAIGN_STATE["attack"], seeds, count, _CAMPAIGN_STATE["entropy"]
     )
 
 
@@ -203,6 +255,8 @@ def run_campaign(
     coeffs_per_trace: int = 8,
     first_seed: int = 1,
     workers: Optional[int] = None,
+    engine: Optional[str] = None,
+    lanes: Optional[int] = None,
 ) -> CampaignReport:
     """Attack ``trace_count`` fresh executions, optionally in parallel.
 
@@ -212,26 +266,67 @@ def run_campaign(
     order.  Traces that fail to segment are recorded in
     ``report.failures`` and excluded from the statistics, as in the
     serial :func:`repro.attack.evaluation.run_campaign`.
+
+    ``engine`` picks the capture execution engine (``None`` defers to
+    the bench's setting, then ``REVEAL_ENGINE``, then threaded);
+    ``engine="lanes"`` captures ``lanes`` seeds per lock-step batch —
+    composing with ``workers``, which then fan out whole chunks — and
+    still produces the identical report.
     """
     if attack.templates is None or attack.branch_classifier is None:
         raise AttackError("profile() must run before a campaign")
-    entropy = attack.acquisition.batch_entropy()
-    tasks = [(first_seed + i, coeffs_per_trace) for i in range(trace_count)]
+    acquisition = attack.acquisition
+    engine = resolve_engine(
+        engine if engine is not None else getattr(acquisition, "engine", None)
+    )
+    entropy = acquisition.batch_entropy()
     start = time.perf_counter()
-    if workers is None or workers <= 1 or trace_count <= 1:
-        pool_size = 1
-        results = [
-            _attack_seed(attack, seed, count, entropy) for seed, count in tasks
+    if engine == "lanes":
+        width = getattr(acquisition, "lanes", 64) if lanes is None else int(lanes)
+        if width < 1:
+            raise AttackError(f"lanes must be >= 1, got {width}")
+        seeds = [first_seed + i for i in range(trace_count)]
+        lane_tasks = [
+            (tuple(seeds[i : i + width]), coeffs_per_trace)
+            for i in range(0, trace_count, width)
         ]
+        if workers is None or workers <= 1 or len(lane_tasks) <= 1:
+            pool_size = 1
+            chunks = [
+                _attack_lane_chunk(attack, chunk_seeds, count, entropy)
+                for chunk_seeds, count in lane_tasks
+            ]
+        else:
+            pool_size = min(workers, len(lane_tasks), (os.cpu_count() or 1) * 4)
+            with ProcessPoolExecutor(
+                max_workers=pool_size,
+                initializer=_campaign_init,
+                initargs=(attack, entropy),
+            ) as pool:
+                chunk = max(1, len(lane_tasks) // (pool_size * 4))
+                chunks = list(
+                    pool.map(_campaign_lane_worker, lane_tasks, chunksize=chunk)
+                )
+        results = [outcome for chunk_results in chunks for outcome in chunk_results]
     else:
-        pool_size = min(workers, trace_count, (os.cpu_count() or 1) * 4)
-        with ProcessPoolExecutor(
-            max_workers=pool_size,
-            initializer=_campaign_init,
-            initargs=(attack, entropy),
-        ) as pool:
-            chunk = max(1, trace_count // (pool_size * 4))
-            results = list(pool.map(_campaign_worker, tasks, chunksize=chunk))
+        tasks = [
+            (first_seed + i, coeffs_per_trace, engine) for i in range(trace_count)
+        ]
+        if workers is None or workers <= 1 or trace_count <= 1:
+            pool_size = 1
+            results = [
+                _attack_seed(attack, seed, count, entropy, task_engine)
+                for seed, count, task_engine in tasks
+            ]
+        else:
+            pool_size = min(workers, trace_count, (os.cpu_count() or 1) * 4)
+            with ProcessPoolExecutor(
+                max_workers=pool_size,
+                initializer=_campaign_init,
+                initargs=(attack, entropy),
+            ) as pool:
+                chunk = max(1, trace_count // (pool_size * 4))
+                results = list(pool.map(_campaign_worker, tasks, chunksize=chunk))
     wall = time.perf_counter() - start
 
     confusion = ConfusionMatrix()
@@ -267,6 +362,7 @@ def run_campaign(
         timings=timings,
         wall_seconds=wall,
         workers=pool_size,
+        engine=engine,
     )
 
 

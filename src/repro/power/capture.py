@@ -30,7 +30,7 @@ from repro.errors import TraceValidationError
 from repro.power.leakage import LeakageModel
 from repro.power.scope import Oscilloscope
 from repro.power.trace import Trace
-from repro.riscv.device import GaussianSamplerDevice
+from repro.riscv.device import GaussianSamplerDevice, resolve_engine
 from repro.utils.rng import new_rng
 
 
@@ -128,6 +128,7 @@ def _capture_one(
     count: int,
     batch_entropy: int,
     return_traces: bool = True,
+    engine: str = "threaded",
 ) -> CapturedTrace:
     """One batch capture; shared by the serial path and pool workers.
 
@@ -137,14 +138,14 @@ def _capture_one(
     stay a few bytes per capture.
     """
     if not return_traces:
-        run = device.run(seed, count=count, record_events=False)
+        run = device.run(seed, count=count, record_events=False, engine=engine)
         return CapturedTrace(
             trace=None,
             values=run.values,
             seed=seed,
             cycle_count=run.cycle_count,
         )
-    run = device.run(seed, count=count, record_events=True)
+    run = device.run(seed, count=count, record_events=True, engine=engine)
     noiseless, starts = leakage.expand(run.events)
     measured = scope.capture(noiseless, rng=_noise_rng(batch_entropy, seed))
     return CapturedTrace(
@@ -165,18 +166,28 @@ def _segment_one(
     seed: int,
     count: int,
     batch_entropy: int,
+    engine: str = "threaded",
 ) -> SegmentedCapture:
     """Capture one trace and segment it in place (worker-side path)."""
+    captured = _capture_one(
+        device, leakage, scope, seed, count, batch_entropy, engine=engine
+    )
+    return _segment_captured(captured, segmenter, refiner)
+
+
+def _segment_captured(
+    captured: CapturedTrace, segmenter, refiner
+) -> SegmentedCapture:
+    """Segment one already-captured trace into aligned slices."""
     from repro.errors import AttackError
 
-    captured = _capture_one(device, leakage, scope, seed, count, batch_entropy)
     try:
         aligned = segmenter.aligned_slices(captured.trace.samples, refiner=refiner)
     except AttackError as exc:
         return SegmentedCapture(
             slices=None,
             values=captured.values,
-            seed=seed,
+            seed=captured.seed,
             cycle_count=captured.cycle_count,
             error=str(exc),
         )
@@ -187,9 +198,72 @@ def _segment_one(
     return SegmentedCapture(
         slices=slices,
         values=captured.values,
-        seed=seed,
+        seed=captured.seed,
         cycle_count=captured.cycle_count,
     )
+
+
+def _capture_lane_chunk(
+    device: GaussianSamplerDevice,
+    leakage: LeakageModel,
+    scope: Oscilloscope,
+    seeds: List[int],
+    count: int,
+    batch_entropy: int,
+    return_traces: bool = True,
+) -> List[CapturedTrace]:
+    """Capture one chunk of seeds on the lane engine, one lane each.
+
+    The whole chunk executes in lock-step and its events expand in one
+    batched pass; per-trace noise still comes from the same
+    ``(batch entropy, seed)``-keyed generator as the scalar path, so
+    the captures are bit-identical to ``_capture_one`` per seed.
+    """
+    if not return_traces:
+        batch = device.run_lanes(seeds, count, record_events=False)
+        return [
+            CapturedTrace(
+                trace=None,
+                values=run.values,
+                seed=seed,
+                cycle_count=run.cycle_count,
+            )
+            for seed, run in zip(seeds, batch.runs)
+        ]
+    batch = device.run_lanes(
+        seeds, count, record_events=True, events_per_lane=False
+    )
+    expanded = leakage.expand_lanes(batch.events)
+    captures: List[CapturedTrace] = []
+    for (noiseless, starts), seed, run in zip(expanded, seeds, batch.runs):
+        measured = scope.capture(noiseless, rng=_noise_rng(batch_entropy, seed))
+        captures.append(
+            CapturedTrace(
+                trace=Trace(measured, metadata={"seed": seed, "count": count}),
+                values=run.values,
+                seed=seed,
+                cycle_count=run.cycle_count,
+                event_starts=starts,
+            )
+        )
+    return captures
+
+
+def _segment_lane_chunk(
+    device: GaussianSamplerDevice,
+    leakage: LeakageModel,
+    scope: Oscilloscope,
+    segmenter,
+    refiner,
+    seeds: List[int],
+    count: int,
+    batch_entropy: int,
+) -> List[SegmentedCapture]:
+    """Lane-batched capture + per-trace segmentation (worker-side)."""
+    captures = _capture_lane_chunk(
+        device, leakage, scope, seeds, count, batch_entropy
+    )
+    return [_segment_captured(c, segmenter, refiner) for c in captures]
 
 
 # Worker-process state: the bench components are shipped once via the
@@ -204,10 +278,27 @@ def _pool_init(
 
 
 def _pool_capture(args) -> CapturedTrace:
-    seed, count, batch_entropy, return_traces = args
+    seed, count, batch_entropy, return_traces, engine = args
     device, leakage, scope = _POOL_BENCH["parts"]
     return _capture_one(
-        device, leakage, scope, seed, count, batch_entropy, return_traces
+        device, leakage, scope, seed, count, batch_entropy, return_traces, engine
+    )
+
+
+def _pool_capture_lanes(args) -> List[CapturedTrace]:
+    seeds, count, batch_entropy, return_traces = args
+    device, leakage, scope = _POOL_BENCH["parts"]
+    return _capture_lane_chunk(
+        device, leakage, scope, list(seeds), count, batch_entropy, return_traces
+    )
+
+
+def _pool_segment_lanes(args) -> List[SegmentedCapture]:
+    seeds, count, batch_entropy = args
+    device, leakage, scope = _POOL_BENCH["parts"]
+    segmenter, refiner = _POOL_BENCH["segmentation"]
+    return _segment_lane_chunk(
+        device, leakage, scope, segmenter, refiner, list(seeds), count, batch_entropy
     )
 
 
@@ -223,11 +314,11 @@ def _pool_init_segmented(
 
 
 def _pool_capture_segmented(args) -> SegmentedCapture:
-    seed, count, batch_entropy = args
+    seed, count, batch_entropy, engine = args
     device, leakage, scope = _POOL_BENCH["parts"]
     segmenter, refiner = _POOL_BENCH["segmentation"]
     return _segment_one(
-        device, leakage, scope, segmenter, refiner, seed, count, batch_entropy
+        device, leakage, scope, segmenter, refiner, seed, count, batch_entropy, engine
     )
 
 
@@ -248,6 +339,14 @@ class TraceAcquisition:
         device's PRNG).  An integer seed also fixes the batch noise
         entropy, making :meth:`capture_batch` output reproducible
         across bench instances and worker counts.
+    engine:
+        Default execution engine for this bench's captures
+        (``"interpreter"``/``"threaded"``/``"lanes"``); ``None`` defers
+        to ``REVEAL_ENGINE``, then ``"threaded"``.  Batch methods can
+        override it per call.
+    lanes:
+        Lanes per :class:`~repro.riscv.lanes.LaneEngine` batch when the
+        lanes engine is selected.
     """
 
     def __init__(
@@ -256,10 +355,14 @@ class TraceAcquisition:
         leakage: Optional[LeakageModel] = None,
         scope: Optional[Oscilloscope] = None,
         rng=None,
+        engine: Optional[str] = None,
+        lanes: int = 64,
     ) -> None:
         self.device = device
         self.leakage = leakage if leakage is not None else LeakageModel()
         self.scope = scope if scope is not None else Oscilloscope()
+        self.engine = engine
+        self.lanes = int(lanes)
         self._rng = new_rng(rng)
         # Integer seeds pin the batch entropy immediately; otherwise it
         # is derived lazily from the stream on first batch use so plain
@@ -276,7 +379,9 @@ class TraceAcquisition:
         captures draw different noise; use :meth:`capture_batch` when
         per-seed reproducibility matters.
         """
-        run = self.device.run(seed, count=count, record_events=True)
+        run = self.device.run(
+            seed, count=count, record_events=True, engine=self.engine
+        )
         noiseless, starts = self.leakage.expand(run.events)
         measured = self.scope.capture(noiseless, rng=self._rng)
         return CapturedTrace(
@@ -305,6 +410,8 @@ class TraceAcquisition:
         first_seed: int = 1,
         workers: Optional[int] = None,
         return_traces: bool = True,
+        engine: Optional[str] = None,
+        lanes: Optional[int] = None,
     ) -> List[CapturedTrace]:
         """Capture ``trace_count`` runs with consecutive device seeds.
 
@@ -319,10 +426,29 @@ class TraceAcquisition:
         pool pickle shrinks from hundreds of KB of samples and event
         starts to a few bytes of values, for callers that only need the
         sampled coefficients (class surveys, label generation).
+
+        ``engine="lanes"`` batches ``lanes`` consecutive seeds per
+        :class:`~repro.riscv.lanes.LaneEngine` execution (workers then
+        fan out over whole chunks); the output is still bit-identical
+        to the serial threaded path.
         """
         entropy = self.batch_entropy()
+        engine = resolve_engine(engine if engine is not None else self.engine)
+        if engine == "lanes":
+            lane_tasks = self._lane_tasks(
+                trace_count, coeffs_per_trace, first_seed, entropy, lanes,
+                extra=(return_traces,),
+            )
+            chunks = self._run_lane_tasks(
+                lane_tasks, workers, _pool_capture_lanes,
+                lambda task: _capture_lane_chunk(
+                    self.device, self.leakage, self.scope,
+                    list(task[0]), *task[1:],
+                ),
+            )
+            return [capture for chunk in chunks for capture in chunk]
         tasks = [
-            (first_seed + i, coeffs_per_trace, entropy, return_traces)
+            (first_seed + i, coeffs_per_trace, entropy, return_traces, engine)
             for i in range(trace_count)
         ]
         if workers is None or workers <= 1 or trace_count <= 1:
@@ -339,6 +465,45 @@ class TraceAcquisition:
             chunk = max(1, trace_count // (pool_size * 4))
             return list(pool.map(_pool_capture, tasks, chunksize=chunk))
 
+    # -- lane-chunk scheduling helpers ---------------------------------
+    def _lane_tasks(
+        self,
+        trace_count: int,
+        coeffs_per_trace: int,
+        first_seed: int,
+        entropy: int,
+        lanes: Optional[int],
+        extra: tuple = (),
+    ) -> List[tuple]:
+        width = self.lanes if lanes is None else int(lanes)
+        if width < 1:
+            raise ValueError(f"lanes must be >= 1, got {width}")
+        seeds = [first_seed + i for i in range(trace_count)]
+        return [
+            (tuple(seeds[i : i + width]), coeffs_per_trace, entropy) + extra
+            for i in range(0, trace_count, width)
+        ]
+
+    def _run_lane_tasks(
+        self, tasks, workers, pool_fn, serial_fn, segmentation=None
+    ) -> List[list]:
+        if workers is None or workers <= 1 or len(tasks) <= 1:
+            return [serial_fn(task) for task in tasks]
+        pool_size = min(workers, len(tasks), (os.cpu_count() or 1) * 4)
+        if segmentation is None:
+            initializer = _pool_init
+            initargs = (self.device, self.leakage, self.scope)
+        else:
+            initializer = _pool_init_segmented
+            initargs = (self.device, self.leakage, self.scope) + segmentation
+        with ProcessPoolExecutor(
+            max_workers=pool_size,
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
+            chunk = max(1, len(tasks) // (pool_size * 4))
+            return list(pool.map(pool_fn, tasks, chunksize=chunk))
+
     def capture_segmented_batch(
         self,
         trace_count: int,
@@ -347,6 +512,8 @@ class TraceAcquisition:
         workers: Optional[int] = None,
         segmenter=None,
         refiner=None,
+        engine: Optional[str] = None,
+        lanes: Optional[int] = None,
     ) -> Iterator[SegmentedCapture]:
         """Capture and segment in the workers; yield only aligned slices.
 
@@ -367,8 +534,25 @@ class TraceAcquisition:
         if segmenter is None:
             raise ValueError("capture_segmented_batch requires a segmenter")
         entropy = self.batch_entropy()
+        engine = resolve_engine(engine if engine is not None else self.engine)
+        if engine == "lanes":
+            lane_tasks = self._lane_tasks(
+                trace_count, coeffs_per_trace, first_seed, entropy, lanes
+            )
+            chunks = self._run_lane_tasks(
+                lane_tasks, workers, _pool_segment_lanes,
+                lambda task: _segment_lane_chunk(
+                    self.device, self.leakage, self.scope, segmenter, refiner,
+                    list(task[0]), *task[1:],
+                ),
+                segmentation=(segmenter, refiner),
+            )
+            for chunk in chunks:
+                yield from chunk
+            return
         tasks = [
-            (first_seed + i, coeffs_per_trace, entropy) for i in range(trace_count)
+            (first_seed + i, coeffs_per_trace, entropy, engine)
+            for i in range(trace_count)
         ]
         if workers is None or workers <= 1 or trace_count <= 1:
             for task in tasks:

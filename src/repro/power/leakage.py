@@ -22,8 +22,8 @@ The expansion is fully vectorized over the event log's int64 columns:
 32-bit Hamming weights come from a 16-bit popcount lookup table, the
 per-op-class cycle layouts are scattered into one preallocated sample
 buffer through cumulative cycle offsets, and the 32-step
-multiplier/divider engine traces are computed as ``(32, n_events)``
-bit-matrix operations.  ``expand_reference`` keeps the original scalar
+multiplier/divider engine traces are computed as ``(n_events, 32)``
+bit-matrix operations (steps contiguous per event).  ``expand_reference`` keeps the original scalar
 implementation; both produce bit-identical float64 output (the tests
 assert exact equality).
 """
@@ -31,7 +31,7 @@ assert exact equality).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,6 +39,8 @@ from repro.riscv import cycles as cy
 from repro.riscv.cpu import EventLog, ExecutionEvent
 
 _MASK32 = 0xFFFFFFFF
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
 
 #: Popcount of every 16-bit value; two lookups give a 32-bit popcount.
 #: uint8 keeps the table at 64 KiB so the gathers stay cache-resident.
@@ -54,8 +56,12 @@ _CYCLES_BY_CLASS = np.array(
     [cy.CYCLES[op] for op in range(len(cy.CYCLES))], dtype=np.int64
 )
 
-_ENGINE_STEPS_UP = np.arange(32, dtype=np.int64)[:, None]
-_ENGINE_STEPS_DOWN = np.arange(31, -1, -1, dtype=np.int64)[:, None]
+#: Engine-step indices as a row so the per-event step matrices come out
+#: ``(n_events, 32)``: the 32 steps of one event are then contiguous,
+#: which keeps the axis-1 cumsum/divmod and the sample scatter (32
+#: consecutive samples per event) cache-friendly on batched expansions.
+_ENGINE_STEPS_UP = np.arange(32, dtype=np.int64)[None, :]
+_ENGINE_STEPS_DOWN = np.arange(31, -1, -1, dtype=np.int64)[None, :]
 
 
 def _hw(value: int) -> int:
@@ -63,7 +69,14 @@ def _hw(value: int) -> int:
 
 
 def _hw32(values: np.ndarray) -> np.ndarray:
-    """Elementwise 32-bit Hamming weight of 32-bit values held in int64."""
+    """Elementwise 32-bit Hamming weight of 32-bit values held in int64.
+
+    ``np.bitwise_count`` is a native popcount ufunc (NumPy >= 2.0);
+    the 16-bit table double-lookup is kept as the fallback for older
+    runtimes.  Both return the exact same small integers.
+    """
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(values)
     return _POP16[values & 0xFFFF] + _POP16[values >> 16]
 
 
@@ -105,7 +118,62 @@ class LeakageModel:
         :class:`~repro.riscv.cpu.EventLog` (zero-copy) or any sequence
         of :class:`~repro.riscv.cpu.ExecutionEvent`.
         """
-        cols = _event_columns(events)
+        return self._expand_core(_event_columns(events), None)
+
+    def expand_lanes(
+        self, events, lane_counts: Optional[Sequence[int]] = None
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Expand a whole lane batch's events in one vectorized pass.
+
+        ``events`` is normally a
+        :class:`~repro.riscv.lanes.LaneEventLog` (per-lane row counts
+        come from the arena itself); alternatively pass any event
+        matrix ``expand`` accepts plus explicit ``lane_counts``
+        partitioning its rows into consecutive per-lane runs.
+
+        Returns one ``(samples, starts)`` pair per lane, bit-identical
+        to calling :meth:`expand` on that lane's events alone: the
+        instruction-bus Hamming-distance state resets at every lane
+        boundary, and the per-class scatters land in disjoint per-lane
+        sample regions, so batching cannot change any float64 value.
+        The sample arrays are views into one shared buffer.
+        """
+        if lane_counts is None:
+            lane_counts = events.lane_counts()
+            cols = events.columns()
+        else:
+            cols = _event_columns(events)
+        lane_counts = np.asarray(lane_counts, dtype=np.int64)
+        bounds = np.zeros(lane_counts.size + 1, dtype=np.int64)
+        np.cumsum(lane_counts, out=bounds[1:])
+        n = int(bounds[-1])
+        if cols.shape[1] != n:
+            raise ValueError(
+                f"lane counts sum to {n}, got {cols.shape[1]} events"
+            )
+        samples, starts = self._expand_core(cols, bounds[:-1])
+        csum = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(_CYCLES_BY_CLASS[cols[0]], out=csum[1:])
+        sample_bounds = csum[bounds]
+        out: List[Tuple[np.ndarray, np.ndarray]] = []
+        for lane in range(lane_counts.size):
+            lo = int(sample_bounds[lane])
+            out.append(
+                (
+                    samples[lo : int(sample_bounds[lane + 1])],
+                    starts[bounds[lane] : bounds[lane + 1]] - lo,
+                )
+            )
+        return out
+
+    def _expand_core(
+        self, cols: np.ndarray, resets: Optional[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The shared expansion kernel over an ``(8, n)`` event matrix.
+
+        ``resets`` lists row indices where the fetched-word history
+        starts over (lane boundaries in a batched expansion).
+        """
         n = cols.shape[1]
         if n == 0:
             return np.zeros(0, dtype=np.float64), np.zeros(0, dtype=np.int64)
@@ -123,14 +191,12 @@ class LeakageModel:
         total = int(starts[-1] + cycles[-1])
         samples = np.full(total, base, dtype=np.float64)
 
-        # Event indices of every op class from one stable sort; each
-        # per-class gather below is then a small fancy index instead of
-        # a full boolean scan.
-        order = np.argsort(op, kind="stable")
-        bounds = np.searchsorted(op[order], np.arange(len(cy.CYCLES) + 1))
-
+        # Event indices of one op class, ascending (the same order a
+        # stable sort would give).  A boolean scan per class beats one
+        # O(n log n) argsort of the whole log, and only the classes
+        # actually gathered below pay for their scan.
         def cls(klass: int) -> np.ndarray:
-            return order[bounds[klass] : bounds[klass + 1]]
+            return np.nonzero(op == klass)[0]
 
         # Hamming weights shared by several cycle layouts, computed once
         # over the whole event log (one batched call for the contiguous
@@ -140,6 +206,8 @@ class LeakageModel:
         previous_word = np.empty_like(word)
         previous_word[0] = 0
         previous_word[1:] = word[:-1]
+        if resets is not None:
+            previous_word[resets[resets < n]] = 0
         hw_rs1, hw_rs2, hw_res = _hw32(cols[2:5])
         hw_wb = _hw32(result ^ old_rd)  # writeback Hamming distance
         fetch_v = base + wf * (_hw32(word) + _hw32(word ^ previous_word))
@@ -167,11 +235,11 @@ class LeakageModel:
             samples[idx + 1] = operand_v[ev]
             # partial products gated by the multiplier bits; the running
             # shift-add accumulator is their masked prefix sum
-            partial = ((b[None, :] >> _ENGINE_STEPS_UP) & 1) * (
-                (a[None, :] << _ENGINE_STEPS_UP) & _MASK32
+            partial = ((b[:, None] >> _ENGINE_STEPS_UP) & 1) * (
+                (a[:, None] << _ENGINE_STEPS_UP) & _MASK32
             )
-            acc = np.cumsum(partial, axis=0) & _MASK32
-            samples[idx[None, :] + 2 + _ENGINE_STEPS_UP] = (
+            acc = np.cumsum(partial, axis=1) & _MASK32
+            samples[idx[:, None] + 2 + _ENGINE_STEPS_UP] = (
                 base + self.engine_offset + we * _hw32(acc)
             )
             samples[idx + 34] = writeback_v[ev]
@@ -189,13 +257,13 @@ class LeakageModel:
             # divisor never restores: the remainder window slides through
             # the dividend and the quotient stays zero.
             dividend = rs1[ev]
-            divisor = rs2[ev][None, :]
-            shifted = dividend[None, :] >> _ENGINE_STEPS_DOWN
+            divisor = rs2[ev][:, None]
+            shifted = dividend[:, None] >> _ENGINE_STEPS_DOWN
             zero = divisor == 0
             quo_steps, rem_steps = np.divmod(shifted, np.where(zero, 1, divisor))
             rem_steps = np.where(zero, shifted, rem_steps)
             quo_steps = np.where(zero, 0, quo_steps)
-            samples[idx[None, :] + 2 + _ENGINE_STEPS_UP] = (
+            samples[idx[:, None] + 2 + _ENGINE_STEPS_UP] = (
                 base
                 + self.engine_offset
                 + we * 0.5 * (_hw32(rem_steps) + _hw32(quo_steps))

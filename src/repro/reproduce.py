@@ -61,14 +61,14 @@ def run_fig3() -> None:
               f"anchor {window.anchor}")
 
 
-def run_table1(traces: int, workers=None) -> None:
+def run_table1(traces: int, workers=None, engine=None) -> None:
     from repro.attack.campaign import run_campaign
 
     bench = _make_bench()
     attack = _profiled_attack(bench, traces, workers=workers)
     report = run_campaign(
         attack, trace_count=traces, coeffs_per_trace=8, first_seed=1,
-        workers=workers,
+        workers=workers, engine=engine,
     )
     labels = [v for v in range(-5, 6) if report.confusion.total(v) >= 3]
     print("Table I (condensed):")
@@ -77,7 +77,7 @@ def run_table1(traces: int, workers=None) -> None:
     print(report.format_timings())
 
 
-def run_table2(traces: int, workers=None) -> None:
+def run_table2(traces: int, workers=None, engine=None) -> None:
     from repro.attack.campaign import run_campaign
     from repro.hints.hintgen import moments_of_table
 
@@ -85,7 +85,7 @@ def run_table2(traces: int, workers=None) -> None:
     attack = _profiled_attack(bench, traces, workers=workers)
     report = run_campaign(
         attack, trace_count=traces, coeffs_per_trace=8, first_seed=1,
-        workers=workers,
+        workers=workers, engine=engine,
     )
     print("Table II: probability tables (centered / variance):")
     shown = set()
@@ -176,11 +176,18 @@ def main(argv=None) -> None:
         help="process-pool size for table1/table2 capture+attack "
         "(default: serial)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=["interpreter", "threaded", "lanes"],
+        default=None,
+        help="execution engine for table1/table2 attack captures "
+        "(default: $REVEAL_ENGINE, then threaded)",
+    )
     args = parser.parse_args(argv)
     runners = {
         "fig3": run_fig3,
-        "table1": lambda: run_table1(args.traces, args.workers),
-        "table2": lambda: run_table2(args.traces, args.workers),
+        "table1": lambda: run_table1(args.traces, args.workers, args.engine),
+        "table2": lambda: run_table2(args.traces, args.workers, args.engine),
         "table3": run_table3,
         "table4": run_table4,
     }

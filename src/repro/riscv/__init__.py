@@ -11,6 +11,11 @@ instruction-set simulator:
 - :mod:`repro.riscv.cpu` — the interpreter; it records per-instruction
   execution events (operands, results, bus values) that
   :mod:`repro.power` expands into synthetic power traces;
+- :mod:`repro.riscv.threaded` — the threaded-code engine: basic blocks
+  translated once into direct-dispatch handler chains;
+- :mod:`repro.riscv.lanes` — the lane-vectorized engine: many
+  independent program copies executed in lock-step over numpy arrays,
+  bit-identical per lane to the scalar engines;
 - :mod:`repro.riscv.programs` — the Gaussian-sampling kernel in RV32IM
   assembly, mirroring SEAL's ``set_poly_coeffs_normal`` (Fig. 2).
 """

@@ -10,12 +10,16 @@ into a trace.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.errors import SimulationError
 from repro.riscv.assembler import assemble
 from repro.riscv.cpu import Cpu, EventLog
+from repro.riscv.lanes import LaneEngine, LaneEventLog
 from repro.riscv.memory import Memory
 from repro.riscv.programs.gaussian import gaussian_sampler_source
 
@@ -23,6 +27,28 @@ from repro.riscv.programs.gaussian import gaussian_sampler_source
 _CODE_BASE = 0x0000
 _MOD_TABLE = 0x4000
 _OUT_BASE = 0x5000
+
+#: Canonical engine names.  ``"interpreter"`` is accepted as a CLI-facing
+#: alias for ``"reference"`` (the scalar seed interpreter).
+ENGINES = ("threaded", "reference", "lanes")
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Resolve an engine selection to its canonical name.
+
+    ``None`` falls back to the ``REVEAL_ENGINE`` environment variable,
+    then to ``"threaded"``.  The CLI alias ``"interpreter"`` maps to
+    ``"reference"``.  Raises :class:`SimulationError` for anything else.
+    """
+    if engine is None:
+        engine = os.environ.get("REVEAL_ENGINE", "").strip() or "threaded"
+    if engine == "interpreter":
+        engine = "reference"
+    if engine not in ENGINES:
+        raise SimulationError(
+            f"unknown engine {engine!r} (choose from interpreter, threaded, lanes)"
+        )
+    return engine
 
 
 @dataclass
@@ -34,6 +60,22 @@ class DeviceRun:
     events: EventLog  # columnar per-instruction log (sequence-compatible)
     cycle_count: int
     instruction_count: int
+
+
+@dataclass
+class LaneBatch:
+    """Result of one lane-vectorized batch execution.
+
+    ``runs[i]`` is the :class:`DeviceRun` for ``seeds[i]``.  ``events``
+    is the shared :class:`LaneEventLog` arena for the whole batch (or
+    ``None`` when event recording was off) — the batched capture path
+    expands it wholesale via ``LeakageModel.expand_lanes`` instead of
+    touching the per-run logs.
+    """
+
+    seeds: List[int]
+    runs: List[DeviceRun]
+    events: Optional[LaneEventLog]
 
 
 class GaussianSamplerDevice:
@@ -68,12 +110,20 @@ class GaussianSamplerDevice:
         # :meth:`Cpu.adopt_translations`).
         self._block_cache: dict = {}
         self._code_words: set = set()
+        # Lane-engine state, also shared across runs: one immutable
+        # memory image and one compiled-block dict per memory size
+        # (the image bakes in the modulus table; the generated block
+        # code bakes in size-derived bounds checks).
+        self._lane_images: Dict[int, np.ndarray] = {}
+        self._lane_block_cache: Dict[int, dict] = {}
 
     # -- pickling (translated blocks hold unpicklable generated code) --
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         state["_block_cache"] = {}
         state["_code_words"] = set()
+        state["_lane_images"] = {}
+        state["_lane_block_cache"] = {}
         return state
 
     # ------------------------------------------------------------------
@@ -83,21 +133,30 @@ class GaussianSamplerDevice:
         count: int,
         record_events: bool = True,
         max_instructions: Optional[int] = None,
-        engine: str = "threaded",
+        engine: Optional[str] = None,
     ) -> DeviceRun:
         """Sample ``count`` coefficients with PRNG seed ``seed``.
 
         ``record_events=False`` skips event collection for functional-only
         runs (about 2x faster).  ``engine`` selects the execution engine:
         ``"threaded"`` (the default block-translating engine, reusing
-        this device's warm translation cache across runs) or
+        this device's warm translation cache across runs),
         ``"reference"`` (the scalar interpreter, bit-identical but much
-        slower — useful for differential testing).
+        slower — useful for differential testing) or ``"lanes"`` (the
+        lane-vectorized engine, single-lane here; see :meth:`run_lanes`
+        for actual batching).  ``None`` defers to the ``REVEAL_ENGINE``
+        environment variable, then to ``"threaded"``.
         """
         if count < 1:
             raise SimulationError("count must be >= 1")
-        if engine not in ("threaded", "reference"):
-            raise SimulationError(f"unknown engine {engine!r}")
+        engine = resolve_engine(engine)
+        if engine == "lanes":
+            return self.run_lanes(
+                [seed],
+                count,
+                record_events=record_events,
+                max_instructions=max_instructions,
+            ).runs[0]
         k = len(self.moduli)
         memory = Memory(size_bytes=_next_pow2(_OUT_BASE + 4 * k * count + 4096))
         cpu = Cpu(memory, record_events=record_events)
@@ -134,6 +193,87 @@ class GaussianSamplerDevice:
     def sample_one(self, seed: int, record_events: bool = True) -> DeviceRun:
         """Sample a single coefficient (the profiling workload)."""
         return self.run(seed, count=1, record_events=record_events)
+
+    # ------------------------------------------------------------------
+    def _lane_image(self, size: int) -> np.ndarray:
+        """The shared initial memory image (code + modulus table)."""
+        image = self._lane_images.get(size)
+        if image is None:
+            image = np.zeros(size, dtype=np.uint8)
+            words = np.asarray(self.program.words, dtype=np.uint32)
+            image[_CODE_BASE : _CODE_BASE + 4 * len(words)] = words.view(np.uint8)
+            table = np.asarray(self.moduli, dtype=np.uint32)
+            image[_MOD_TABLE : _MOD_TABLE + 4 * len(table)] = table.view(np.uint8)
+            image.setflags(write=False)
+            self._lane_images[size] = image
+        return image
+
+    def run_lanes(
+        self,
+        seeds: Sequence[int],
+        count: int,
+        record_events: bool = True,
+        max_instructions: Optional[int] = None,
+        events_per_lane: bool = True,
+    ) -> LaneBatch:
+        """Sample ``count`` coefficients for every seed in one batch.
+
+        All seeds execute in lock-step on a :class:`LaneEngine` (one
+        lane per seed); per-lane results are bit-identical to
+        :meth:`run`.  ``events_per_lane=False`` leaves each
+        ``DeviceRun.events`` empty and hands back only the shared
+        arena — the batched capture path uses that to expand all lanes
+        in one pass instead of materialising per-lane logs.
+        """
+        if count < 1:
+            raise SimulationError("count must be >= 1")
+        seeds = [int(s) for s in seeds]
+        if not seeds:
+            raise SimulationError("need at least one seed")
+        k = len(self.moduli)
+        size = _next_pow2(_OUT_BASE + 4 * k * count + 4096)
+        engine = LaneEngine(
+            self._lane_image(size),
+            lanes=len(seeds),
+            record_events=record_events,
+            block_cache=self._lane_block_cache.setdefault(size, {}),
+        )
+        engine.write_register(10, _OUT_BASE)  # a0
+        engine.write_register(11, count)  # a1
+        engine.write_register(12, k)  # a2
+        engine.write_register(13, _MOD_TABLE)  # a3
+        engine.write_register(14, [s & 0xFFFFFFFF for s in seeds])  # a4
+        engine.write_register(15, self.max_deviation)  # a5
+        budget = max_instructions if max_instructions else 4000 * count + 10_000
+        engine.run(max_instructions=budget)
+        for lane, error in enumerate(engine.errors):
+            if error is not None:
+                raise SimulationError(f"lane {lane} (seed {seeds[lane]}): {error}")
+
+        out = _OUT_BASE >> 2
+        m32 = engine.memory.view(np.uint32)
+        q0 = self.moduli[0]
+        runs: List[DeviceRun] = []
+        for lane in range(len(seeds)):
+            residues = [
+                m32[lane, out + j * count : out + (j + 1) * count].tolist()
+                for j in range(k)
+            ]
+            values = [r - q0 if r > q0 // 2 else r for r in residues[0]]
+            if record_events and events_per_lane:
+                events = engine.events.lane_log(lane)
+            else:
+                events = EventLog(capacity=1)
+            runs.append(
+                DeviceRun(
+                    values=values,
+                    residues=residues,
+                    events=events,
+                    cycle_count=int(engine.cycle_counts[lane]),
+                    instruction_count=int(engine.instruction_counts[lane]),
+                )
+            )
+        return LaneBatch(seeds=seeds, runs=runs, events=engine.events)
 
 
 def _next_pow2(value: int) -> int:

@@ -238,6 +238,34 @@ for _spec in SPECS.values():
         _BY_KEY[(_spec.opcode, _spec.funct3, None)] = _spec
 
 
+def branch_offset(word: int) -> int:
+    """Signed byte offset of a B-type branch word, without a full decode.
+
+    Both block-translation walks (threaded and lane engines) peek only
+    at the opcode plus this immediate to decide where a block extends,
+    so the B-immediate scatter lives here once rather than inline in
+    each walk.
+    """
+    imm = (
+        (((word >> 31) & 1) << 12)
+        | (((word >> 7) & 1) << 11)
+        | (((word >> 25) & 0x3F) << 5)
+        | (((word >> 8) & 0xF) << 1)
+    )
+    return _sign_extend(imm, 13)
+
+
+def jal_offset(word: int) -> int:
+    """Signed byte offset of a ``jal`` word, without a full decode."""
+    imm = (
+        (((word >> 31) & 1) << 20)
+        | (((word >> 21) & 0x3FF) << 1)
+        | (((word >> 20) & 1) << 11)
+        | (((word >> 12) & 0xFF) << 12)
+    )
+    return _sign_extend(imm, 21)
+
+
 def decode(word: int) -> Decoded:
     """Decode a 32-bit instruction word.
 
@@ -256,13 +284,7 @@ def decode(word: int) -> Decoded:
         mnemonic = "lui" if opcode == 0x37 else "auipc"
         return Decoded(mnemonic, rd, 0, 0, word >> 12, word)
     if opcode == 0x6F:
-        imm = (
-            (((word >> 31) & 1) << 20)
-            | (((word >> 21) & 0x3FF) << 1)
-            | (((word >> 20) & 1) << 11)
-            | (((word >> 12) & 0xFF) << 12)
-        )
-        return Decoded("jal", rd, 0, 0, _sign_extend(imm, 21), word)
+        return Decoded("jal", rd, 0, 0, jal_offset(word), word)
     if opcode == 0x73:
         if word == 0x00100073:
             return Decoded("ebreak", 0, 0, 0, 0, word)
@@ -273,13 +295,7 @@ def decode(word: int) -> Decoded:
         spec = _BY_KEY.get((opcode, f3, None))
         if spec is None:
             raise SimulationError(f"illegal branch funct3={f3}")
-        imm = (
-            (((word >> 31) & 1) << 12)
-            | (((word >> 7) & 1) << 11)
-            | (((word >> 25) & 0x3F) << 5)
-            | (((word >> 8) & 0xF) << 1)
-        )
-        return Decoded(spec.mnemonic, 0, rs1, rs2, _sign_extend(imm, 13), word)
+        return Decoded(spec.mnemonic, 0, rs1, rs2, branch_offset(word), word)
     if opcode == 0x23:
         spec = _BY_KEY.get((opcode, f3, None))
         if spec is None:

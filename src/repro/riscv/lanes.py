@@ -1,0 +1,1216 @@
+"""Lane-vectorized RV32IM engine: L independent traces in lock-step.
+
+The campaign workload is embarrassingly batch-shaped — hundreds of
+thousands of runs of the *same* Gaussian-sampler kernel differing only
+in the RNG seed register — yet the threaded engine still retires one
+instruction stream at a time.  :class:`LaneEngine` executes ``L``
+independent copies of a program the way a GPU warp does: architectural
+state lives in ndarrays (``(32, L)`` register file, ``(L, size)``
+memory, ``(L,)`` pc/cycle/instruction vectors), and every dispatch runs
+one basic block for the whole group of lanes that sit at the same pc.
+
+Scheduling and reconvergence
+    Each iteration picks the *minimum* pc among live lanes and
+    dispatches the block starting there to every lane parked at that
+    pc.  Lanes that diverge at a conditional branch simply end up at
+    different pcs; because the scheduler always serves the smallest pc
+    first, lanes that fall behind (rejection-loop retries, the
+    not-taken side of a forward skip) catch up before the others
+    advance, and the short sampler kernel reconverges at the block
+    boundaries within a handful of dispatches.
+
+Blocks and bit-exactness
+    Blocks here are plain basic blocks (``jal`` is followed;
+    conditional branches, ``jalr`` and ``ebreak``/``ecall`` terminate)
+    decoded from an immutable snapshot of the program image and
+    compiled — exactly like :mod:`repro.riscv.threaded` — into exec'd
+    Python over numpy row vectors, with block-local constant folding
+    and deferred register writeback.  Anything the straight-line vector
+    code cannot express exactly (memory faults, instruction-budget
+    exhaustion mid-block, self-modified code) falls back to the scalar
+    :meth:`repro.riscv.cpu.Cpu.step_reference` interpreter for the
+    affected lanes, so per-lane results — registers, pc, cycle and
+    instruction counts, the event stream, and every error string — are
+    bit-identical to ``Cpu.run``.  The ``cpu.run_lanes`` differential
+    oracle in :mod:`repro.verify.oracles` enforces exactly that.
+
+Event recording
+    All lanes record into one shared :class:`LaneEventLog` arena: every
+    vector dispatch appends a ``(lane_ids, (g, n, 8))`` chunk built
+    from the block's precomputed static template plus one fancy-index
+    scatter of the dynamic values — the lane-major finalize then
+    assembles per-lane event streams with one write-pointer scatter per
+    chunk.  ``LeakageModel.expand_lanes`` consumes the arena wholesale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.riscv import cycles as cy
+from repro.riscv.cpu import Cpu, EventLog
+from repro.riscv.isa import decode, jal_offset
+from repro.riscv.memory import Memory
+from repro.riscv.threaded import (
+    MAX_BLOCK_INSTRUCTIONS,
+    _ALU_RI,
+    _ALU_RR,
+    _BRANCH_CONDS,
+    _HANDLER_TEMPLATES,
+    _ROW_ADDR,
+    _ROW_OLD,
+    _ROW_OP,
+    _ROW_PC,
+    _ROW_RESULT,
+    _ROW_RS1,
+    _ROW_RS2,
+    _ROW_WORD,
+    _is_const,
+    _to_signed,
+)
+
+_MASK32 = 0xFFFFFFFF
+_FIELDS = 8
+
+
+class _LaneFault(Exception):
+    """Internal: a vector dispatch cannot retire the block exactly.
+
+    Raised by generated block code *before* the offending lane mutates
+    anything beyond the undo-logged stores; the dispatcher rolls the
+    group's stores back and re-executes every lane through the scalar
+    reference interpreter, which produces the exact per-lane behaviour
+    (including the precise :class:`SimulationError` message).
+    """
+
+
+# ----------------------------------------------------------------------
+# Vector arithmetic helpers used by generated block code
+# ----------------------------------------------------------------------
+def _v_mulhu(a, b):
+    au = np.asarray(a, dtype=np.uint64)
+    bu = np.asarray(b, dtype=np.uint64)
+    return ((au * bu) >> np.uint64(32)).astype(np.int64)
+
+
+def _v_div(sa, sb):
+    safe = np.where(sb == 0, 1, sb)
+    q = np.abs(sa) // np.abs(safe)
+    q = np.where((sa < 0) != (safe < 0), -q, q)
+    # INT_MIN / -1 needs no special case: |INT_MIN| // 1 is 2**31, and
+    # the sign test keeps it positive, so the & already yields
+    # 0x80000000 exactly as the reference interpreter does.
+    return np.where(sb == 0, 4294967295, q) & 4294967295
+
+
+def _v_divu(a, b):
+    return np.where(b == 0, 4294967295, a // np.where(b == 0, 1, b))
+
+
+def _v_rem(sa, sb):
+    safe = np.where(sb == 0, 1, sb)
+    r = np.abs(sa) % np.abs(safe)
+    r = np.where(sa < 0, -r, r)
+    # rem-by-zero returns rs1 unchanged: sa & MASK32 recovers it.
+    return np.where(sb == 0, sa, r) & 4294967295
+
+
+def _v_remu(a, b):
+    return np.where(b == 0, a, a % np.where(b == 0, 1, b))
+
+
+def _fold_divrem(mnemonic: str, a: int, b: int) -> int:
+    """Translation-time div/rem folding, mirroring ``step_reference``."""
+    if mnemonic == "divu":
+        return _MASK32 if b == 0 else (a // b) & _MASK32
+    if mnemonic == "remu":
+        return a if b == 0 else (a % b) & _MASK32
+    sa, sb = _to_signed(a), _to_signed(b)
+    if mnemonic == "div":
+        if sb == 0:
+            return _MASK32
+        if sa == -(1 << 31) and sb == -1:
+            return sa & _MASK32
+        q = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            q = -q
+        return q & _MASK32
+    if sb == 0:  # rem
+        return a
+    if sa == -(1 << 31) and sb == -1:
+        return 0
+    r = abs(sa) % abs(sb)
+    if sa < 0:
+        r = -r
+    return r & _MASK32
+
+
+# ----------------------------------------------------------------------
+# Numpy result expressions (the scalar twins live in riscv.threaded and
+# are reused verbatim for translation-time constant folding)
+# ----------------------------------------------------------------------
+_NP_ALU_RR = {
+    "add": "({a} + {b}) & 4294967295",
+    "sub": "({a} - {b}) & 4294967295",
+    "and": "{a} & {b}",
+    "or": "{a} | {b}",
+    "xor": "{a} ^ {b}",
+    "sll": "({a} << ({b} & 31)) & 4294967295",
+    "srl": "{a} >> ({b} & 31)",
+    "sra": "(({sa}) >> ({b} & 31)) & 4294967295",
+    "slt": "(({sa}) < ({sb})) * _one",
+    "sltu": "({a} < {b}) * _one",
+    "mul": "({a} * {b}) & 4294967295",
+    "mulh": "((({sa}) * ({sb})) >> 32) & 4294967295",
+    "mulhsu": "((({sa}) * {b}) >> 32) & 4294967295",
+    "mulhu": "_v_mulhu({a}, {b})",
+}
+
+_NP_ALU_RI = {
+    "addi": "({a} + {b}) & 4294967295",
+    "andi": "{a} & {b}",
+    "ori": "{a} | {b}",
+    "xori": "{a} ^ {b}",
+    "slli": "({a} << {b}) & 4294967295",
+    "srli": "{a} >> {b}",
+    "srai": "(({sa}) >> {b}) & 4294967295",
+    "slti": "(({sa}) < {b}) * _one",
+    "sltiu": "({a} < {b}) * _one",
+}
+
+_NP_BRANCH = {
+    "beq": "{a} == {b}",
+    "bne": "{a} != {b}",
+    "blt": "({sa}) < ({sb})",
+    "bge": "({sa}) >= ({sb})",
+    "bltu": "{a} < {b}",
+    "bgeu": "{a} >= {b}",
+}
+
+_NP_DIVREM = {
+    "div": "_v_div({sa}, {sb})",
+    "divu": "_v_divu({a}, {b})",
+    "rem": "_v_rem({sa}, {sb})",
+    "remu": "_v_remu({a}, {b})",
+}
+
+#: (width, view name, element shift) per memory access method.
+_ACCESS = {
+    "load_word": (4, "m32", 2),
+    "load_half": (2, "m16", 1),
+    "load_byte": (1, "m8", 0),
+    "store_word": (4, "m32", 2),
+    "store_half": (2, "m16", 1),
+    "store_byte": (1, "m8", 0),
+}
+
+
+class LaneBlock:
+    """One compiled basic block for the lane engine."""
+
+    __slots__ = ("pcs", "words", "length", "bmin", "bmax", "run_recording", "run_fast")
+
+    def __init__(self, pcs: Tuple[int, ...], words: Tuple[int, ...]) -> None:
+        self.pcs = pcs
+        self.words = words
+        self.length = len(pcs)
+        # Conservative pc envelope for the self-modified-code guard: a
+        # store whose word address lands inside it may alter this block.
+        self.bmin = min(pcs)
+        self.bmax = max(pcs)
+        self.run_recording = None
+        self.run_fast = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LaneBlock(pc={self.pcs[0]:#x}, length={self.length})"
+
+
+# ----------------------------------------------------------------------
+# Code generation
+# ----------------------------------------------------------------------
+class _LaneSource:
+    """Accumulates generated source plus the block's event template."""
+
+    def __init__(self) -> None:
+        self.rec: List[str] = []
+        self.fast: List[str] = []
+        self.statics: List[Tuple[int, int]] = []  # (flat cell, value)
+        self.cells: List[int] = []
+        self.gather: List[int] = []
+        self.uniq_names: List[str] = []
+        self._name_uidx: Dict[str, int] = {}
+        self.cycle_total = 0
+        self.reg_local: Dict[int, Union[str, int]] = {}
+        self.written: Dict[int, Union[str, int]] = {}
+        self._signed: Dict[str, str] = {}
+        self._base = 0  # current instruction's flat event offset
+
+    def emit(self, line: str, rec: bool = True, fast: bool = True) -> None:
+        if rec:
+            self.rec.append(line)
+        if fast:
+            self.fast.append(line)
+
+    def begin_instruction(self, index: int, word: int, pc: int, op_class: int) -> None:
+        self._base = _FIELDS * index
+        self.static(_ROW_WORD, word)
+        self.static(_ROW_PC, pc)
+        self.static(_ROW_OP, op_class)
+
+    def static(self, row: int, value: int) -> None:
+        if value:  # the template slab is zeroed, so zeros need no entry
+            self.statics.append((self._base + row, value))
+
+    def dyn(self, row: int, name: str) -> None:
+        uidx = self._name_uidx.get(name)
+        if uidx is None:
+            uidx = len(self.uniq_names)
+            self.uniq_names.append(name)
+            self._name_uidx[name] = uidx
+        self.cells.append(self._base + row)
+        self.gather.append(uidx)
+
+
+def _operand(src: _LaneSource, i: int, which: str, reg: int, row: int) -> str:
+    """Bind an operand: block-local alias, constant, or a fresh gather."""
+    if reg == 0:
+        return "0"
+    known = src.reg_local.get(reg)
+    if known is None:
+        name = f"{which}{i}"
+        src.emit(f"    {name} = regs[{reg}][idx]")
+        src.reg_local[reg] = name
+        src.dyn(row, name)
+        return name
+    if isinstance(known, int):
+        src.static(row, known)
+        return str(known)
+    src.dyn(row, known)
+    return known
+
+
+def _signed_expr(src: _LaneSource, i: int, which: str, operand: str) -> str:
+    if _is_const(operand):
+        return str(_to_signed(int(operand)))
+    name = src._signed.get(operand)
+    if name is None:
+        name = f"s{which}{i}"
+        src.emit(f"    {name} = ({operand} ^ 2147483648) - 2147483648")
+        src._signed[operand] = name
+    return name
+
+
+def _old_rd(src: _LaneSource, i: int, rd: int) -> None:
+    if rd == 0:
+        return
+    known = src.reg_local.get(rd)
+    if known is None:
+        src.emit(f"    o{i} = regs[{rd}][idx]", fast=False)
+        src.dyn(_ROW_OLD, f"o{i}")
+    elif isinstance(known, int):
+        src.static(_ROW_OLD, known)
+    else:
+        src.dyn(_ROW_OLD, known)
+
+
+def _write_result(src: _LaneSource, i: int, rd: int, result: Union[str, int]) -> None:
+    if isinstance(result, int):
+        src.static(_ROW_RESULT, result)
+    else:
+        src.dyn(_ROW_RESULT, result)
+    _old_rd(src, i, rd)
+    if rd:
+        src.reg_local[rd] = result
+        src.written[rd] = result
+
+
+def _all_const(*operands: str) -> bool:
+    return all(_is_const(op) for op in operands)
+
+
+def _fold_scalar(expr: str):
+    """Evaluate a threaded-engine scalar template over literal operands."""
+    return eval(expr)  # noqa: S307 - literals produced by this module
+
+
+def _address_operand(
+    src: _LaneSource, i: int, a: str, imm: int, row: int
+) -> Tuple[str, bool]:
+    if _is_const(a):
+        value = (int(a) + imm) & _MASK32
+        src.static(row, value)
+        return str(value), True
+    name = f"d{i}"
+    src.emit(f"    {name} = ({a} + {imm}) & 4294967295")
+    src.dyn(row, name)
+    return name, False
+
+
+def _emit_guard(src: _LaneSource, terms: List[str]) -> None:
+    if terms:
+        src.emit(f"    if ({' | '.join(terms)}).any():")
+        src.emit("        raise _LaneFault")
+
+
+def _emit_lane_instruction(
+    src: _LaneSource,
+    i: int,
+    ins,
+    pc: int,
+    terminal: bool,
+    fallthrough: int,
+    bmin: int,
+    bmax: int,
+    size: int,
+) -> None:
+    """Append one instruction's vector handler to the block body.
+
+    ``terminal`` marks the block's last instruction; only a terminal
+    one may be a branch/``jalr``/system instruction (the walk ends
+    blocks there), and it owns the ``npc``/``cyc`` control outputs.
+    """
+    template = _HANDLER_TEMPLATES[ins.op_id]
+    kind = template[0]
+    rd, rs1, rs2, imm, word = ins.rd, ins.rs1, ins.rs2, ins.imm, ins.word
+
+    if kind == "alu_rr" or kind == "alu_ri":
+        if kind == "alu_rr":
+            scalar_expr, op_class = template[1], template[2]
+            np_expr = _NP_ALU_RR[ins.mnemonic]
+        else:
+            scalar_expr, transform = template[1], template[2]
+            np_expr = _NP_ALU_RI[ins.mnemonic]
+            op_class = cy.OP_ALU
+        src.begin_instruction(i, word, pc, op_class)
+        src.cycle_total += cy.CYCLES[op_class]
+        a = _operand(src, i, "a", rs1, _ROW_RS1)
+        if kind == "alu_rr":
+            b = _operand(src, i, "b", rs2, _ROW_RS2)
+        else:
+            b = str(imm & _MASK32 if transform == "mask" else imm)
+        if _all_const(a, b):
+            sa = str(_to_signed(int(a)))
+            sb = str(_to_signed(int(b)))
+            result = _fold_scalar(scalar_expr.format(a=a, b=b, sa=sa, sb=sb))
+            _write_result(src, i, rd, int(result))
+            return
+        sa = _signed_expr(src, i, "a", a) if "{sa}" in np_expr else "0"
+        sb = _signed_expr(src, i, "b", b) if "{sb}" in np_expr else "0"
+        src.emit(f"    t{i} = {np_expr.format(a=a, b=b, sa=sa, sb=sb)}")
+        _write_result(src, i, rd, f"t{i}")
+        return
+
+    if kind == "divrem":
+        mnemonic = template[1]
+        src.begin_instruction(i, word, pc, cy.OP_DIV)
+        src.cycle_total += cy.CYCLES[cy.OP_DIV]
+        a = _operand(src, i, "a", rs1, _ROW_RS1)
+        b = _operand(src, i, "b", rs2, _ROW_RS2)
+        if _all_const(a, b):
+            _write_result(src, i, rd, _fold_divrem(mnemonic, int(a), int(b)))
+            return
+        np_expr = _NP_DIVREM[mnemonic]
+        sa = _signed_expr(src, i, "a", a) if "{sa}" in np_expr else "0"
+        sb = _signed_expr(src, i, "b", b) if "{sb}" in np_expr else "0"
+        src.emit(f"    t{i} = {np_expr.format(a=a, b=b, sa=sa, sb=sb)}")
+        _write_result(src, i, rd, f"t{i}")
+        return
+
+    if kind == "load":
+        method, sign = template[1], template[2]
+        width, view, shift = _ACCESS[method]
+        src.begin_instruction(i, word, pc, cy.OP_LOAD)
+        src.cycle_total += cy.CYCLES[cy.OP_LOAD]
+        a = _operand(src, i, "a", rs1, _ROW_RS1)
+        address, addr_const = _address_operand(src, i, a, imm, _ROW_ADDR)
+        if addr_const:
+            value = int(address)
+            if value > size - width or value % width:
+                # A constant bad address faults in every lane; the
+                # scalar redo raises the exact Memory._check message.
+                src.emit("    raise _LaneFault")
+                return
+            element = str(value >> shift)
+        else:
+            terms = [f"({address} > {size - width})"]
+            if width > 1:
+                terms.append(f"({address} & {width - 1})")
+            _emit_guard(src, terms)
+            element = address if shift == 0 else f"e{i}"
+            if shift:
+                src.emit(f"    e{i} = {address} >> {shift}")
+        if sign:
+            bit, _span = sign
+            src.emit(f"    q{i} = {view}[idx, {element}].astype(_i64)")
+            src.emit(f"    t{i} = ((q{i} ^ {bit}) - {bit}) & 4294967295")
+        else:
+            src.emit(f"    t{i} = {view}[idx, {element}].astype(_i64)")
+        _write_result(src, i, rd, f"t{i}")
+        return
+
+    if kind == "store":
+        method, result_mask = template[1], template[2]
+        width, view, shift = _ACCESS[method]
+        src.begin_instruction(i, word, pc, cy.OP_STORE)
+        src.cycle_total += cy.CYCLES[cy.OP_STORE]
+        a = _operand(src, i, "a", rs1, _ROW_RS1)
+        b = _operand(src, i, "b", rs2, _ROW_RS2)
+        address, addr_const = _address_operand(src, i, a, imm, _ROW_ADDR)
+        if addr_const:
+            value = int(address)
+            word_address = value & 0xFFFFFFFC
+            if value > size - width or value % width or bmin <= word_address <= bmax:
+                # Bad address, or a store into this very block: let the
+                # scalar path produce the exact fault / exact retire.
+                src.emit("    raise _LaneFault")
+                return
+            element = str(value >> shift)
+            note = str(word_address)
+        else:
+            if width == 4:
+                word_address = address
+            else:
+                word_address = f"wa{i}"
+                src.emit(f"    wa{i} = {address} & 4294967292")
+            terms = [f"({address} > {size - width})"]
+            if width > 1:
+                terms.append(f"({address} & {width - 1})")
+            # A store that lands inside the current block would make
+            # the remaining pre-decoded instructions stale mid-flight.
+            terms.append(f"(({word_address} >= {bmin}) & ({word_address} <= {bmax}))")
+            _emit_guard(src, terms)
+            element = address if shift == 0 else f"e{i}"
+            if shift:
+                src.emit(f"    e{i} = {address} >> {shift}")
+            note = word_address
+        src.emit(f"    u{i} = {view}[idx, {element}]")
+        src.emit(f"    eng._undo.append(({view}, {element}, u{i}))")
+        # A folded constant must be pre-masked to the view's width: a
+        # Python int scalar is range-checked on assignment (ndarray
+        # values cast-truncate, scalars raise OverflowError).
+        stored = str(int(b) & ((1 << (8 * width)) - 1)) if _is_const(b) else b
+        src.emit(f"    {view}[idx, {element}] = {stored}")
+        src.emit(f"    eng._note({note})")
+        if _is_const(b):
+            masked = int(b) if result_mask is None else int(b) & result_mask
+            src.static(_ROW_RESULT, masked)
+        elif result_mask is None:
+            src.dyn(_ROW_RESULT, b)
+        else:
+            src.emit(f"    t{i} = {b} & {result_mask}", fast=False)
+            src.dyn(_ROW_RESULT, f"t{i}")
+        return
+
+    if kind == "branch":
+        scalar_cond = template[1]
+        src.begin_instruction(i, word, pc, 0)  # op class is dynamic
+        a = _operand(src, i, "a", rs1, _ROW_RS1)
+        b = _operand(src, i, "b", rs2, _ROW_RS2)
+        taken_pc = (pc + imm) & _MASK32
+        base = src.cycle_total
+        if _all_const(a, b):
+            sa = str(_to_signed(int(a)))
+            sb = str(_to_signed(int(b)))
+            taken = bool(_fold_scalar(scalar_cond.format(a=a, b=b, sa=sa, sb=sb)))
+            op_class = cy.OP_BRANCH_TAKEN if taken else cy.OP_BRANCH_NOT_TAKEN
+            src.static(_ROW_OP, op_class)
+            npc = taken_pc if taken else pc + 4
+            src.static(_ROW_RESULT, npc)
+            src.emit(f"    npc = {npc}")
+            src.cycle_total = base + cy.CYCLES[op_class]
+            return
+        np_cond = _NP_BRANCH[ins.mnemonic]
+        sa = _signed_expr(src, i, "a", a) if "{sa}" in np_cond else "0"
+        sb = _signed_expr(src, i, "b", b) if "{sb}" in np_cond else "0"
+        src.emit(f"    k{i} = {np_cond.format(a=a, b=b, sa=sa, sb=sb)}")
+        src.emit(f"    npc = _np.where(k{i}, {taken_pc}, {pc + 4})")
+        src.emit(
+            f"    cyc = _np.where(k{i}, {base + cy.CYCLES[cy.OP_BRANCH_TAKEN]},"
+            f" {base + cy.CYCLES[cy.OP_BRANCH_NOT_TAKEN]})"
+        )
+        src.emit(
+            f"    c{i} = _np.where(k{i}, {cy.OP_BRANCH_TAKEN},"
+            f" {cy.OP_BRANCH_NOT_TAKEN})",
+            fast=False,
+        )
+        src.dyn(_ROW_OP, f"c{i}")
+        src.dyn(_ROW_RESULT, "npc")
+        src.cycle_total = -1  # dynamic: the generated `cyc` carries it
+        return
+
+    if kind == "jal":
+        src.begin_instruction(i, word, pc, cy.OP_JUMP)
+        src.cycle_total += cy.CYCLES[cy.OP_JUMP]
+        _write_result(src, i, rd, pc + 4)
+        return
+
+    if kind == "jalr":
+        src.begin_instruction(i, word, pc, cy.OP_JUMP)
+        src.cycle_total += cy.CYCLES[cy.OP_JUMP]
+        a = _operand(src, i, "a", rs1, _ROW_RS1)
+        _write_result(src, i, rd, pc + 4)
+        if _is_const(a):
+            src.emit(f"    npc = {(int(a) + imm) & 0xFFFFFFFE}")
+        else:
+            src.emit(f"    npc = ({a} + {imm}) & 4294967294")
+        return
+
+    if kind == "lui" or kind == "auipc":
+        src.begin_instruction(i, word, pc, 0)
+        src.cycle_total += cy.CYCLES[cy.OP_ALU]
+        if kind == "lui":
+            result = (imm << 12) & _MASK32
+        else:
+            result = (pc + (imm << 12)) & _MASK32
+        _write_result(src, i, rd, result)
+        return
+
+    if kind == "system":
+        src.begin_instruction(i, word, pc, cy.OP_SYSTEM)
+        src.cycle_total += cy.CYCLES[cy.OP_SYSTEM]
+        src.emit("    eng.halted[idx] = True")
+        src.emit("    eng._alive[idx] = False")
+        return
+
+    raise SimulationError(
+        f"no lane handler for {ins.mnemonic}"
+    )  # pragma: no cover - the table covers every decodable mnemonic
+
+
+def _wrap_self_loop(lines: List[str], cont_expr: str, length: int) -> List[str]:
+    """Wrap a generated block body in a masked in-dispatch loop.
+
+    The body (everything after the ``def`` line) re-executes over a
+    shrinking active index set: lanes whose terminal branch re-enters
+    the block's own start keep iterating, lanes that exit (or cannot
+    retire another full block within budget) park with their committed
+    pc.  Each iteration commits exactly like one scheduler dispatch —
+    stores under the undo log, then events, writebacks, pc and counter
+    updates — so a mid-iteration fault leaves precisely one unretired
+    block execution for the scalar redo, and the observable per-lane
+    state is bit-identical to dispatching the block once per iteration.
+    """
+    out = [lines[0], "    while True:", "        eng._undo.clear()"]
+    out.extend("    " + line for line in lines[1:])
+    out.extend(
+        [
+            f"        lk = {cont_expr}",
+            "        if not lk.any(): return",
+            f"        lk = lk & ((eng._budget - eng.instruction_counts[idx]) >= {length})",
+            "        if not lk.any(): return",
+            "        idx = idx[lk]",
+        ]
+    )
+    return out
+
+
+def _generate_lane(pcs, words, instrs, fallthrough: int, size: int) -> LaneBlock:
+    block = LaneBlock(tuple(pcs), tuple(words))
+    src = _LaneSource()
+    src.emit("def _lb(eng, idx, regs, m8, m16, m32):")
+    src.emit("    eng._cur_idx = idx")
+    last = len(instrs) - 1
+    terminator = instrs[last].mnemonic
+    for i, (pc, ins) in enumerate(zip(pcs, instrs)):
+        _emit_lane_instruction(
+            src, i, ins, pc, i == last, fallthrough, block.bmin, block.bmax, size
+        )
+
+    count = len(instrs)
+    # Event staging: one zero-default template slab per lane, then one
+    # column write per dynamic cell (the values are already locals).
+    names = src.uniq_names
+    src.emit("    g = idx.shape[0]", fast=False)
+    src.emit(f"    slab = _np.empty((g, {count * _FIELDS}), dtype=_i64)", fast=False)
+    src.emit("    slab[:] = TPL", fast=False)
+    for cell, uidx in zip(src.cells, src.gather):
+        src.emit(f"    slab[:, {cell}] = {names[uidx]}", fast=False)
+    src.emit(
+        f"    eng.events.append_chunk(idx, slab.reshape(g, {count}, {_FIELDS}))",
+        fast=False,
+    )
+
+    # Deferred register writeback: a mid-block _LaneFault therefore
+    # leaves the register file untouched for the scalar redo.
+    for rd, value in src.written.items():
+        src.emit(f"    regs[{rd}][idx] = {value}")
+
+    if terminator in _NP_BRANCH or terminator == "jalr":
+        src.emit("    eng.pcs[idx] = npc")
+    else:
+        src.emit(f"    eng.pcs[idx] = {fallthrough}")
+    if src.cycle_total < 0:  # dynamic terminal branch
+        src.emit("    eng.cycle_counts[idx] += cyc")
+    elif src.cycle_total:
+        src.emit(f"    eng.cycle_counts[idx] += {src.cycle_total}")
+    src.emit(f"    eng.instruction_counts[idx] += {count}")
+
+    # Self-loop blocks (a dynamic terminal branch whose taken target or
+    # fall-through is the block's own start) iterate inside the
+    # dispatch over the still-looping lane subset.  This is where
+    # divergence concentrates — rejection sampling, normalisation and
+    # Newton loops with per-lane trip counts — and handling it here
+    # keeps the rest of the warp converged at the loop exit instead of
+    # splintering the min-pc groups on every iteration.
+    rec_lines, fast_lines = src.rec, src.fast
+    if src.cycle_total < 0 and terminator in _NP_BRANCH:
+        taken_pc = (pcs[last] + instrs[last].imm) & _MASK32
+        cont_expr = None
+        if taken_pc == pcs[0]:
+            cont_expr = f"k{last}"
+        elif fallthrough == pcs[0]:
+            cont_expr = f"~k{last}"
+        if cont_expr is not None:
+            rec_lines = _wrap_self_loop(rec_lines, cont_expr, count)
+            fast_lines = _wrap_self_loop(fast_lines, cont_expr, count)
+
+    template = np.zeros(count * _FIELDS, dtype=np.int64)
+    if src.statics:
+        off, vals = zip(*src.statics)
+        template[list(off)] = vals
+    namespace = {
+        "_np": np,
+        "_i64": np.int64,
+        "_one": np.int64(1),
+        "_LaneFault": _LaneFault,
+        "_v_mulhu": _v_mulhu,
+        "_v_div": _v_div,
+        "_v_divu": _v_divu,
+        "_v_rem": _v_rem,
+        "_v_remu": _v_remu,
+        "TPL": template,
+    }
+    exec("\n".join(rec_lines), namespace)  # noqa: S102 - template JIT
+    block.run_recording = namespace.pop("_lb")
+    exec("\n".join(fast_lines), namespace)  # noqa: S102 - template JIT
+    block.run_fast = namespace.pop("_lb")
+    return block
+
+
+def _generate_checked_lane(pcs, words, fallthrough: int, size: int) -> LaneBlock:
+    """Decode the walked words, truncating at the first illegal one."""
+    instrs: List = []
+    for index, word in enumerate(words):
+        try:
+            instrs.append(decode(word))
+        except SimulationError:
+            if index == 0:
+                raise
+            return _generate_lane(pcs[:index], words[:index], instrs, pcs[index], size)
+    return _generate_lane(pcs, words, instrs, fallthrough, size)
+
+
+# ----------------------------------------------------------------------
+# Process-wide translation cache (keyed on the memory size too: the
+# generated code embeds bounds-check limits derived from it)
+# ----------------------------------------------------------------------
+_LANE_CACHE: Dict[Tuple, LaneBlock] = {}
+_LANE_CACHE_MAX = 4096
+
+
+def lane_cache_size() -> int:
+    return len(_LANE_CACHE)
+
+
+def clear_lane_cache() -> None:
+    _LANE_CACHE.clear()
+
+
+def _image_word(image32: np.ndarray, size: int, address: int) -> int:
+    """Fetch one word from the image with Memory._check's exact faults."""
+    if address < 0 or address + 4 > size:
+        raise SimulationError(
+            f"memory access at {address:#x} (+4) outside [0, {size:#x})"
+        )
+    if address % 4:
+        raise SimulationError(f"misaligned 4-byte access at {address:#x}")
+    return int(image32[address >> 2])
+
+
+def _static_entry_points(image32: np.ndarray, size: int) -> frozenset:
+    """Static branch and ``jal`` targets in the boot image.
+
+    These are the program's join points: a pc that some branch can
+    reach is where subgroups that diverged at that branch physically
+    reconverge.  :func:`_walk_image` stops a block just before one, so
+    the lanes arriving by branch and the lanes arriving by fallthrough
+    land on the *same* pc and the min-pc scheduler fuses them into one
+    dispatch group again, instead of each subgroup dragging its own
+    inlined copy of the joined tail forever (which is what splinters a
+    warp inside loop diamonds).  Data words that happen to decode as
+    branches only add harmless extra split points.
+    """
+    words = image32[: size >> 2].astype(np.int64)
+    pcs = np.arange(0, size, 4, dtype=np.int64)
+    opcode = words & 0x7F
+    found = []
+    rows = np.nonzero(opcode == 0x63)[0]  # conditional branches
+    if rows.size:
+        w = words[rows]
+        imm = (
+            ((w >> 31) & 0x1) << 12
+            | ((w >> 25) & 0x3F) << 5
+            | ((w >> 8) & 0xF) << 1
+            | ((w >> 7) & 0x1) << 11
+        )
+        imm -= (imm & 0x1000) << 1
+        found.append((pcs[rows] + imm) & _MASK32)
+    rows = np.nonzero(opcode == 0x6F)[0]  # jal
+    if rows.size:
+        w = words[rows]
+        imm = (
+            ((w >> 31) & 0x1) << 20
+            | ((w >> 21) & 0x3FF) << 1
+            | ((w >> 20) & 0x1) << 11
+            | ((w >> 12) & 0xFF) << 12
+        )
+        imm -= (imm & 0x100000) << 1
+        found.append((pcs[rows] + imm) & _MASK32)
+    if not found:
+        return frozenset()
+    return frozenset(int(t) for t in np.concatenate(found))
+
+
+def _walk_image(image32: np.ndarray, size: int, start_pc: int, entries=frozenset()):
+    """Basic-block extent walk over the immutable program image.
+
+    Follows ``jal``; conditional branches, ``jalr`` and system
+    instructions end the block (they are where lanes may diverge), as
+    does the instruction cap or an unfetchable next word.  Sequential
+    flow into a static branch target (``entries``) also ends the block
+    so diverged subgroups reconverge there; ``jal`` still inlines its
+    target, which is what lets a loop body whose back edge is an
+    unconditional jump fuse into one self-loop block.
+    """
+    pcs: List[int] = []
+    words: List[int] = []
+    pc = start_pc
+    while len(words) < MAX_BLOCK_INSTRUCTIONS:
+        try:
+            word = _image_word(image32, size, pc)
+        except SimulationError:
+            if not words:
+                raise
+            break
+        pcs.append(pc)
+        words.append(word)
+        opcode = word & 0x7F
+        if opcode in (0x63, 0x67, 0x73):  # branch / jalr / system
+            pc += 4  # the system fallthrough; branch/jalr set npc
+            break
+        if opcode == 0x6F:  # jal: follow the jump
+            pc = (pc + jal_offset(word)) & _MASK32
+            if pc % 4:
+                break  # misaligned target: the next fetch faults live
+            continue
+        pc += 4
+        if pc != start_pc and pc in entries:
+            break  # join point: stop so diverged groups merge here
+    return pcs, words, pc
+
+
+# ----------------------------------------------------------------------
+# Lane-major event arena
+# ----------------------------------------------------------------------
+class LaneEventLog:
+    """Shared event arena for all lanes of one :class:`LaneEngine` run.
+
+    Recording appends ``(lane_ids, (g, n, 8))`` chunks in dispatch
+    order; :meth:`columns` finalizes them into one lane-major
+    ``(total, 8)`` row matrix with a per-chunk write-pointer scatter.
+    Per-lane views slice out of the finalized matrix, so a lane's event
+    stream is bit-identical to what a scalar run would have recorded.
+    """
+
+    def __init__(self, lanes: int) -> None:
+        self.lanes = lanes
+        self._chunks: List[Tuple[np.ndarray, np.ndarray]] = []
+        self._counts = np.zeros(lanes, dtype=np.int64)
+        self._rows: Optional[np.ndarray] = None
+        self._starts: Optional[np.ndarray] = None
+
+    def append_chunk(self, lane_ids: np.ndarray, slab: np.ndarray) -> None:
+        if self._rows is not None:
+            raise SimulationError("LaneEventLog is finalized; no further recording")
+        self._chunks.append((lane_ids, slab))
+        self._counts[lane_ids] += slab.shape[1]
+
+    def append_rows(self, lane: int, rows: np.ndarray) -> None:
+        """Record one lane's scalar-fallback events (already row-major)."""
+        if rows.shape[0]:
+            self.append_chunk(
+                np.asarray([lane], dtype=np.intp), rows[None, :, :]
+            )
+
+    def lane_counts(self) -> np.ndarray:
+        return self._counts.copy()
+
+    def _finalize(self) -> np.ndarray:
+        if self._rows is None:
+            starts = np.zeros(self.lanes + 1, dtype=np.int64)
+            np.cumsum(self._counts, out=starts[1:])
+            rows = np.empty((int(starts[-1]), _FIELDS), dtype=np.int64)
+            if self._chunks:
+                # One (chunk, lane) pair per slab row-run.  A pair's
+                # destination is its lane's region start plus the total
+                # length of that lane's earlier pairs; a stable sort by
+                # lane turns that running total into a grouped
+                # exclusive prefix sum, so the whole scatter needs no
+                # per-chunk Python loop beyond the two concatenations.
+                n_chunks = len(self._chunks)
+                chunk_len = np.fromiter(
+                    (slab.shape[1] for _, slab in self._chunks),
+                    np.int64, n_chunks,
+                )
+                chunk_width = np.fromiter(
+                    (ids.size for ids, _ in self._chunks), np.intp, n_chunks
+                )
+                pair_lane = np.concatenate([ids for ids, _ in self._chunks])
+                pair_len = np.repeat(chunk_len, chunk_width)
+                order = np.argsort(pair_lane, kind="stable")
+                lane_sorted = pair_lane[order]
+                run = np.cumsum(pair_len[order]) - pair_len[order]
+                first = np.searchsorted(lane_sorted, np.arange(self.lanes))
+                dest_sorted = (
+                    starts[lane_sorted] + run - run[first[lane_sorted]]
+                )
+                pair_base = np.empty(pair_lane.size, dtype=np.int64)
+                pair_base[order] = dest_sorted
+                ends = np.cumsum(pair_len)
+                offsets = np.arange(int(ends[-1]), dtype=np.int64)
+                offsets -= np.repeat(ends - pair_len, pair_len)
+                rows[np.repeat(pair_base, pair_len) + offsets] = (
+                    np.concatenate(
+                        [slab.reshape(-1, _FIELDS) for _, slab in self._chunks]
+                    )
+                )
+            self._rows = rows
+            self._starts = starts
+            self._chunks = []
+        return self._rows
+
+    def columns(self) -> np.ndarray:
+        """The lane-major ``(8, total)`` field matrix (a view)."""
+        return self._finalize().T
+
+    def lane_rows(self, lane: int) -> np.ndarray:
+        """One lane's ``(n, 8)`` event rows (a view into the arena)."""
+        self._finalize()
+        return self._rows[self._starts[lane] : self._starts[lane + 1]]
+
+    def lane_log(self, lane: int) -> EventLog:
+        """Materialise one lane's events as a standalone EventLog."""
+        return EventLog.from_rows(self.lane_rows(lane))
+
+    def __len__(self) -> int:
+        return int(self._counts.sum())
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class LaneEngine:
+    """Lock-step execution of ``lanes`` copies of one program image.
+
+    Parameters
+    ----------
+    image:
+        The shared initial memory contents (program + data), a uint8
+        array whose length is the per-lane memory size.  It is
+        snapshotted: translations always decode from this image, and
+        the self-modified-code guard scalarises any lane whose live
+        code may differ from it.
+    lanes:
+        Number of independent lanes.
+    record_events:
+        Record the shared :attr:`events` arena (the dominant cost).
+    block_cache:
+        Optional persistent ``{pc: LaneBlock}`` dict shared across runs
+        of the same image (the device keeps one per memory size).
+    """
+
+    def __init__(
+        self,
+        image: np.ndarray,
+        lanes: int,
+        record_events: bool = True,
+        block_cache: Optional[Dict[int, LaneBlock]] = None,
+    ) -> None:
+        image = np.ascontiguousarray(np.asarray(image, dtype=np.uint8))
+        if image.ndim != 1 or image.shape[0] % 4 or not image.shape[0]:
+            raise SimulationError("lane image must be a positive multiple of 4 bytes")
+        if lanes < 1:
+            raise SimulationError("lane engine needs at least one lane")
+        self.size = image.shape[0]
+        self.lanes = int(lanes)
+        self._image32 = image.view(np.uint32)
+        self.memory = np.empty((self.lanes, self.size), dtype=np.uint8)
+        self.memory[:] = image
+        self._m16 = self.memory.view(np.uint16)
+        self._m32 = self.memory.view(np.uint32)
+        self._regs = np.zeros((32, self.lanes), dtype=np.int64)
+        self._reg_rows = list(self._regs)
+        self.pcs = np.zeros(self.lanes, dtype=np.int64)
+        self.cycle_counts = np.zeros(self.lanes, dtype=np.int64)
+        self.instruction_counts = np.zeros(self.lanes, dtype=np.int64)
+        self.halted = np.zeros(self.lanes, dtype=bool)
+        self.errors: List[Optional[str]] = [None] * self.lanes
+        self._alive = np.ones(self.lanes, dtype=bool)
+        self.record_events = bool(record_events)
+        self.events: Optional[LaneEventLog] = (
+            LaneEventLog(self.lanes) if record_events else None
+        )
+        self._block_cache: Dict[int, LaneBlock] = (
+            block_cache if block_cache is not None else {}
+        )
+        self._undo: List[Tuple[np.ndarray, object, np.ndarray]] = []
+        # Set by generated block code before any side effect: the lane
+        # subset a fault must be rolled back and redone for (self-loop
+        # blocks shrink it per iteration).
+        self._cur_idx = np.empty(0, dtype=np.int64)
+        self._budget = 0
+        # Per-lane loop-wrap epoch: scheduling priority (see run()).
+        self._wraps = np.zeros(self.lanes, dtype=np.int64)
+        # Static join points of the image, scanned lazily on the first
+        # translation miss (the shared per-device block cache makes
+        # misses rare after the first batch).
+        self._entries: Optional[frozenset] = None
+        # Conservative engine-wide store envelope (word addresses).  If
+        # it misses a block's pc range, no lane can have modified that
+        # block's code; overlap sends the group to the scalar path.
+        self._gmin = self.size
+        self._gmax = -1
+        self._ran = False
+
+    # -- state access ---------------------------------------------------
+    def write_register(self, index: int, value) -> None:
+        """Set one register across lanes (scalar broadcast or per-lane)."""
+        if index != 0:
+            self._regs[index] = np.asarray(value, dtype=np.int64) & _MASK32
+
+    def lane_registers(self, lane: int) -> List[int]:
+        return [int(v) for v in self._regs[:, lane]]
+
+    def _note(self, word_address) -> None:
+        """Track the store envelope (called from generated block code)."""
+        if isinstance(word_address, (int, np.integer)):
+            lo = hi = int(word_address)
+        else:
+            lo = int(word_address.min())
+            hi = int(word_address.max())
+        if lo < self._gmin:
+            self._gmin = lo
+        if hi > self._gmax:
+            self._gmax = hi
+
+    # -- scalar fallback ------------------------------------------------
+    def _lane_cpu(self, lane: int) -> Cpu:
+        """Materialise one lane's state as a scalar reference core."""
+        memory = Memory(size_bytes=self.size)
+        memory._data[:] = self.memory[lane].tobytes()
+        cpu = Cpu(memory, record_events=True)
+        cpu.registers = [int(v) for v in self._regs[:, lane]]
+        cpu.pc = int(self.pcs[lane])
+        cpu.cycle_count = int(self.cycle_counts[lane])
+        cpu.instruction_count = int(self.instruction_counts[lane])
+        return cpu
+
+    def _absorb(self, lane: int, cpu: Cpu, error: Optional[str]) -> None:
+        """Copy a scalar episode's state (and events) back into the lane."""
+        self.memory[lane] = np.frombuffer(cpu.memory._data, dtype=np.uint8)
+        self._regs[:, lane] = cpu.registers
+        self.pcs[lane] = cpu.pc
+        self.cycle_counts[lane] = cpu.cycle_count
+        self.instruction_counts[lane] = cpu.instruction_count
+        self.halted[lane] = cpu.halted
+        rows = cpu.events.columns().T
+        if rows.shape[0]:
+            stores = rows[:, _ROW_OP] == cy.OP_STORE
+            if stores.any():
+                word_addresses = rows[stores, _ROW_ADDR] & 0xFFFFFFFC
+                self._note(word_addresses)
+            if self.record_events:
+                self.events.append_rows(lane, np.ascontiguousarray(rows))
+        if error is not None:
+            self.errors[lane] = error
+        self._alive[lane] = not cpu.halted and error is None
+
+    def _scalar_steps(
+        self, lane: int, steps: Optional[int], max_instructions: int
+    ) -> None:
+        """Run one lane scalar for up to ``steps`` instructions.
+
+        ``steps=None`` runs to termination (halt or budget error) —
+        the budget-tail path, mirroring ``Cpu._run_budget_tail``'s
+        check-then-step order so exhaustion raises at the exact same
+        instruction with the exact same message.
+        """
+        cpu = self._lane_cpu(lane)
+        error = None
+        try:
+            remaining = steps
+            while not cpu.halted:
+                if cpu.instruction_count >= max_instructions:
+                    raise SimulationError(
+                        f"instruction budget {max_instructions} exhausted"
+                        f" at pc={cpu.pc:#x}"
+                    )
+                cpu.step_reference()
+                if remaining is not None:
+                    remaining -= 1
+                    if remaining <= 0:
+                        break
+        except SimulationError as exc:
+            error = str(exc)
+        self._absorb(lane, cpu, error)
+
+    # -- translation ----------------------------------------------------
+    def _translate(self, pc: int) -> LaneBlock:
+        if self._entries is None:
+            self._entries = _static_entry_points(self._image32, self.size)
+        pcs, words, fallthrough = _walk_image(
+            self._image32, self.size, pc, self._entries
+        )
+        key = (pc, self.size, tuple(words))
+        block = _LANE_CACHE.get(key)
+        if block is None:
+            if len(_LANE_CACHE) >= _LANE_CACHE_MAX:
+                _LANE_CACHE.clear()
+            block = _generate_checked_lane(pcs, words, fallthrough, self.size)
+            _LANE_CACHE[key] = block
+        return block
+
+    # -- the dispatcher -------------------------------------------------
+    def run(self, max_instructions: int = 10_000_000) -> "LaneEngine":
+        """Execute every lane until it halts, faults, or exhausts budget.
+
+        Unlike ``Cpu.run`` this never raises for a guest-program fault:
+        each lane's terminal :class:`SimulationError` message is stored
+        in :attr:`errors` (callers decide whether that is fatal), which
+        is what batch capture needs — one faulting seed must not sink
+        its 63 siblings.
+        """
+        if self._ran:
+            raise SimulationError("LaneEngine.run is single-shot; build a new engine")
+        self._ran = True
+        self._budget = max_instructions
+        pcs = self.pcs
+        counts = self.instruction_counts
+        alive = self._alive
+        cache = self._block_cache
+        reg_rows = self._reg_rows
+        mem, m16, m32 = self.memory, self._m16, self._m32
+        recording = self.record_events
+        undo = self._undo
+        wraps = self._wraps
+
+        while True:
+            active = np.nonzero(alive)[0]
+            if active.size == 0:
+                break
+            # Schedule by (wrap epoch, pc), not bare min-pc: min-pc lets
+            # a lane that takes a loop back edge race a whole iteration
+            # ahead of parked higher-pc lanes and the warp decays into
+            # persistent phase-shifted cohorts.  The wrap counter bumps
+            # whenever a dispatch lands a lane at a lower pc (a visible
+            # back edge), so lanes in an earlier loop iteration always
+            # run first and within one iteration min-pc reconverges
+            # branch diamonds at their join pc.  Any schedule is
+            # semantically valid — lane state, events and faults are
+            # per-lane — so this is purely a throughput choice.
+            key = (wraps << 32) + pcs
+            lead = active[np.argmin(key[active])]
+            pc = int(pcs[lead])
+            group = active[pcs[active] == pc]
+
+            # One scalar reduce decides whether the exact per-lane
+            # budget checks can run at all this dispatch: while every
+            # lane is more than one maximal block away from the limit
+            # (the whole run, for the default 10M budget) neither the
+            # exhaustion nor the tail test can fire, so both are
+            # skipped.  Self-loop blocks still bound their own
+            # iterations, so a dispatch never retires more than the
+            # budget allows regardless of this shortcut.
+            budget_near = (
+                max_instructions - int(counts.max()) <= MAX_BLOCK_INSTRUCTIONS
+            )
+            if budget_near:
+                # Budget exhaustion first (matches the threaded
+                # engine's check order on a translation-cache miss).
+                spent = max_instructions - counts[group] <= 0
+                if spent.any():
+                    for lane in group[spent].tolist():
+                        self.errors[lane] = (
+                            f"instruction budget {max_instructions} exhausted"
+                            f" at pc={pc:#x}"
+                        )
+                        alive[lane] = False
+                    group = group[~spent]
+                    if group.size == 0:
+                        continue
+
+            block = cache.get(pc)
+            if block is None:
+                try:
+                    block = self._translate(pc)
+                except SimulationError as exc:
+                    if self._gmax >= 0:
+                        # Some lane stored somewhere: its live code may
+                        # differ from the image, so step exactly.
+                        for lane in group.tolist():
+                            self._scalar_steps(lane, 1, max_instructions)
+                            wraps[lane] += pcs[lane] < pc
+                    else:
+                        message = str(exc)
+                        for lane in group.tolist():
+                            self.errors[lane] = message
+                            alive[lane] = False
+                    continue
+                cache[pc] = block
+
+            # Self-modified-code guard: any store into this block's pc
+            # envelope sends the whole group through exact scalar steps.
+            if self._gmax >= block.bmin and self._gmin <= block.bmax:
+                for lane in group.tolist():
+                    self._scalar_steps(lane, 1, max_instructions)
+                    wraps[lane] += pcs[lane] < pc
+                continue
+
+            # Budget tail: lanes that cannot retire the whole block
+            # finish scalar (terminal: halt or the exact budget error).
+            if budget_near:
+                tail = max_instructions - counts[group] < block.length
+                if tail.any():
+                    for lane in group[tail].tolist():
+                        self._scalar_steps(lane, None, max_instructions)
+                    group = group[~tail]
+                    if group.size == 0:
+                        continue
+
+            undo.clear()
+            try:
+                if recording:
+                    block.run_recording(self, group, reg_rows, mem, m16, m32)
+                else:
+                    block.run_fast(self, group, reg_rows, mem, m16, m32)
+            except _LaneFault:
+                # Roll every store of the unretired block execution
+                # back (in reverse: two stores in one block may alias
+                # the same cell), then redo those lanes one at a time
+                # through the reference interpreter, which raises the
+                # exact fault for the lanes that hit it and retires the
+                # rest.  ``_cur_idx`` is the faulting lane subset: for
+                # a self-loop block, earlier iterations are already
+                # committed and lanes that left the loop keep their
+                # state — only the current iteration's lanes redo.
+                failed = self._cur_idx
+                for view, element, old in reversed(undo):
+                    view[failed, element] = old
+                for lane in failed.tolist():
+                    self._scalar_steps(lane, block.length, max_instructions)
+            undo.clear()
+            wraps[group] += pcs[group] < pc
+        return self

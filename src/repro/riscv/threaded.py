@@ -48,7 +48,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.riscv import cycles as cy
-from repro.riscv.isa import NUM_OPCODES, OPCODE_IDS, decode
+from repro.riscv.isa import NUM_OPCODES, OPCODE_IDS, branch_offset, decode, jal_offset
 
 _MASK32 = 0xFFFFFFFF
 
@@ -769,14 +769,7 @@ def translate(memory, start_pc: int) -> TranslatedBlock:
             pc += 4  # the ebreak/ecall fallthrough; jalr sets npc
             break
         if opcode == 0x63:  # conditional branch: follow the predicted way
-            imm = (
-                (((word >> 31) & 1) << 12)
-                | (((word >> 7) & 1) << 11)
-                | (((word >> 25) & 0x3F) << 5)
-                | (((word >> 8) & 0xF) << 1)
-            )
-            if imm & 0x1000:
-                imm -= 0x2000
+            imm = branch_offset(word)
             # Static prediction: backward branches are loop latches
             # (follow taken), forward branches skip ahead rarely
             # (follow fallthrough).
@@ -786,16 +779,8 @@ def translate(memory, start_pc: int) -> TranslatedBlock:
                 break
             pc = cont
             continue
-        if opcode == 0x6F:  # jal: follow the jump (inline J-imm decode)
-            imm = (
-                (((word >> 31) & 1) << 20)
-                | (((word >> 21) & 0x3FF) << 1)
-                | (((word >> 20) & 1) << 11)
-                | (((word >> 12) & 0xFF) << 12)
-            )
-            if imm & (1 << 20):
-                imm -= 1 << 21
-            pc = (pc + imm) & _MASK32
+        if opcode == 0x6F:  # jal: follow the jump
+            pc = (pc + jal_offset(word)) & _MASK32
             if pc % 4:
                 break  # misaligned target: the next fetch faults live
             continue

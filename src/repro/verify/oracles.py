@@ -8,8 +8,13 @@ driven by the same harness:
 - ``riscv.cpu.run`` — threaded-code engine vs the scalar interpreter,
   on randomized RV32IM programs (full machine state + EventLog + error
   parity);
+- ``riscv.cpu.run_lanes`` — lane-vectorized engine vs per-lane threaded
+  runs, on randomized divergent programs (every lane's registers, pc,
+  cycles, events and error string must match bit-for-bit);
 - ``power.leakage.expand`` — vectorized trace synthesis vs the scalar
   expansion (bit-exact float64);
+- ``power.leakage.expand_lanes`` — batched multi-lane expansion vs
+  per-lane :meth:`expand` calls (bit-exact float64 per lane);
 - ``attack.segmentation.moving_average`` — cumulative-sum sliding mean
   vs ``np.convolve`` (input-scaled envelope: both reassociate float
   sums, with error proportional to ``eps * sum(|x|)``);
@@ -305,6 +310,64 @@ def _run_engine(case: Dict[str, Any], threaded: bool) -> Dict[str, Any]:
     }
 
 
+def random_lane_program(rng: np.random.Generator) -> Dict[str, Any]:
+    """One randomized multi-lane case for the lane-engine oracle.
+
+    The same program runs in every lane, but each lane starts from its
+    own register file — so data-dependent branches, loop trip counts,
+    memory faults and budget exhaustion all diverge across lanes, which
+    is exactly the reconvergence/fallback machinery the lane engine
+    must get bit-exact.
+    """
+    case = random_program(rng)
+    lanes = int(rng.integers(2, 9))
+    case["register_files"] = [_random_register_file(rng) for _ in range(lanes)]
+    del case["registers"]
+    return case
+
+
+def _run_lane_engine(case: Dict[str, Any]) -> List[Dict[str, Any]]:
+    from repro.riscv.assembler import assemble
+    from repro.riscv.lanes import LaneEngine
+
+    words = np.asarray(assemble(case["source"]).words, dtype=np.uint32)
+    image = np.zeros(1 << 16, dtype=np.uint8)
+    image[: 4 * words.size] = words.view(np.uint8)
+    files = case["register_files"]
+    engine = LaneEngine(image, lanes=len(files), record_events=True)
+    for index in range(1, 32):
+        values = [file.get(index, 0) for file in files]
+        if any(values):
+            engine.write_register(index, values)
+    engine.run(max_instructions=case["max_instructions"])
+    return [
+        {
+            "registers": engine.lane_registers(lane),
+            "pc": int(engine.pcs[lane]),
+            "cycle_count": int(engine.cycle_counts[lane]),
+            "instruction_count": int(engine.instruction_counts[lane]),
+            "halted": bool(engine.halted[lane]),
+            "error": engine.errors[lane],
+            "events": engine.events.lane_rows(lane).T.copy(),
+        }
+        for lane in range(len(files))
+    ]
+
+
+def _run_lane_reference(case: Dict[str, Any]) -> List[Dict[str, Any]]:
+    return [
+        _run_engine(
+            {
+                "source": case["source"],
+                "registers": file,
+                "max_instructions": case["max_instructions"],
+            },
+            threaded=True,
+        )
+        for file in case["register_files"]
+    ]
+
+
 def sample_events(rng: np.random.Generator, max_events: int = 60) -> List[Any]:
     """A synthetic event log: random op classes, adversarial fields."""
     from repro.riscv import cycles as cy
@@ -339,6 +402,32 @@ def _sample_leakage_case(rng: np.random.Generator) -> Dict[str, Any]:
             baseline=float(rng.uniform(0.0, 10.0)),
         )
     return {"model": model, "events": sample_events(rng)}
+
+
+def _sample_expand_lanes_case(rng: np.random.Generator) -> Dict[str, Any]:
+    case = _sample_leakage_case(rng)
+    del case["events"]
+    lanes = int(rng.integers(1, 7))
+    case["lane_events"] = [sample_events(rng, max_events=40) for _ in range(lanes)]
+    return case
+
+
+def _run_expand_lanes(case: Dict[str, Any]) -> List[Any]:
+    merged: List[Any] = []
+    for events in case["lane_events"]:
+        merged.extend(events)
+    counts = [len(events) for events in case["lane_events"]]
+    return [
+        {"samples": samples, "starts": starts}
+        for samples, starts in case["model"].expand_lanes(merged, counts)
+    ]
+
+
+def _run_expand_per_lane(case: Dict[str, Any]) -> List[Any]:
+    return [
+        dict(zip(("samples", "starts"), case["model"].expand(events)))
+        for events in case["lane_events"]
+    ]
 
 
 def _sample_moving_average_case(rng: np.random.Generator) -> Dict[str, Any]:
@@ -590,6 +679,22 @@ register(
 
 register(
     Oracle(
+        name="cpu.run_lanes",
+        description="lane-vectorized RV32IM engine vs per-lane threaded "
+        "runs (registers, pc, cycles, events, faults for every lane)",
+        sample=random_lane_program,
+        fast=_run_lane_engine,
+        reference=_run_lane_reference,
+        summarize=lambda case: (
+            f"{len(case['register_files'])} lanes, "
+            f"{len(case['source'].splitlines())} source lines, "
+            f"budget {case['max_instructions']}"
+        ),
+    )
+)
+
+register(
+    Oracle(
         name="leakage.expand",
         description="vectorized leakage expansion vs the scalar per-event "
         "reference (bit-exact float64)",
@@ -597,6 +702,21 @@ register(
         fast=lambda case: case["model"].expand(case["events"]),
         reference=lambda case: case["model"].expand_reference(case["events"]),
         summarize=lambda case: f"{len(case['events'])} events",
+    )
+)
+
+register(
+    Oracle(
+        name="leakage.expand_lanes",
+        description="batched multi-lane leakage expansion vs per-lane "
+        "expand calls (bit-exact float64 per lane)",
+        sample=_sample_expand_lanes_case,
+        fast=_run_expand_lanes,
+        reference=_run_expand_per_lane,
+        summarize=lambda case: (
+            f"{len(case['lane_events'])} lanes, "
+            f"{sum(len(e) for e in case['lane_events'])} events"
+        ),
     )
 )
 

@@ -76,6 +76,35 @@ class TestRunCampaign:
         stats = result.hint_statistics()
         assert 0.0 <= stats["perfect_fraction"] <= 1.0
 
+    def test_lanes_bit_identical_to_threaded(self, profiled_attack):
+        threaded = run_campaign(
+            profiled_attack, trace_count=10, coeffs_per_trace=4, first_seed=1
+        )
+        lanes = run_campaign(
+            profiled_attack, trace_count=10, coeffs_per_trace=4, first_seed=1,
+            engine="lanes", lanes=4,
+        )
+        assert lanes.engine == "lanes" and threaded.engine == "threaded"
+        assert [o[:3] for o in threaded.outcomes] == [o[:3] for o in lanes.outcomes]
+        for a, b in zip(threaded.outcomes, lanes.outcomes):
+            assert a[3] == b[3]
+        assert threaded.sign_accuracy == lanes.sign_accuracy
+        assert threaded.value_accuracy == lanes.value_accuracy
+        assert "lanes engine" in lanes.format_timings()
+
+    def test_lanes_pool_bit_identical_to_lanes_serial(self, profiled_attack):
+        serial = run_campaign(
+            profiled_attack, trace_count=8, coeffs_per_trace=3, first_seed=1,
+            engine="lanes", lanes=2,
+        )
+        pooled = run_campaign(
+            profiled_attack, trace_count=8, coeffs_per_trace=3, first_seed=1,
+            engine="lanes", lanes=2, workers=2,
+        )
+        assert pooled.workers == 2
+        assert [o[:3] for o in serial.outcomes] == [o[:3] for o in pooled.outcomes]
+        assert serial.sign_accuracy == pooled.sign_accuracy
+
     def test_summary_mentions_budget(self, profiled_attack):
         report = run_campaign(
             profiled_attack, trace_count=4, coeffs_per_trace=2, first_seed=1

@@ -1,0 +1,93 @@
+"""Differential: lane-vectorized engine vs per-lane threaded runs.
+
+Every lane of a :class:`~repro.riscv.lanes.LaneEngine` batch must be
+bit-identical to running that lane's program alone on the threaded
+engine — registers, pc, cycle and instruction counts, the EventLog, and
+the per-lane error string when a lane faults or exhausts its budget.
+Hypothesis shrinks a diverging batch toward the one opcode that breaks
+lock-step parity; the seeded sweeps replay through ``python -m
+repro.verify replay cpu.run_lanes`` / ``leakage.expand_lanes``.
+"""
+
+from hypothesis import given
+
+from repro.verify.oracles import get_oracle
+from tests.differential.helpers import assert_ok
+from tests.strategies import case_seeds, lane_programs
+
+ENGINE_ORACLE = get_oracle("cpu.run_lanes")
+EXPAND_ORACLE = get_oracle("leakage.expand_lanes")
+
+
+@given(lane_programs())
+def test_lanes_agree_on_random_programs(case):
+    assert_ok(ENGINE_ORACLE.check_case(case))
+
+
+@given(case_seeds)
+def test_lanes_agree_on_seeded_cases(seed):
+    assert_ok(ENGINE_ORACLE.check_seed(seed))
+
+
+@given(case_seeds)
+def test_expand_lanes_agrees_on_seeded_cases(seed):
+    assert_ok(EXPAND_ORACLE.check_seed(seed))
+
+
+def _fixed_case(source, register_files, budget=10_000):
+    return {
+        "source": source,
+        "register_files": register_files,
+        "max_instructions": budget,
+    }
+
+
+def test_branch_divergence_parity():
+    # Lanes take opposite sides of the branch, park, and reconverge;
+    # every lane must still match its solo threaded run exactly.
+    case = _fixed_case(
+        "blt x1, x2, else\n"
+        "addi x3, x3, 7\n"
+        "jal x0, done\n"
+        "else:\n"
+        "addi x3, x3, 11\n"
+        "done:\n"
+        "mul x4, x3, x3\n"
+        "ebreak",
+        register_files=[{1: 1, 2: 2}, {1: 2, 2: 1}, {1: 5, 2: 5}],
+    )
+    assert_ok(ENGINE_ORACLE.check_case(case))
+
+
+def test_per_lane_fault_parity():
+    # Lane 1 stores out of range, lane 2 misaligns a load; the healthy
+    # lane must run to completion with identical state.
+    case = _fixed_case(
+        "sw x2, 0(x1)\n"
+        "lw x3, 0(x1)\n"
+        "ebreak",
+        register_files=[{1: 0x8000}, {1: 0x100000}, {1: 0x8002}],
+    )
+    report = ENGINE_ORACLE.check_case(case)
+    assert_ok(report)
+    results = ENGINE_ORACLE.fast(case)
+    assert results[0]["error"] is None
+    assert results[1]["error"] is not None
+    assert results[2]["error"] is not None
+
+
+def test_divergent_trip_count_budget_parity():
+    # Different loop trip counts per lane with a budget that expires
+    # mid-block for some lanes only.
+    source = (
+        "loop:\n"
+        "addi x1, x1, -1\n"
+        "add x3, x3, x1\n"
+        "bnez x1, loop\n"
+        "ebreak"
+    )
+    files = [{1: 2}, {1: 9}, {1: 40}, {1: 1}]
+    for budget in (1, 5, 28, 10_000):
+        assert_ok(
+            ENGINE_ORACLE.check_case(_fixed_case(source, files, budget))
+        )

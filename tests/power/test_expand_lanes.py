@@ -1,0 +1,130 @@
+"""Batched lane expansion and the lanes capture path.
+
+``LeakageModel.expand_lanes`` must be bit-identical to expanding each
+lane's events alone, and ``capture_batch(engine="lanes")`` must be
+bit-identical to the threaded capture path — same traces, same noise,
+same event starts — for every lane width, worker count and chunking.
+"""
+
+import numpy as np
+import pytest
+
+from repro.power.capture import TraceAcquisition
+from repro.power.leakage import LeakageModel
+from repro.power.scope import Oscilloscope
+from repro.riscv.device import GaussianSamplerDevice
+from repro.verify.oracles import sample_events
+
+PAPER_Q = 132120577
+
+
+@pytest.fixture(scope="module")
+def device():
+    return GaussianSamplerDevice([PAPER_Q])
+
+
+def make_bench(device, **kwargs):
+    return TraceAcquisition(
+        device, scope=Oscilloscope(noise_std=1.0), rng=7, **kwargs
+    )
+
+
+def assert_batches_identical(lhs, rhs):
+    assert len(lhs) == len(rhs)
+    for a, b in zip(lhs, rhs):
+        assert a.seed == b.seed
+        assert a.values == b.values
+        assert a.cycle_count == b.cycle_count
+        np.testing.assert_array_equal(a.trace.samples, b.trace.samples)
+        np.testing.assert_array_equal(a.event_starts, b.event_starts)
+
+
+# ----------------------------------------------------------------------
+# expand_lanes
+# ----------------------------------------------------------------------
+def test_expand_lanes_bit_identical_per_lane():
+    rng = np.random.default_rng(3)
+    model = LeakageModel()
+    lanes = [sample_events(rng, max_events=50) for _ in range(9)]
+    merged = [event for events in lanes for event in events]
+    batched = model.expand_lanes(merged, [len(events) for events in lanes])
+    assert len(batched) == len(lanes)
+    for events, (samples, starts) in zip(lanes, batched):
+        solo_samples, solo_starts = model.expand(events)
+        np.testing.assert_array_equal(samples, solo_samples)
+        np.testing.assert_array_equal(starts, solo_starts)
+
+
+def test_expand_lanes_from_device_arena(device):
+    batch = device.run_lanes([11, 12, 13], count=2, events_per_lane=False)
+    model = LeakageModel()
+    for seed, (samples, starts) in zip(
+        batch.seeds, model.expand_lanes(batch.events)
+    ):
+        solo_samples, solo_starts = model.expand(device.run(seed, count=2).events)
+        np.testing.assert_array_equal(samples, solo_samples)
+        np.testing.assert_array_equal(starts, solo_starts)
+
+
+def test_expand_lanes_rejects_mismatched_counts():
+    events = sample_events(np.random.default_rng(0), max_events=20)
+    with pytest.raises(ValueError, match="lane counts"):
+        LeakageModel().expand_lanes(events, [len(events) + 1])
+
+
+def test_expand_lanes_empty_lanes():
+    model = LeakageModel()
+    out = model.expand_lanes([], [0, 0, 0])
+    assert len(out) == 3
+    for samples, starts in out:
+        assert samples.shape == (0,)
+        assert starts.shape == (0,)
+
+
+# ----------------------------------------------------------------------
+# capture_batch(engine="lanes")
+# ----------------------------------------------------------------------
+class TestLanesCaptureParity:
+    def test_lanes_bit_identical_to_threaded(self, device):
+        threaded = make_bench(device).capture_batch(
+            5, coeffs_per_trace=2, first_seed=30
+        )
+        for lanes in (1, 2, 5, 64):
+            batch = make_bench(device).capture_batch(
+                5, coeffs_per_trace=2, first_seed=30,
+                engine="lanes", lanes=lanes,
+            )
+            assert_batches_identical(threaded, batch)
+
+    def test_lanes_with_workers_bit_identical(self, device):
+        serial = make_bench(device).capture_batch(
+            6, coeffs_per_trace=1, first_seed=50, engine="lanes", lanes=2
+        )
+        pooled = make_bench(device).capture_batch(
+            6, coeffs_per_trace=1, first_seed=50,
+            engine="lanes", lanes=2, workers=2,
+        )
+        assert_batches_identical(serial, pooled)
+
+    def test_acquisition_level_engine_default(self, device):
+        bench = make_bench(device, engine="lanes", lanes=4)
+        batch = bench.capture_batch(3, coeffs_per_trace=1, first_seed=9)
+        threaded = make_bench(device).capture_batch(
+            3, coeffs_per_trace=1, first_seed=9
+        )
+        assert_batches_identical(threaded, batch)
+
+    def test_slim_mode_values_match(self, device):
+        bench = make_bench(device)
+        full = bench.capture_batch(4, first_seed=70, engine="lanes", lanes=3)
+        slim = bench.capture_batch(
+            4, first_seed=70, engine="lanes", lanes=3, return_traces=False
+        )
+        assert [c.values for c in slim] == [c.values for c in full]
+        assert all(c.trace is None for c in slim)
+
+    def test_rejects_bad_lane_width(self, device):
+        with pytest.raises(ValueError, match="lanes"):
+            make_bench(device).capture_batch(
+                2, first_seed=1, engine="lanes", lanes=0
+            )

@@ -1,0 +1,235 @@
+"""Unit tests for the lane-vectorized RV32IM engine.
+
+The differential suite (``tests/differential/test_lanes.py``) and the
+``cpu.run_lanes`` oracle prove bit-exactness against the threaded
+engine; this file pins the lane engine's own contract — lock-step
+scheduling, per-lane fault isolation, the shared event arena, cache
+behaviour, and the device-level ``run_lanes`` wrapper.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.riscv.assembler import assemble
+from repro.riscv.cpu import Cpu
+from repro.riscv.device import GaussianSamplerDevice, resolve_engine
+from repro.riscv.lanes import (
+    LaneEngine,
+    LaneEventLog,
+    clear_lane_cache,
+    lane_cache_size,
+)
+from repro.riscv.memory import Memory
+
+MODULI = [0xFFEE001, 0xFFC4001, 0x7FE2001, 0x7F54001]
+
+
+def _image(source, size=1 << 16):
+    words = np.asarray(assemble(source).words, dtype=np.uint32)
+    image = np.zeros(size, dtype=np.uint8)
+    image[: 4 * words.size] = words.view(np.uint8)
+    return image
+
+
+def _engine(source, registers, **kwargs):
+    """Build a LaneEngine with one lane per register file."""
+    engine = LaneEngine(_image(source), lanes=len(registers), **kwargs)
+    for index in range(1, 32):
+        values = [file.get(index, 0) for file in registers]
+        if any(values):
+            engine.write_register(index, values)
+    return engine
+
+
+def _solo(source, registers, max_instructions=10_000):
+    cpu = Cpu(Memory(size_bytes=1 << 16), record_events=True)
+    cpu.load_program(assemble(source).words, 0)
+    for index, value in registers.items():
+        cpu.write_register(index, value)
+    error = None
+    try:
+        cpu.run(max_instructions=max_instructions)
+    except SimulationError as exc:
+        error = str(exc)
+    return cpu, error
+
+
+DIVERGENT = (
+    "loop:\n"
+    "addi x1, x1, -1\n"
+    "add x3, x3, x1\n"
+    "bnez x1, loop\n"
+    "ebreak"
+)
+
+
+def test_lanes_match_solo_runs_under_divergence():
+    files = [{1: 3}, {1: 17}, {1: 1}, {1: 60}]
+    engine = _engine(DIVERGENT, files).run()
+    for lane, file in enumerate(files):
+        cpu, error = _solo(DIVERGENT, file)
+        assert engine.errors[lane] is None and error is None
+        assert engine.lane_registers(lane) == list(cpu.registers)
+        assert int(engine.pcs[lane]) == cpu.pc
+        assert int(engine.cycle_counts[lane]) == cpu.cycle_count
+        assert int(engine.instruction_counts[lane]) == cpu.instruction_count
+        assert bool(engine.halted[lane])
+        assert np.array_equal(
+            engine.events.lane_rows(lane).T, cpu.events.columns()
+        )
+
+
+def test_faulting_lane_does_not_poison_others():
+    source = "sw x2, 0(x1)\nadd x3, x1, x2\nebreak"
+    files = [{1: 0x8000, 2: 7}, {1: 0x200000, 2: 7}, {1: 0x8001, 2: 7}]
+    engine = _engine(source, files).run()
+    assert engine.errors[0] is None and bool(engine.halted[0])
+    for lane in (1, 2):
+        _, solo_error = _solo(source, files[lane])
+        assert engine.errors[lane] == solo_error
+        assert not bool(engine.halted[lane])
+    # The healthy lane's stored word landed only in its own memory plane.
+    m32 = engine.memory.view(np.uint32)
+    assert int(m32[0, 0x8000 >> 2]) == 7
+    assert int(m32[1, 0x8000 >> 2]) == 0
+
+
+def test_budget_exhaustion_is_per_lane():
+    files = [{1: 2}, {1: 50}]
+    engine = _engine(DIVERGENT, files).run(max_instructions=30)
+    assert engine.errors[0] is None
+    assert engine.errors[1] is not None
+    assert "instruction budget 30 exhausted" in engine.errors[1]
+    _, solo_error = _solo(DIVERGENT, files[1], max_instructions=30)
+    assert engine.errors[1] == solo_error
+
+
+def test_run_is_single_shot():
+    engine = _engine("ebreak", [{}]).run()
+    with pytest.raises(SimulationError, match="single-shot"):
+        engine.run()
+
+
+def test_rejects_bad_construction():
+    with pytest.raises(SimulationError):
+        LaneEngine(np.zeros(10, dtype=np.uint8), lanes=1)  # not word-sized
+    with pytest.raises(SimulationError):
+        LaneEngine(np.zeros(64, dtype=np.uint8), lanes=0)
+
+
+def test_write_register_broadcast_and_per_lane():
+    engine = _engine("ebreak", [{}, {}, {}])
+    engine.write_register(7, 5)
+    engine.write_register(8, [1, 2, 3])
+    assert [engine.lane_registers(lane)[7] for lane in range(3)] == [5, 5, 5]
+    assert [engine.lane_registers(lane)[8] for lane in range(3)] == [1, 2, 3]
+    engine.write_register(0, 9)  # x0 stays hardwired to zero
+    assert engine.lane_registers(0)[0] == 0
+
+
+def test_record_events_off():
+    engine = _engine(DIVERGENT, [{1: 3}, {1: 9}], record_events=False).run()
+    assert engine.events is None
+    assert engine.errors == [None, None]
+
+
+def test_lane_cache_shared_and_clearable():
+    clear_lane_cache()
+    _engine(DIVERGENT, [{1: 4}]).run()
+    warm = lane_cache_size()
+    assert warm > 0
+    _engine(DIVERGENT, [{1: 11}, {1: 2}]).run()
+    assert lane_cache_size() == warm  # same program, cache hit
+    clear_lane_cache()
+    assert lane_cache_size() == 0
+
+
+def test_lane_event_log_arena():
+    log = LaneEventLog(lanes=3)
+    chunk = np.arange(2 * 2 * 8, dtype=np.int64).reshape(2, 2, 8)
+    log.append_chunk(np.array([0, 2]), chunk)
+    log.append_rows(1, np.full((1, 8), 7, dtype=np.int64))
+    assert list(log.lane_counts()) == [2, 1, 2]
+    assert len(log) == 5
+    assert np.array_equal(log.lane_rows(0), chunk[0])
+    assert np.array_equal(log.lane_rows(2), chunk[1])
+    assert log.lane_log(1).columns().shape == (8, 1)
+    with pytest.raises(SimulationError):
+        log.append_rows(0, np.zeros((1, 8), dtype=np.int64))  # finalized
+
+
+# ----------------------------------------------------------------------
+# Device-level run_lanes
+# ----------------------------------------------------------------------
+def test_run_lanes_matches_run_per_seed():
+    device = GaussianSamplerDevice(MODULI)
+    seeds = [5, 6, 7, 1234]
+    batch = device.run_lanes(seeds, count=3)
+    assert batch.seeds == seeds
+    for seed, run in zip(seeds, batch.runs):
+        solo = device.run(seed, count=3)
+        assert run.values == solo.values
+        assert run.residues == solo.residues
+        assert run.cycle_count == solo.cycle_count
+        assert run.instruction_count == solo.instruction_count
+        assert run.events == solo.events
+
+
+def test_run_engine_lanes_alias():
+    device = GaussianSamplerDevice(MODULI)
+    assert device.run(9, count=2, engine="lanes").values == \
+        device.run(9, count=2).values
+
+
+def test_run_lanes_shared_arena_mode():
+    device = GaussianSamplerDevice(MODULI)
+    batch = device.run_lanes([1, 2], count=1, events_per_lane=False)
+    assert all(len(run.events) == 0 for run in batch.runs)
+    assert list(batch.events.lane_counts()) == [
+        len(device.run(1, count=1).events),
+        len(device.run(2, count=1).events),
+    ]
+
+
+def test_run_lanes_validates_arguments():
+    device = GaussianSamplerDevice(MODULI)
+    with pytest.raises(SimulationError):
+        device.run_lanes([], count=1)
+    with pytest.raises(SimulationError):
+        device.run_lanes([1], count=0)
+
+
+def test_run_lanes_reports_faulting_lane_and_seed():
+    device = GaussianSamplerDevice(MODULI)
+    with pytest.raises(SimulationError, match=r"lane 0 \(seed 2\): instruction budget"):
+        device.run_lanes([2, 3], count=1, max_instructions=5)
+
+
+def test_resolve_engine_env_default(monkeypatch):
+    monkeypatch.delenv("REVEAL_ENGINE", raising=False)
+    assert resolve_engine(None) == "threaded"
+    monkeypatch.setenv("REVEAL_ENGINE", "lanes")
+    assert resolve_engine(None) == "lanes"
+    assert resolve_engine("interpreter") == "reference"
+    with pytest.raises(SimulationError, match="unknown engine"):
+        resolve_engine("warp")
+
+
+def test_device_pickle_stays_small_after_lane_runs():
+    # __getstate__ must drop the warm lane caches (generated code and
+    # per-size memory images are unpicklable / enormous): the pickle of
+    # a heavily used device must match a fresh one byte-for-byte.
+    fresh = len(pickle.dumps(GaussianSamplerDevice(MODULI)))
+    device = GaussianSamplerDevice(MODULI)
+    device.run(3, count=2)  # warm threaded caches
+    device.run_lanes([4, 5, 6], count=2)  # warm lane image + block cache
+    assert device._lane_images and device._lane_block_cache
+    blob = pickle.dumps(device)
+    assert len(blob) == fresh
+    clone = pickle.loads(blob)
+    assert clone._lane_images == {} and clone._lane_block_cache == {}
+    assert clone.run_lanes([4], count=2).runs[0].values == \
+        device.run(4, count=2).values

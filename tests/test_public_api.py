@@ -100,7 +100,9 @@ SUBMODULES = [
     "repro.riscv.device",
     "repro.riscv.disasm",
     "repro.riscv.isa",
+    "repro.riscv.lanes",
     "repro.riscv.memory",
+    "repro.riscv.threaded",
     "repro.riscv.programs.gaussian",
     "repro.utils.bitops",
     "repro.utils.rng",

@@ -34,3 +34,14 @@ class TestCli:
         assert "per-stage timings" in out
         for stage in ("capture", "segment", "classify", "wall"):
             assert stage in out
+        assert "threaded engine" in out
+
+    def test_table1_engine_flag(self, capsys):
+        main(["table1", "--traces", "8", "--engine", "lanes"])
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "lanes engine" in out
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--engine", "warp"])
