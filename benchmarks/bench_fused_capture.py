@@ -1,0 +1,195 @@
+"""Fused lane-major capture benchmark: single-pass vs per-trace.
+
+Measures the stream-v2 fused pipeline (``run_lanes`` with deferred
+dispatch records -> ``expand_arena`` compiled block emitters ->
+``capture_batch`` keyed-noise scope chain, one lane-major pass over the
+whole batch) against the per-trace threaded path (``run`` -> ``expand``
+-> ``capture_keyed``, once per trace).  Both produce bit-identical
+traces (the ``capture.fused`` / ``leakage.expand_arena`` oracles and
+tests/power/test_noise_v2.py), so this is a pure throughput
+comparison.
+
+Two views are reported:
+
+* end-to-end traces/second at L=64, interleaved with the threaded
+  baseline inside each repetition (best-of-N, like bench_lanes.py) —
+  the guarded quantity;
+* a per-stage breakdown (emulate / expand / scope) of one batch on
+  each path, so regressions can be attributed to a stage instead of
+  re-profiling from scratch.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_fused_capture.py          # full (5 reps)
+    PYTHONPATH=src python benchmarks/bench_fused_capture.py --quick  # CI smoke (1 rep)
+    PYTHONPATH=src python benchmarks/bench_fused_capture.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict
+
+from repro.power.capture import TraceAcquisition
+from repro.power.scope import Oscilloscope
+from repro.riscv.device import GaussianSamplerDevice
+
+MODULI = [0xFFEE001, 0xFFC4001, 0x7FE2001, 0x7F54001]
+TRACES = 64
+COUNT = 8
+FIRST_SEED = 1000
+LANES = 64
+
+
+def _bench_parts():
+    bench = TraceAcquisition(
+        GaussianSamplerDevice(MODULI), scope=Oscilloscope(noise_std=1.0), rng=0
+    )
+    return bench, bench.device, bench.leakage, bench.scope
+
+
+def bench_end_to_end(repetitions: int) -> Dict[str, float]:
+    """Best-of-N traces/second, fused L=64 vs per-trace threaded.
+
+    The two configurations are interleaved within each repetition so
+    the reported speedup compares like-for-like machine conditions —
+    on a shared container absolute rates drift far more between phases
+    than between back-to-back runs.
+    """
+    bench, *_ = _bench_parts()
+    results: Dict[str, float] = {}
+    configs = [
+        ("threaded", {"engine": "threaded"}),
+        ("fused64", {"engine": "lanes", "lanes": LANES}),
+    ]
+
+    for _, kwargs in configs:  # warm translation/emitter caches
+        bench.capture_batch(TRACES, coeffs_per_trace=COUNT,
+                            first_seed=FIRST_SEED, **kwargs)
+    for _ in range(repetitions):
+        for name, kwargs in configs:
+            start = time.perf_counter()
+            bench.capture_batch(TRACES, coeffs_per_trace=COUNT,
+                                first_seed=FIRST_SEED, **kwargs)
+            rate = TRACES / (time.perf_counter() - start)
+            key = f"{name}_traces_per_s"
+            results[key] = round(max(results.get(key, 0.0), rate), 1)
+    results["speedup_fused64_vs_threaded"] = round(
+        results["fused64_traces_per_s"] / results["threaded_traces_per_s"], 2
+    )
+    return results
+
+
+def bench_stages(repetitions: int) -> Dict[str, Dict[str, float]]:
+    """Per-stage wall time (ms per 64-trace batch, best of N).
+
+    Fused stages: one ``run_lanes`` batch, one ``expand_arena`` pass,
+    one ``capture_batch`` scope pass.  Threaded stages: the same three
+    conceptual stages summed over the 64 per-trace iterations.
+    """
+    bench, device, leakage, scope = _bench_parts()
+    seeds = list(range(FIRST_SEED, FIRST_SEED + TRACES))
+    entropy = bench.batch_entropy()
+    best: Dict[str, Dict[str, float]] = {
+        "fused": {}, "threaded": {},
+    }
+
+    def record(side: str, stage: str, elapsed: float) -> None:
+        ms = round(1e3 * elapsed, 2)
+        prev = best[side].get(stage)
+        best[side][stage] = ms if prev is None else min(prev, ms)
+
+    # warm caches
+    device.run(seeds[0], COUNT)
+    batch = device.run_lanes(seeds, COUNT, events_per_lane=False)
+    leakage.expand_arena(batch.events, [r.cycle_count for r in batch.runs])
+    for _ in range(repetitions):
+        # fused: one pass per stage over the whole batch
+        start = time.perf_counter()
+        batch = device.run_lanes(seeds, COUNT, events_per_lane=False)
+        record("fused", "emulate_run_lanes", time.perf_counter() - start)
+        start = time.perf_counter()
+        flat, bounds, _starts = leakage.expand_arena(
+            batch.events, [r.cycle_count for r in batch.runs]
+        )
+        record("fused", "expand_arena", time.perf_counter() - start)
+        start = time.perf_counter()
+        scope.capture_batch(flat, bounds, entropy, seeds)
+        record("fused", "scope_capture_batch", time.perf_counter() - start)
+
+        # threaded: per-trace stages, summed
+        emulate = expand = noise_t = 0.0
+        for seed in seeds:
+            start = time.perf_counter()
+            run = device.run(seed, count=COUNT, record_events=True)
+            emulate += time.perf_counter() - start
+            start = time.perf_counter()
+            noiseless, _ = leakage.expand(run.events)
+            expand += time.perf_counter() - start
+            start = time.perf_counter()
+            scope.capture_keyed(noiseless, entropy, seed, out=noiseless)
+            noise_t += time.perf_counter() - start
+        record("threaded", "emulate_run", emulate)
+        record("threaded", "expand", expand)
+        record("threaded", "scope_capture_keyed", noise_t)
+
+    for side in best:
+        best[side]["total"] = round(sum(best[side].values()), 2)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repetitions", type=int, default=5, help="timed repetitions per case"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: 1 repetition + fused-beats-threaded guard",
+    )
+    parser.add_argument("--json", metavar="PATH", help="also write results as JSON")
+    args = parser.parse_args(argv)
+    repetitions = 1 if args.quick else args.repetitions
+
+    end_to_end = bench_end_to_end(repetitions)
+    stages = bench_stages(repetitions)
+
+    print(f"Fused capture ({TRACES} traces x {COUNT} coefficients, "
+          f"best of {repetitions}):")
+    print("  end-to-end (traces/sec):")
+    for key in ("threaded", "fused64"):
+        print(f"    {key:10s} {end_to_end[f'{key}_traces_per_s']:>10,.0f}")
+    print(f"    speedup fused L={LANES} vs threaded "
+          f"{end_to_end['speedup_fused64_vs_threaded']:.2f}x")
+    print("  per-stage (ms per batch):")
+    for side in ("threaded", "fused"):
+        row = ", ".join(
+            f"{stage}={ms:.1f}" for stage, ms in stages[side].items()
+        )
+        print(f"    {side:9s} {row}")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"end_to_end": end_to_end, "stages_ms": stages}, fh,
+                      indent=2)
+        print(f"wrote {args.json}")
+
+    # Guard: the fused pipeline must hold a clear win over per-trace
+    # capture.  Measured 1.6x-1.75x same-conditions on the CI container
+    # (stage totals: 137.7ms threaded vs 79.3ms fused per 64-trace
+    # batch); 1.3 leaves one noisy shared-runner repetition ~20% of
+    # headroom while still catching any real loss of the fusion
+    # advantage — falling back to per-lane materialization lands near
+    # the old 1.3x lanes number, and losing lane batching lands near 1x.
+    if args.quick and end_to_end["speedup_fused64_vs_threaded"] < 1.3:
+        print("REGRESSION: fused L=64 capture throughput fell below 1.3x "
+              "the per-trace threaded baseline", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

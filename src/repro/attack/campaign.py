@@ -8,9 +8,12 @@ path:
 - :func:`run_campaign` fans ``capture -> segment -> classify -> score``
   for N victim seeds across a process pool.  Every worker does the
   whole chain locally and ships back only per-coefficient outcomes (a
-  few hundred bytes per trace), and every trace's measurement noise is
-  a pure function of ``(batch entropy, seed)`` — so the report is
-  **identical** for any worker count or pool scheduling order.
+  few hundred bytes per trace); with ``engine="lanes"`` each worker
+  captures a whole lane batch through the fused expand→noise→scope
+  pipeline (L×W parallelism).  Every trace's measurement noise is a
+  pure function of ``(batch entropy, seed)`` under the counter-based
+  stream of :mod:`repro.power.noise` — so the report is **identical**
+  for any worker count, lane width or pool scheduling order.
 - :class:`CampaignReport` aggregates accuracies, the confusion matrix,
   the probability tables (the LWE-with-hints input) and **per-stage
   wall-time counters**, the honest end-to-end throughput trajectory
@@ -42,6 +45,7 @@ from repro.attack.pipeline import ProfilingReport, SingleTraceAttack
 from repro.attack.persistence import load_attack, save_attack
 from repro.errors import AttackError
 from repro.power.capture import CapturedTrace, _capture_lane_chunk, _capture_one
+from repro.power.noise import NOISE_STREAM_VERSION
 from repro.riscv.device import resolve_engine
 
 #: Timing stages reported by the campaign workers, in pipeline order.
@@ -415,6 +419,11 @@ def profile_cache_key(
         "coeffs_per_trace": int(coeffs_per_trace),
         "first_seed": int(first_seed),
         "noise_mode": noise_mode,
+        # Stream-construction version: profiles templated under one
+        # noise stream must never be served against traces captured
+        # under another (the v1 -> v2 Philox migration changed every
+        # noise value while keeping the distribution).
+        "noise_stream": NOISE_STREAM_VERSION,
         "batch_entropy": acquisition.batch_entropy(),
         "moduli": getattr(device, "moduli", None),
         "max_deviation": getattr(device, "max_deviation", None),

@@ -8,13 +8,18 @@ and triggering one execution of the sampling kernel; the returned
 the attack itself only ever sees ``trace``.
 
 Batch acquisition (:meth:`~TraceAcquisition.capture_batch`) draws each
-trace's measurement noise from an independent generator seeded by
-``(batch entropy, device seed)``, never from the bench's shared stream.
-That makes every trace's noise a pure function of its seed, so the
-``workers=`` process pool produces **bit-identical** traces to the
-serial path in any completion order — the profiling workload (thousands
-of single-coefficient captures for template building) scales across
-cores without sacrificing reproducibility.
+trace's measurement noise from the counter-based ``(batch entropy,
+device seed)``-keyed stream of :mod:`repro.power.noise` (noise stream
+v2), never from the bench's shared sequential stream.  That makes every
+trace's noise a pure function of its seed, so the ``workers=`` process
+pool produces **bit-identical** traces to the serial path in any
+completion order — and because the stream is addressable rather than
+sequential, the lanes engine fuses expand → noise → scope into one
+lane-major pass over the whole batch (``_capture_lane_chunk``) while
+still matching the per-trace threaded path bit for bit.  The
+pre-stream-v1 sequential-generator contract survives as
+:meth:`~TraceAcquisition.capture_reference`, pinned against v2 by the
+``power.noise_v2`` oracle.
 """
 
 from __future__ import annotations
@@ -26,7 +31,7 @@ from typing import Iterator, List, Optional
 
 import numpy as np
 
-from repro.errors import TraceValidationError
+from repro.errors import ParameterError, TraceValidationError
 from repro.power.leakage import LeakageModel
 from repro.power.scope import Oscilloscope
 from repro.power.trace import Trace
@@ -113,8 +118,11 @@ class SegmentedCapture:
 
 
 def _noise_rng(batch_entropy: int, seed: int) -> np.random.Generator:
-    """The per-trace measurement-noise stream: a pure function of the
-    batch entropy and the device seed, independent of capture order."""
+    """The *v1* per-trace noise generator (sequential, trace-at-a-time).
+
+    Retained for :meth:`TraceAcquisition.capture_reference`: the
+    ``power.noise_v2`` oracle compares stream v2 against traces noised
+    from this generator to pin the statistical contract."""
     return np.random.default_rng(
         np.random.SeedSequence(entropy=(int(batch_entropy), int(seed)))
     )
@@ -147,7 +155,7 @@ def _capture_one(
         )
     run = device.run(seed, count=count, record_events=True, engine=engine)
     noiseless, starts = leakage.expand(run.events)
-    measured = scope.capture(noiseless, rng=_noise_rng(batch_entropy, seed))
+    measured = scope.capture_keyed(noiseless, batch_entropy, seed, out=noiseless)
     return CapturedTrace(
         trace=Trace(measured, metadata={"seed": seed, "count": count}),
         values=run.values,
@@ -214,10 +222,14 @@ def _capture_lane_chunk(
 ) -> List[CapturedTrace]:
     """Capture one chunk of seeds on the lane engine, one lane each.
 
-    The whole chunk executes in lock-step and its events expand in one
-    batched pass; per-trace noise still comes from the same
-    ``(batch entropy, seed)``-keyed generator as the scalar path, so
-    the captures are bit-identical to ``_capture_one`` per seed.
+    This is the fused single-pass pipeline: the chunk executes in
+    lock-step, the arena's deferred dispatch records expand straight
+    into one flat lane-major buffer (``expand_arena`` — no per-trace
+    ``EventLog`` or intermediate noiseless array is ever materialized),
+    and the scope chain runs in place over the whole arena with each
+    lane's noise drawn from its ``(batch entropy, seed)``-keyed stream.
+    Per-trace output is bit-identical to ``_capture_one`` per seed —
+    every float64 op matches on the lane's slice alone.
     """
     if not return_traces:
         batch = device.run_lanes(seeds, count, record_events=False)
@@ -233,17 +245,22 @@ def _capture_lane_chunk(
     batch = device.run_lanes(
         seeds, count, record_events=True, events_per_lane=False
     )
-    expanded = leakage.expand_lanes(batch.events)
+    flat, bounds, starts = leakage.expand_arena(
+        batch.events, [run.cycle_count for run in batch.runs]
+    )
+    scope.capture_batch(flat, bounds, batch_entropy, seeds)
     captures: List[CapturedTrace] = []
-    for (noiseless, starts), seed, run in zip(expanded, seeds, batch.runs):
-        measured = scope.capture(noiseless, rng=_noise_rng(batch_entropy, seed))
+    for lane, (seed, run) in enumerate(zip(seeds, batch.runs)):
+        lo, hi = int(bounds[lane]), int(bounds[lane + 1])
         captures.append(
             CapturedTrace(
-                trace=Trace(measured, metadata={"seed": seed, "count": count}),
+                trace=Trace(
+                    flat[lo:hi], metadata={"seed": seed, "count": count}
+                ),
                 values=run.values,
                 seed=seed,
                 cycle_count=run.cycle_count,
-                event_starts=starts,
+                event_starts=starts[lane],
             )
         )
     return captures
@@ -364,12 +381,16 @@ class TraceAcquisition:
         self.engine = engine
         self.lanes = int(lanes)
         self._rng = new_rng(rng)
-        # Integer seeds pin the batch entropy immediately; otherwise it
-        # is derived lazily from the stream on first batch use so plain
-        # capture() consumes exactly the same noise values as before.
+        # Integer seeds pin the batch entropy immediately; a fresh
+        # bench-private stream (rng=None) can still derive it lazily on
+        # first batch use.  An externally-advanced Generator can do
+        # neither — its position is caller-owned state, so an entropy
+        # drawn from it mid-batch would be irreproducible; batch_entropy()
+        # refuses instead of silently consuming the shared stream.
         self._batch_entropy: Optional[int] = (
             int(rng) if isinstance(rng, (int, np.integer)) else None
         )
+        self._rng_external = isinstance(rng, np.random.Generator)
 
     # ------------------------------------------------------------------
     def capture(self, seed: int, count: int) -> CapturedTrace:
@@ -398,10 +419,71 @@ class TraceAcquisition:
 
     # ------------------------------------------------------------------
     def batch_entropy(self) -> int:
-        """The entropy that keys per-trace noise streams in batches."""
+        """The entropy that keys per-trace noise streams in batches.
+
+        Raises
+        ------
+        ParameterError
+            If the bench was constructed with an externally-advanced
+            ``Generator``: its stream position is caller state, so no
+            reproducible batch entropy can be pinned from it.  Pass an
+            integer seed (pins the entropy up front) or ``rng=None``
+            (a bench-private stream) for batch captures.
+        """
         if self._batch_entropy is None:
+            if self._rng_external:
+                raise ParameterError(
+                    "cannot pin a batch noise entropy from an "
+                    "externally-advanced Generator; construct the "
+                    "TraceAcquisition with an integer rng seed (or None) "
+                    "for batch captures"
+                )
             self._batch_entropy = int(self._rng.integers(0, 2**63 - 1))
         return self._batch_entropy
+
+    def capture_reference(
+        self,
+        trace_count: int,
+        coeffs_per_trace: int = 1,
+        first_seed: int = 1,
+        engine: Optional[str] = None,
+    ) -> List[CapturedTrace]:
+        """The retained noise-stream-v1 batch path (serial, per trace).
+
+        Bit-identical to what ``capture_batch`` produced before the
+        stream-v2 migration: each trace's noise comes sequentially from
+        ``default_rng(SeedSequence((batch entropy, seed)))``.  This is
+        the reference side of the ``power.noise_v2`` oracle, which pins
+        v2's statistical contract (same marginal distribution, same
+        determinism guarantees) against this path.
+        """
+        entropy = self.batch_entropy()
+        engine = resolve_engine(engine if engine is not None else self.engine)
+        if engine == "lanes":
+            engine = "threaded"  # v1 predates the fused lane pipeline
+        captures: List[CapturedTrace] = []
+        for i in range(trace_count):
+            seed = first_seed + i
+            run = self.device.run(
+                seed, count=coeffs_per_trace, record_events=True, engine=engine
+            )
+            noiseless, starts = self.leakage.expand(run.events)
+            measured = self.scope.capture(
+                noiseless, rng=_noise_rng(entropy, seed), out=noiseless
+            )
+            captures.append(
+                CapturedTrace(
+                    trace=Trace(
+                        measured,
+                        metadata={"seed": seed, "count": coeffs_per_trace},
+                    ),
+                    values=run.values,
+                    seed=seed,
+                    cycle_count=run.cycle_count,
+                    event_starts=starts,
+                )
+            )
+        return captures
 
     def capture_batch(
         self,

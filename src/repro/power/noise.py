@@ -1,0 +1,103 @@
+"""Counter-based measurement-noise streams (noise stream v2).
+
+The v1 batch-noise contract drew each trace's Gaussian noise from a
+sequentially-generated ``default_rng(SeedSequence(entropy=(batch
+entropy, seed)))`` stream — a pure function of ``(entropy, seed)``,
+but one that can only be produced trace-at-a-time.  Stream v2 keeps
+the exact same *contract* (per-seed determinism, capture-order and
+worker-count invariance, identical marginal distribution) while making
+the stream *addressable*: noise sample ``i`` of the ``(entropy,
+seed)`` stream is element ``i % NOISE_BLOCK`` of Philox block
+``i // NOISE_BLOCK``, and every block is keyed independently by
+``(entropy, seed, block)``.  Any contiguous slice of the stream can
+therefore be generated in one vectorized call, from any offset, by any
+worker, with no sequential state — which is what lets the fused
+lane-major capture pipeline add noise to a whole ``(L, samples)``
+batch in place.
+
+Keying
+    The per-stream 128-bit Philox key is
+    ``SeedSequence(entropy=(entropy, seed)).generate_state(2)`` — the
+    same entropy-pooling construction v1 used to seed its generator,
+    so distinct ``(entropy, seed)`` pairs get independent keys.  Block
+    ``b`` XORs ``b`` into the low key word: the Philox keyspace is
+    flat, so every block is an independent counter-mode stream, and an
+    offset continuation is *bit-identical by construction* to one-shot
+    generation (both read the same blocks at the same positions; the
+    ``standard_normal`` prefix of a block does not depend on how much
+    of it is consumed).
+
+The deliberate bit-compat break with v1 is versioned via
+:data:`NOISE_STREAM_VERSION`; the ``power.noise_v2`` oracle in
+:mod:`repro.verify.oracles` pins the statistical contract against the
+retained v1 reference path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Bumped whenever the keyed-noise construction changes incompatibly.
+#: Cached profiles and golden fixtures embed this (a stream change
+#: silently reused against old templates would corrupt comparisons).
+NOISE_STREAM_VERSION = 2
+
+#: Samples per independently-keyed Philox block.  Large enough that a
+#: typical single-coefficient trace stays within one block (one
+#: generator construction per trace), small enough that a partially
+#: consumed tail block wastes little work.
+NOISE_BLOCK = 16384
+
+
+def stream_key(entropy: int, seed: int) -> np.ndarray:
+    """The 2x64-bit Philox key of the ``(entropy, seed)`` noise stream."""
+    return np.random.SeedSequence(
+        entropy=(int(entropy), int(seed))
+    ).generate_state(2, np.uint64)
+
+
+def _block_normals(base_key: np.ndarray, block: int, take: int) -> np.ndarray:
+    """The first ``take`` standard normals of one keyed block."""
+    key = base_key.copy()
+    key[1] ^= np.uint64(block)
+    return np.random.Generator(np.random.Philox(key=key)).standard_normal(take)
+
+
+def standard_noise(entropy: int, seed: int, count: int, offset: int = 0) -> np.ndarray:
+    """Samples ``offset .. offset+count`` of the unit-variance stream.
+
+    Pure function of ``(entropy, seed, offset, count)``: generating a
+    stream in any partition of contiguous slices yields bit-identical
+    samples to one-shot generation.
+    """
+    if offset < 0 or count < 0:
+        raise ValueError("noise offset and count must be non-negative")
+    out = np.empty(count, dtype=np.float64)
+    if count == 0:
+        return out
+    base = stream_key(entropy, seed)
+    pos = int(offset)
+    end = pos + count
+    while pos < end:
+        block, lo = divmod(pos, NOISE_BLOCK)
+        hi = min(end - block * NOISE_BLOCK, NOISE_BLOCK)
+        out[pos - offset : pos - offset + (hi - lo)] = _block_normals(
+            base, block, hi
+        )[lo:]
+        pos += hi - lo
+    return out
+
+
+def add_noise(
+    out: np.ndarray, entropy: int, seed: int, std: float, offset: int = 0
+) -> None:
+    """Add ``std``-scaled stream noise to ``out`` in place.
+
+    This is the single noise entry point shared by the threaded
+    per-trace capture path and the fused lane-major path: both add
+    ``standard_noise(...) * std`` with one in-place ``+=``, so the two
+    engines produce bit-identical traces for the same ``(entropy,
+    seed)`` regardless of lane width, worker count or capture order.
+    """
+    if std > 0 and out.size:
+        out += standard_noise(entropy, seed, out.size, offset) * std

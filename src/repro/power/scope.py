@@ -11,11 +11,12 @@ amplifier/quantisation noise and an optional ADC.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ParameterError
+from repro.power import noise as noise_stream
 from repro.utils.rng import new_rng
 
 
@@ -52,18 +53,97 @@ class Oscilloscope:
         if self.adc_bits is not None and not (4 <= self.adc_bits <= 16):
             raise ParameterError("adc_bits must be in [4, 16]")
 
-    def capture(self, samples: np.ndarray, rng=None) -> np.ndarray:
-        """Apply the acquisition chain to noiseless leakage samples."""
-        rng = new_rng(rng)
-        out = np.asarray(samples, dtype=np.float64) * self.gain
+    def _front_end(
+        self, samples: np.ndarray, out: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Gain + band limiting, writing into ``out`` when provided.
+
+        ``out=`` is the in-place path: the buffer (which may be
+        ``samples`` itself) is reused through the whole chain, so one
+        capture costs zero intermediate allocations instead of the two
+        full-trace copies of the historical out-of-place expressions.
+        """
+        if out is None:
+            out = np.asarray(samples, dtype=np.float64) * self.gain
+        else:
+            if out is not samples:
+                np.multiply(samples, self.gain, out=out)
+            else:
+                out *= self.gain
         if self.bandwidth_window > 1:
             kernel = np.ones(self.bandwidth_window) / self.bandwidth_window
-            out = np.convolve(out, kernel, mode="same")
-        if self.noise_std > 0:
-            out = out + rng.normal(0.0, self.noise_std, out.shape)
-        if self.adc_bits is not None:
+            out[:] = np.convolve(out, kernel, mode="same")
+        return out
+
+    def _quantize(self, out: np.ndarray) -> None:
+        """Optional ADC, in place over the observed range."""
+        if self.adc_bits is not None and out.size:
             lo, hi = float(out.min()), float(out.max())
             span = max(hi - lo, 1e-9)
             levels = (1 << self.adc_bits) - 1
-            out = np.round((out - lo) / span * levels) / levels * span + lo
+            out[:] = np.round((out - lo) / span * levels) / levels * span + lo
+
+    def capture(self, samples: np.ndarray, rng=None, out=None) -> np.ndarray:
+        """Apply the acquisition chain to noiseless leakage samples.
+
+        Noise comes from ``rng``'s sequential stream (the historical
+        v1 contract, kept for the ``capture_reference`` path and
+        single ad-hoc captures).  ``out=`` runs the chain in place.
+        """
+        rng = new_rng(rng)
+        out = self._front_end(samples, out)
+        if self.noise_std > 0:
+            out += rng.normal(0.0, self.noise_std, out.shape)
+        self._quantize(out)
         return out
+
+    def capture_keyed(
+        self, samples: np.ndarray, entropy: int, seed: int, out=None
+    ) -> np.ndarray:
+        """The noise-stream-v2 acquisition chain for one trace.
+
+        Identical to :meth:`capture` except the Gaussian noise is the
+        counter-based ``(entropy, seed)``-keyed stream of
+        :mod:`repro.power.noise`, so the result is a pure function of
+        its arguments — the per-trace path of the batch contract.
+        """
+        out = self._front_end(samples, out)
+        noise_stream.add_noise(out, entropy, seed, self.noise_std)
+        self._quantize(out)
+        return out
+
+    def capture_batch(
+        self,
+        flat: np.ndarray,
+        bounds: np.ndarray,
+        entropy: int,
+        seeds: Sequence[int],
+    ) -> np.ndarray:
+        """Apply the chain in place to a whole lane-major sample arena.
+
+        ``flat`` holds every lane's noiseless samples back to back;
+        ``bounds[i]:bounds[i+1]`` is lane ``i``'s region and ``seeds[i]``
+        keys its noise stream.  The gain is one whole-arena multiply;
+        band limiting, noise and the ADC (whose reference range is
+        per-trace) run per lane *slice*, still in place.  Every float64
+        op matches :meth:`capture_keyed` on the lane's slice alone, so
+        the fused batch is bit-identical to per-trace captures.
+        """
+        if len(seeds) != len(bounds) - 1:
+            raise ParameterError(
+                f"capture_batch got {len(seeds)} seeds for "
+                f"{len(bounds) - 1} lane regions"
+            )
+        if self.gain != 1.0:
+            flat *= self.gain
+        if self.bandwidth_window > 1:
+            kernel = np.ones(self.bandwidth_window) / self.bandwidth_window
+            for lane in range(len(seeds)):
+                lo, hi = int(bounds[lane]), int(bounds[lane + 1])
+                flat[lo:hi] = np.convolve(flat[lo:hi], kernel, mode="same")
+        for lane, seed in enumerate(seeds):
+            lo, hi = int(bounds[lane]), int(bounds[lane + 1])
+            view = flat[lo:hi]
+            noise_stream.add_noise(view, entropy, seed, self.noise_std)
+            self._quantize(view)
+        return flat

@@ -222,8 +222,10 @@ class GaussianSamplerDevice:
         lane per seed); per-lane results are bit-identical to
         :meth:`run`.  ``events_per_lane=False`` leaves each
         ``DeviceRun.events`` empty and hands back only the shared
-        arena — the batched capture path uses that to expand all lanes
-        in one pass instead of materialising per-lane logs.
+        arena, still in deferred-record form — the fused capture path
+        (``LeakageModel.expand_arena``) consumes the dispatch records
+        directly, so the row-major event matrix is never materialised
+        unless a consumer explicitly asks for per-lane logs.
         """
         if count < 1:
             raise SimulationError("count must be >= 1")

@@ -35,12 +35,20 @@ Blocks and bit-exactness
     oracle in :mod:`repro.verify.oracles` enforces exactly that.
 
 Event recording
-    All lanes record into one shared :class:`LaneEventLog` arena: every
-    vector dispatch appends a ``(lane_ids, (g, n, 8))`` chunk built
-    from the block's precomputed static template plus one fancy-index
-    scatter of the dynamic values — the lane-major finalize then
-    assembles per-lane event streams with one write-pointer scatter per
-    chunk.  ``LeakageModel.expand_lanes`` consumes the arena wholesale.
+    All lanes record into one shared :class:`LaneEventLog` arena.
+    Recording is *deferred*: a vector dispatch appends only the block
+    reference, the lane ids, the block-start cycle counters and the
+    handful of dynamic value vectors the generated code already holds
+    — no per-dispatch slab is built.  Consumers pick the cheapest
+    materialisation: ``LeakageModel.expand_arena`` walks the raw
+    records grouped by block and scatters leakage samples straight
+    into a flat batch buffer (the fused capture path), while
+    :meth:`LaneEventLog.columns`/:meth:`LaneEventLog.lane_rows`
+    lazily build the classic lane-major ``(total, 8)`` row matrix
+    (template broadcast + one column write per dynamic cell, then one
+    write-pointer scatter per chunk) for code that wants per-lane
+    event streams.  Either way a lane's events are bit-identical to
+    what a scalar run would have recorded.
 """
 
 from __future__ import annotations
@@ -209,9 +217,21 @@ _ACCESS = {
 
 
 class LaneBlock:
-    """One compiled basic block for the lane engine."""
+    """One compiled basic block for the lane engine.
 
-    __slots__ = ("pcs", "words", "length", "bmin", "bmax", "run_recording", "run_fast")
+    Besides the two exec'd entry points the block carries its event
+    *shape*: the static template row (``template``), which flat cells
+    are dynamic (``cells``) and which recorded value vector fills each
+    (``gather`` into ``uniq_names``).  Deferred recording stores only
+    those value vectors per dispatch; both the lane-major finalize and
+    the fused leakage emitters (:mod:`repro.power.leakage`) rebuild
+    full events from this shared metadata.
+    """
+
+    __slots__ = (
+        "pcs", "words", "length", "bmin", "bmax", "run_recording", "run_fast",
+        "template", "cells", "gather", "uniq_names", "last_word", "emitters",
+    )
 
     def __init__(self, pcs: Tuple[int, ...], words: Tuple[int, ...]) -> None:
         self.pcs = pcs
@@ -223,6 +243,14 @@ class LaneBlock:
         self.bmax = max(pcs)
         self.run_recording = None
         self.run_fast = None
+        self.template: Optional[np.ndarray] = None
+        self.cells: Tuple[int, ...] = ()
+        self.gather: Tuple[int, ...] = ()
+        self.uniq_names: Tuple[str, ...] = ()
+        self.last_word = 0
+        # Compiled leakage emitters, keyed by the LeakageModel weights
+        # (populated lazily by repro.power.leakage.expand_arena).
+        self.emitters: Dict[Tuple, object] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"LaneBlock(pc={self.pcs[0]:#x}, length={self.length})"
@@ -620,16 +648,17 @@ def _generate_lane(pcs, words, instrs, fallthrough: int, size: int) -> LaneBlock
         )
 
     count = len(instrs)
-    # Event staging: one zero-default template slab per lane, then one
-    # column write per dynamic cell (the values are already locals).
+    # Event staging is deferred: hand the arena the block reference,
+    # the block-start cycle counters (the counter update below has not
+    # run yet) and the dynamic value vectors the body just computed.
+    # Every vector is a fresh array (fancy-indexed gathers and
+    # arithmetic results), so the later in-place register writebacks
+    # cannot alias it; the slab materialisation this replaces happens
+    # lazily — and only for consumers that ask for row-major events.
     names = src.uniq_names
-    src.emit("    g = idx.shape[0]", fast=False)
-    src.emit(f"    slab = _np.empty((g, {count * _FIELDS}), dtype=_i64)", fast=False)
-    src.emit("    slab[:] = TPL", fast=False)
-    for cell, uidx in zip(src.cells, src.gather):
-        src.emit(f"    slab[:, {cell}] = {names[uidx]}", fast=False)
+    values = ", ".join(names) + ("," if names else "")
     src.emit(
-        f"    eng.events.append_chunk(idx, slab.reshape(g, {count}, {_FIELDS}))",
+        f"    eng.events.append_dyn(_BLK, idx, eng.cycle_counts[idx], ({values}))",
         fast=False,
     )
 
@@ -671,6 +700,11 @@ def _generate_lane(pcs, words, instrs, fallthrough: int, size: int) -> LaneBlock
     if src.statics:
         off, vals = zip(*src.statics)
         template[list(off)] = vals
+    block.template = template
+    block.cells = tuple(src.cells)
+    block.gather = tuple(src.gather)
+    block.uniq_names = tuple(src.uniq_names)
+    block.last_word = int(block.words[count - 1])
     namespace = {
         "_np": np,
         "_i64": np.int64,
@@ -681,7 +715,7 @@ def _generate_lane(pcs, words, instrs, fallthrough: int, size: int) -> LaneBlock
         "_v_divu": _v_divu,
         "_v_rem": _v_rem,
         "_v_remu": _v_remu,
-        "TPL": template,
+        "_BLK": block,
     }
     exec("\n".join(rec_lines), namespace)  # noqa: S102 - template JIT
     block.run_recording = namespace.pop("_lb")
@@ -818,57 +852,128 @@ def _walk_image(image32: np.ndarray, size: int, start_pc: int, entries=frozenset
 class LaneEventLog:
     """Shared event arena for all lanes of one :class:`LaneEngine` run.
 
-    Recording appends ``(lane_ids, (g, n, 8))`` chunks in dispatch
-    order; :meth:`columns` finalizes them into one lane-major
-    ``(total, 8)`` row matrix with a per-chunk write-pointer scatter.
-    Per-lane views slice out of the finalized matrix, so a lane's event
-    stream is bit-identical to what a scalar run would have recorded.
+    Recording appends *deferred* records in dispatch order: a vector
+    dispatch stores ``(block, lane_ids, block-start cycles, previous
+    fetched words, dynamic value vectors)`` and a scalar-fallback
+    episode stores its finished ``(n, 8)`` rows — no slab is built at
+    record time.  The arena also threads the per-lane previously-
+    fetched-word chain (``prev``) through the records, because the
+    instruction-bus Hamming distance couples consecutive events across
+    dispatch boundaries within a lane.
+
+    Consumers choose a materialisation:
+
+    - :meth:`records` hands the raw deferred records to
+      ``LeakageModel.expand_arena``, which never builds per-event rows
+      at all (the fused capture path);
+    - :meth:`columns`/:meth:`lane_rows`/:meth:`lane_log` lazily
+      finalize the classic lane-major ``(total, 8)`` row matrix, each
+      lane's events in execution order, bit-identical to what a scalar
+      run would have recorded.
     """
 
     def __init__(self, lanes: int) -> None:
         self.lanes = lanes
-        self._chunks: List[Tuple[np.ndarray, np.ndarray]] = []
+        # ("dyn", block, ids, cyc0, prev, values) for vector dispatches,
+        # ("rows", lane, rows, cyc0, prev) for scalar-fallback episodes,
+        # ("chunk", ids, slab) for externally materialised appends.
+        self._records: List[tuple] = []
         self._counts = np.zeros(lanes, dtype=np.int64)
+        self._last_word = np.zeros(lanes, dtype=np.int64)
         self._rows: Optional[np.ndarray] = None
         self._starts: Optional[np.ndarray] = None
 
-    def append_chunk(self, lane_ids: np.ndarray, slab: np.ndarray) -> None:
+    def _check_open(self) -> None:
         if self._rows is not None:
             raise SimulationError("LaneEventLog is finalized; no further recording")
-        self._chunks.append((lane_ids, slab))
-        self._counts[lane_ids] += slab.shape[1]
 
-    def append_rows(self, lane: int, rows: np.ndarray) -> None:
+    def append_dyn(
+        self,
+        block: LaneBlock,
+        lane_ids: np.ndarray,
+        cycle_starts: np.ndarray,
+        values: Tuple[np.ndarray, ...],
+    ) -> None:
+        """Record one vector dispatch of ``block`` (deferred).
+
+        ``cycle_starts`` must be the per-lane cycle counters *before*
+        the dispatch retires (they locate the block's samples inside
+        each lane's trace); ``values`` holds one ``(g,)`` vector per
+        ``block.uniq_names`` entry, in order.
+        """
+        self._check_open()
+        prev = self._last_word[lane_ids]
+        self._last_word[lane_ids] = block.last_word
+        self._records.append(("dyn", block, lane_ids, cycle_starts, prev, values))
+        self._counts[lane_ids] += block.length
+
+    def append_rows(
+        self, lane: int, rows: np.ndarray, cycle_start: int = 0
+    ) -> None:
         """Record one lane's scalar-fallback events (already row-major)."""
         if rows.shape[0]:
-            self.append_chunk(
-                np.asarray([lane], dtype=np.intp), rows[None, :, :]
-            )
+            self._check_open()
+            prev = int(self._last_word[lane])
+            self._last_word[lane] = rows[-1, _ROW_WORD]
+            self._records.append(("rows", lane, rows, int(cycle_start), prev))
+            self._counts[lane] += rows.shape[0]
+
+    def append_chunk(self, lane_ids: np.ndarray, slab: np.ndarray) -> None:
+        """Record pre-materialised ``(g, n, 8)`` event rows per lane."""
+        self._check_open()
+        self._records.append(("chunk", lane_ids, slab))
+        self._last_word[lane_ids] = slab[:, -1, _ROW_WORD]
+        self._counts[lane_ids] += slab.shape[1]
+
+    def records(self) -> List[tuple]:
+        """The raw deferred records, in dispatch (execution) order."""
+        return self._records
 
     def lane_counts(self) -> np.ndarray:
         return self._counts.copy()
+
+    def _materialized_chunks(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Records as ``(lane_ids, (g, n, 8))`` slabs, dispatch order."""
+        chunks: List[Tuple[np.ndarray, np.ndarray]] = []
+        for rec in self._records:
+            tag = rec[0]
+            if tag == "dyn":
+                _, block, ids, _cyc0, _prev, values = rec
+                g = ids.shape[0]
+                slab = np.empty((g, block.length * _FIELDS), dtype=np.int64)
+                slab[:] = block.template
+                for cell, uidx in zip(block.cells, block.gather):
+                    slab[:, cell] = values[uidx]
+                chunks.append((ids, slab.reshape(g, block.length, _FIELDS)))
+            elif tag == "rows":
+                _, lane, rows, _cyc0, _prev = rec
+                chunks.append((np.asarray([lane], dtype=np.intp), rows[None, :, :]))
+            else:
+                chunks.append((rec[1], rec[2]))
+        return chunks
 
     def _finalize(self) -> np.ndarray:
         if self._rows is None:
             starts = np.zeros(self.lanes + 1, dtype=np.int64)
             np.cumsum(self._counts, out=starts[1:])
             rows = np.empty((int(starts[-1]), _FIELDS), dtype=np.int64)
-            if self._chunks:
+            chunks = self._materialized_chunks()
+            if chunks:
                 # One (chunk, lane) pair per slab row-run.  A pair's
                 # destination is its lane's region start plus the total
                 # length of that lane's earlier pairs; a stable sort by
                 # lane turns that running total into a grouped
                 # exclusive prefix sum, so the whole scatter needs no
                 # per-chunk Python loop beyond the two concatenations.
-                n_chunks = len(self._chunks)
+                n_chunks = len(chunks)
                 chunk_len = np.fromiter(
-                    (slab.shape[1] for _, slab in self._chunks),
+                    (slab.shape[1] for _, slab in chunks),
                     np.int64, n_chunks,
                 )
                 chunk_width = np.fromiter(
-                    (ids.size for ids, _ in self._chunks), np.intp, n_chunks
+                    (ids.size for ids, _ in chunks), np.intp, n_chunks
                 )
-                pair_lane = np.concatenate([ids for ids, _ in self._chunks])
+                pair_lane = np.concatenate([ids for ids, _ in chunks])
                 pair_len = np.repeat(chunk_len, chunk_width)
                 order = np.argsort(pair_lane, kind="stable")
                 lane_sorted = pair_lane[order]
@@ -884,12 +989,11 @@ class LaneEventLog:
                 offsets -= np.repeat(ends - pair_len, pair_len)
                 rows[np.repeat(pair_base, pair_len) + offsets] = (
                     np.concatenate(
-                        [slab.reshape(-1, _FIELDS) for _, slab in self._chunks]
+                        [slab.reshape(-1, _FIELDS) for _, slab in chunks]
                     )
                 )
             self._rows = rows
             self._starts = starts
-            self._chunks = []
         return self._rows
 
     def columns(self) -> np.ndarray:
@@ -1020,6 +1124,10 @@ class LaneEngine:
 
     def _absorb(self, lane: int, cpu: Cpu, error: Optional[str]) -> None:
         """Copy a scalar episode's state (and events) back into the lane."""
+        # The lane's counter still holds the episode's starting cycle
+        # (the scalar core advanced its own copy); the event record
+        # needs it to locate the episode inside the lane's trace.
+        cycle_start = int(self.cycle_counts[lane])
         self.memory[lane] = np.frombuffer(cpu.memory._data, dtype=np.uint8)
         self._regs[:, lane] = cpu.registers
         self.pcs[lane] = cpu.pc
@@ -1033,7 +1141,9 @@ class LaneEngine:
                 word_addresses = rows[stores, _ROW_ADDR] & 0xFFFFFFFC
                 self._note(word_addresses)
             if self.record_events:
-                self.events.append_rows(lane, np.ascontiguousarray(rows))
+                self.events.append_rows(
+                    lane, np.ascontiguousarray(rows), cycle_start
+                )
         if error is not None:
             self.errors[lane] = error
         self._alive[lane] = not cpu.halted and error is None

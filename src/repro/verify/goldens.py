@@ -30,6 +30,7 @@ import os
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from repro.power.noise import NOISE_STREAM_VERSION
 from repro.verify.compare import EXACT, diff_values
 
 #: Fixture scale: big enough that profiling sees every value class and
@@ -107,6 +108,10 @@ def golden_payload(workers: Optional[int] = None) -> Dict[str, Any]:
             "profile": dict(GOLDEN_PROFILE),
             "campaign": dict(GOLDEN_CAMPAIGN),
             "noise_std": 1.0,
+            # Bumped with repro.power.noise: a fixture regenerated under
+            # a different stream version is an intentional bit-compat
+            # break, and the diff must show it.
+            "noise_stream": NOISE_STREAM_VERSION,
             "modulus": 132120577,
         },
         "profiling": {
