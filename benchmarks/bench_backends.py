@@ -1,0 +1,254 @@
+"""Compute-backend kernel benchmark: accelerated vs reference numpy.
+
+For every backend that probes available on this host (``native`` when a
+C compiler exists, ``numba`` when importable) this measures each hot
+kernel A/B against the inline numpy reference path — the same call
+sites, with the backend armed via ``use_backend`` on one side and
+pinned to ``reference`` on the other.  The two sides are interleaved
+within each repetition (best-of-N per side, like bench_lanes.py /
+bench_fused_capture.py) so speedups compare like-for-like machine
+conditions on shared runners.
+
+Kernels:
+
+* ``ntt_forward`` / ``ntt_inverse`` — n=1024 butterflies at the
+  paper's modulus (Shoup multiplication vs the numpy ladder);
+* ``pointwise_mulmod`` — the negacyclic product's O(n) core;
+* ``expand`` — ``LeakageModel.expand`` over a real device event log
+  (the compiled event emitter vs the vectorized numpy expansion);
+* ``expand_arena`` — ``LeakageModel.expand_arena`` over a 64-lane
+  deferred-record arena (the C block kernel vs the generated numpy
+  per-block emitters);
+* ``template`` — ``TemplateSet.log_likelihoods_matrix`` on a
+  profiling-sized batch (per-class Mahalanobis forms);
+* ``lane_select`` — the warp scheduler's per-dispatch scan;
+* ``fused_capture`` — end-to-end lane-major capture of a 64-trace
+  batch, the tentpole's bottom line.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py           # full (5 reps)
+    PYTHONPATH=src python benchmarks/bench_backends.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_backends.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.backends import available_backends, backend_id, use_backend
+
+PAPER_Q = 132120577
+N = 1024
+MODULI = [0xFFEE001, 0xFFC4001, 0x7FE2001, 0x7F54001]
+TRACES = 64
+COUNT = 8
+FIRST_SEED = 1000
+
+#: (kernel name, inner calls per timing sample).  Inner iteration
+#: counts keep each sample well above timer resolution for the
+#: microsecond-scale kernels.
+KERNELS: Tuple[Tuple[str, int], ...] = (
+    ("ntt_forward", 50),
+    ("ntt_inverse", 50),
+    ("pointwise_mulmod", 50),
+    ("expand", 50),
+    ("expand_arena", 10),
+    ("template", 10),
+    ("lane_select", 500),
+    ("fused_capture", 1),
+)
+
+
+def _build_cases() -> Dict[str, Callable[[], None]]:
+    """One closure per kernel, running the call site under test."""
+    from repro.attack.template import TemplateSet
+    from repro.power.capture import TraceAcquisition
+    from repro.power.leakage import LeakageModel
+    from repro.power.scope import Oscilloscope
+    from repro.riscv.device import GaussianSamplerDevice
+    from repro.ring.ntt import get_ntt_context
+
+    rng = np.random.default_rng(0)
+    context = get_ntt_context(PAPER_Q, N)
+    a = rng.integers(0, PAPER_Q, N, dtype=np.int64)
+    b = rng.integers(0, PAPER_Q, N, dtype=np.int64)
+
+    model = LeakageModel()
+    events = GaussianSamplerDevice([PAPER_Q]).run(
+        seed=7, count=COUNT, record_events=True
+    ).events
+
+    k, classes, slices_n = 24, 11, 400
+    basis = rng.normal(0.0, 1.0, (k, k))
+    precision = basis @ basis.T + k * np.eye(k)
+    labels = list(range(-5, 6))
+    templates = TemplateSet(
+        pois=list(range(k)),
+        means={label: rng.normal(0.0, 5.0, k) for label in labels},
+        precision=precision,
+        class_precisions={label: precision for label in labels},
+        class_log_dets={label: 0.0 for label in labels},
+    )
+    slices = rng.normal(0.0, 5.0, (slices_n, 2 * k))
+
+    lanes = 64
+    pcs = (rng.integers(0, 64, lanes) * 4).astype(np.int64)
+    wraps = rng.integers(0, 2, lanes).astype(np.int64)
+    alive = rng.random(lanes) < 0.8
+
+    def lane_select_site() -> None:
+        # The exact selection LaneEngine.run performs per dispatch,
+        # kernel or numpy depending on the armed backend.
+        from repro.backends import get_kernel
+
+        kernel = get_kernel("lane_select")
+        if kernel is not None:
+            kernel(pcs, wraps, alive)
+            return
+        active = np.nonzero(alive)[0]
+        key = (wraps << 32) + pcs
+        lead = active[np.argmin(key[active])]
+        active[pcs[active] == int(pcs[lead])]
+
+    bench = TraceAcquisition(
+        GaussianSamplerDevice(MODULI), scope=Oscilloscope(noise_std=1.0),
+        rng=0,
+    )
+
+    arena_device = GaussianSamplerDevice(MODULI)
+    arena = arena_device.run_lanes(
+        [FIRST_SEED + i for i in range(TRACES)], COUNT,
+        events_per_lane=False,
+    )
+    arena_totals = [run.cycle_count for run in arena.runs]
+
+    return {
+        "ntt_forward": lambda: context.forward(a),
+        "ntt_inverse": lambda: context.inverse(a),
+        "pointwise_mulmod": lambda: context.multiply(a, b),
+        "expand": lambda: model.expand(events),
+        "expand_arena": lambda: model.expand_arena(
+            arena.events, arena_totals
+        ),
+        "template": lambda: templates.log_likelihoods_matrix(slices),
+        "lane_select": lane_select_site,
+        "fused_capture": lambda: bench.capture_batch(
+            TRACES, coeffs_per_trace=COUNT, first_seed=FIRST_SEED,
+            engine="lanes", lanes=TRACES,
+        ),
+    }
+
+
+def bench_backend(
+    backend: str, repetitions: int
+) -> Dict[str, Dict[str, float]]:
+    """Best-of-N per-call seconds for ``backend`` vs ``reference``."""
+    cases = _build_cases()
+    sides = [backend, "reference"]
+    best: Dict[str, Dict[str, float]] = {name: {} for name, _ in KERNELS}
+
+    for side in sides:  # warm kernels, caches, compiled emitters
+        with use_backend(side):
+            for name, _ in KERNELS:
+                cases[name]()
+
+    for _ in range(repetitions):
+        for name, inner in KERNELS:
+            for side in sides:
+                with use_backend(side):
+                    run = cases[name]
+                    start = time.perf_counter()
+                    for _i in range(inner):
+                        run()
+                    per_call = (time.perf_counter() - start) / inner
+                prev = best[name].get(side)
+                best[name][side] = (
+                    per_call if prev is None else min(prev, per_call)
+                )
+
+    for name, _ in KERNELS:
+        best[name]["speedup"] = round(
+            best[name]["reference"] / best[name][backend], 2
+        )
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repetitions", type=int, default=5, help="timed repetitions per case"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: 1 repetition + kernel speedup guards",
+    )
+    parser.add_argument("--json", metavar="PATH", help="also write results as JSON")
+    args = parser.parse_args(argv)
+    repetitions = 1 if args.quick else args.repetitions
+
+    compiled = [b for b in available_backends() if b != "reference"]
+    if not compiled:
+        print("no compiled backend available on this host "
+              "(no C compiler, no numba); nothing to measure")
+        return 0
+
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    failures: List[str] = []
+    for backend in compiled:
+        with use_backend(backend):
+            ident = backend_id()
+        print(f"backend {ident} vs reference "
+              f"({TRACES}x{COUNT} capture, n={N} NTT, best of {repetitions}):")
+        table = bench_backend(backend, repetitions)
+        results[backend] = table
+        for name, _ in KERNELS:
+            row = table[name]
+            print(f"  {name:17s} {1e6 * row[backend]:>10.1f}us vs "
+                  f"{1e6 * row['reference']:>10.1f}us  "
+                  f"-> {row['speedup']:.2f}x")
+
+        # Guard: the compiled kernels must hold a decisive win on the
+        # hottest microbenches.  Measured ~9x (NTT forward), ~2.9x
+        # (expand) and ~1.9x (expand_arena) for the native backend on
+        # the dev container; the floors tolerate one noisy shared-
+        # runner repetition while still catching a backend that
+        # silently fell back to numpy (1.0x).  A floor only applies
+        # when the backend declares the kernel that accelerates the
+        # bench (numba carries no block-emitter kernel, say).
+        if args.quick:
+            from repro.backends import kernel_exactness
+
+            declared = kernel_exactness(backend)
+            for bench_name, kernel, floor in (
+                ("ntt_forward", "ntt_forward", 2.0),
+                ("expand", "expand_events", 1.5),
+                ("expand_arena", "expand_block", 1.2),
+            ):
+                if kernel not in declared:
+                    continue
+                if table[bench_name]["speedup"] < floor:
+                    failures.append(
+                        f"{backend}: {bench_name} speedup "
+                        f"{table[bench_name]['speedup']:.2f}x < {floor}x"
+                    )
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(results, fh, indent=2)
+        print(f"wrote {args.json}")
+
+    if failures:
+        print("REGRESSION: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.attack.branch import sign_of
+from repro.backends import backend_id
 from repro.attack.evaluation import CampaignResult
 from repro.attack.metrics import ConfusionMatrix
 from repro.attack.pipeline import ProfilingReport, SingleTraceAttack
@@ -85,6 +86,11 @@ class CampaignReport:
     wall_seconds: float
     workers: int
     engine: str = "threaded"
+    #: ``name-version`` of the compute backend the campaign ran under
+    #: (see :mod:`repro.backends`) — reports from different backends
+    #: are comparable but not necessarily bit-identical when a
+    #: non-exact kernel (template matching) was armed.
+    backend: str = "reference"
 
     @property
     def coefficients_per_second(self) -> float:
@@ -367,6 +373,7 @@ def run_campaign(
         wall_seconds=wall,
         workers=pool_size,
         engine=engine,
+        backend=backend_id(),
     )
 
 
@@ -424,6 +431,10 @@ def profile_cache_key(
         # under another (the v1 -> v2 Philox migration changed every
         # noise value while keeping the distribution).
         "noise_stream": NOISE_STREAM_VERSION,
+        # ... and likewise across compute backends: a profile fitted
+        # under a backend with a non-exact (Tolerance) template kernel
+        # must never be silently served to a run under another.
+        "backend": backend_id(),
         "batch_entropy": acquisition.batch_entropy(),
         "moduli": getattr(device, "moduli", None),
         "max_deviation": getattr(device, "max_deviation", None),

@@ -1,0 +1,589 @@
+"""Native C backend: cffi-compiled kernels for the numeric hot paths.
+
+The kernels below are C transliterations of the vectorized numpy twins
+with HEXL-style Shoup modular multiplication in the NTT butterflies
+(one precomputed ``floor(w * 2**64 / q)`` per twiddle turns every
+``% q`` into a multiply-high and a conditional subtract).  Float
+kernels mirror the numpy expression tree *operation for operation* —
+same association, same order — and the module is compiled with
+``-ffp-contract=off`` so the compiler cannot fuse ``a*b+c`` into an
+FMA; together that makes `expand_events` bit-identical to
+``LeakageModel._expand_core`` (enforced by the ``backend.native.*``
+oracles).  The template Mahalanobis kernel is the one declared
+*non-exact* kernel: its per-row reduction order necessarily differs
+from ``np.einsum``'s, so it carries a ``Tolerance`` oracle instead and
+only runs when the backend was explicitly selected.
+
+Compilation happens once per machine: the shared object is built into
+``$REVEAL_NATIVE_CACHE`` (default ``~/.cache/reveal-native``) under a
+module name keyed by the SHA-256 of the C source, so later probes are
+a plain extension import and forked pool workers inherit the loaded
+library.  Any build failure is reported to the registry as an
+unavailable backend — never an import error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.machinery
+import importlib.util
+import os
+import shutil
+import sysconfig
+import tempfile
+from typing import Optional
+
+import numpy as np
+
+from repro.backends import Backend, Kernel
+from repro.riscv import cycles as cy
+from repro.riscv.cpu import ExecutionEvent
+
+_EV_FIELDS = len(ExecutionEvent._fields)
+
+_CDEF = """
+void reveal_ntt_forward(int64_t *a, int64_t n, const uint64_t *w,
+                        const uint64_t *ws, uint64_t q);
+void reveal_ntt_inverse(int64_t *a, int64_t n, const uint64_t *w,
+                        const uint64_t *ws, uint64_t q,
+                        uint64_t n_inv, uint64_t n_inv_s);
+void reveal_pointwise_mulmod(const int64_t *a, const int64_t *b,
+                             int64_t *out, int64_t n, uint64_t q);
+void reveal_expand_events(int64_t n, const int64_t *op,
+                          const int64_t *word, const int64_t *rs1,
+                          const int64_t *rs2, const int64_t *result,
+                          const int64_t *old_rd, const int64_t *address,
+                          const int64_t *prev, const int64_t *starts,
+                          double *samples, double wd, double wt,
+                          double wf, double we, double eoff, double base);
+void reveal_expand_block(int64_t count, const int64_t *tpl,
+                         const int32_t *gidx, const int64_t *offs,
+                         int64_t g, const int64_t *dest0,
+                         const int64_t *prev, const int64_t *vals,
+                         double *out, uint8_t *mask, double wd,
+                         double wt, double wf, double we, double eoff,
+                         double base);
+int64_t reveal_lane_select(const int64_t *pcs, const int64_t *wraps,
+                           const uint8_t *alive, int64_t n,
+                           int64_t *group, int64_t *pc_out);
+void reveal_template_quad_pooled(const double *x, const double *means,
+                                 const double *prec, int64_t n,
+                                 int64_t c, int64_t p, double *out);
+void reveal_template_quad_perclass(const double *x, const double *means,
+                                   const double *prec_stack, int64_t n,
+                                   int64_t c, int64_t p, double *out);
+"""
+
+# The op-class ids are spliced in from repro.riscv.cycles at build time
+# (@TOKENS@ below), so the source hash — and therefore the cached
+# module name — changes if the event encoding ever does.
+_SOURCE_TEMPLATE = r"""
+#include <stdint.h>
+
+static inline int hw32(int64_t v) {
+    return __builtin_popcountll((uint64_t)v);
+}
+
+/* Shoup modular multiplication: ws = floor(w * 2^64 / q), q < 2^63.
+   Returns (x * w) mod q with one high multiply and one conditional
+   subtract instead of a hardware division per butterfly. */
+static inline uint64_t mulmod_shoup(uint64_t x, uint64_t w, uint64_t ws,
+                                    uint64_t q) {
+    uint64_t hi = (uint64_t)(((__uint128_t)ws * x) >> 64);
+    uint64_t r = w * x - hi * q;
+    return r >= q ? r - q : r;
+}
+
+/* Python %% semantics (result in [0, q)) for possibly-negative input. */
+static inline uint64_t reduce_once(int64_t v, uint64_t q) {
+    int64_t r = v % (int64_t)q;
+    return (uint64_t)(r < 0 ? r + (int64_t)q : r);
+}
+
+void reveal_ntt_forward(int64_t *a, int64_t n, const uint64_t *w,
+                        const uint64_t *ws, uint64_t q) {
+    for (int64_t j = 0; j < n; j++)
+        a[j] = (int64_t)reduce_once(a[j], q);
+    int64_t t = n;
+    for (int64_t m = 1; m < n; m <<= 1) {
+        t >>= 1;
+        for (int64_t i = 0; i < m; i++) {
+            uint64_t wi = w[m + i], wsi = ws[m + i];
+            int64_t j1 = 2 * i * t;
+            for (int64_t j = j1; j < j1 + t; j++) {
+                uint64_t lo = (uint64_t)a[j];
+                uint64_t hi = (uint64_t)a[j + t];
+                uint64_t prod = mulmod_shoup(hi, wi, wsi, q);
+                uint64_t lo_new = lo + prod;
+                if (lo_new >= q) lo_new -= q;
+                uint64_t hi_new = lo + q - prod;
+                if (hi_new >= q) hi_new -= q;
+                a[j] = (int64_t)lo_new;
+                a[j + t] = (int64_t)hi_new;
+            }
+        }
+    }
+}
+
+void reveal_ntt_inverse(int64_t *a, int64_t n, const uint64_t *w,
+                        const uint64_t *ws, uint64_t q,
+                        uint64_t n_inv, uint64_t n_inv_s) {
+    for (int64_t j = 0; j < n; j++)
+        a[j] = (int64_t)reduce_once(a[j], q);
+    int64_t t = 1;
+    for (int64_t m = n; m > 1; m >>= 1) {
+        int64_t h = m >> 1;
+        int64_t j1 = 0;
+        for (int64_t i = 0; i < h; i++) {
+            uint64_t wi = w[h + i], wsi = ws[h + i];
+            for (int64_t j = j1; j < j1 + t; j++) {
+                uint64_t lo = (uint64_t)a[j];
+                uint64_t hi = (uint64_t)a[j + t];
+                uint64_t s = lo + hi;
+                if (s >= q) s -= q;
+                uint64_t d = lo + q - hi;
+                if (d >= q) d -= q;
+                a[j] = (int64_t)s;
+                a[j + t] = (int64_t)mulmod_shoup(d, wi, wsi, q);
+            }
+            j1 += 2 * t;
+        }
+        t <<= 1;
+    }
+    for (int64_t j = 0; j < n; j++)
+        a[j] = (int64_t)mulmod_shoup((uint64_t)a[j], n_inv, n_inv_s, q);
+}
+
+void reveal_pointwise_mulmod(const int64_t *a, const int64_t *b,
+                             int64_t *out, int64_t n, uint64_t q) {
+    for (int64_t j = 0; j < n; j++) {
+        uint64_t av = reduce_once(a[j], q), bv = reduce_once(b[j], q);
+        out[j] = (int64_t)((av * bv) % q);
+    }
+}
+
+/* Expand ONE event at s: every defined cycle of its op class, padding
+   cycles keep the prefilled baseline.  Expression trees mirror
+   LeakageModel._expand_core exactly — see that method for the
+   cycle-layout rationale.  half_wd/half_we/eng_base are the hoisted
+   (0.5*wd, we*0.5, base+eoff) products shared across events. */
+static inline void expand_one(int64_t op, int64_t word, int64_t prevw,
+                              int64_t rs1, int64_t rs2, int64_t result,
+                              int64_t old_rd, int64_t address, double *s,
+                              double wd, double half_wd, double wt,
+                              double wf, double we, double half_we,
+                              double eng_base, double base) {
+    s[0] = base + wf * (double)(hw32(word) + hw32(word ^ prevw));
+    double operand_v = base + half_wd * (double)(hw32(rs1) + hw32(rs2));
+    double writeback_v = (base + wd * (double)hw32(result)) +
+                         wt * (double)hw32(result ^ old_rd);
+    switch ((int)op) {
+    case @OP_ALU@:
+        s[1] = operand_v;
+        s[2] = writeback_v;
+        break;
+    case @OP_MUL@: {
+        s[1] = operand_v;
+        uint32_t a = (uint32_t)rs1, b = (uint32_t)rs2;
+        uint32_t acc = 0;
+        for (int i = 0; i < 32; i++) {
+            if ((b >> i) & 1u)
+                acc += (uint32_t)((uint64_t)a << i);
+            s[2 + i] = eng_base + we * (double)__builtin_popcount(acc);
+        }
+        s[34] = writeback_v;
+        break;
+    }
+    case @OP_DIV@: {
+        s[1] = operand_v;
+        uint64_t dividend = (uint64_t)rs1;
+        uint64_t divisor = (uint64_t)rs2;
+        for (int i = 0; i < 32; i++) {
+            uint64_t shifted = dividend >> (31 - i);
+            uint64_t quo, rem;
+            if (divisor == 0) { quo = 0; rem = shifted; }
+            else { quo = shifted / divisor; rem = shifted % divisor; }
+            s[2 + i] = eng_base +
+                       half_we * (double)(__builtin_popcountll(rem) +
+                                          __builtin_popcountll(quo));
+        }
+        s[34] = writeback_v;
+        break;
+    }
+    case @OP_LOAD@:
+        s[1] = base + half_wd * (double)hw32(address);
+        s[2] = base + wd * (double)hw32(result);
+        s[3] = writeback_v;
+        break;
+    case @OP_STORE@:
+        s[1] = base + half_wd * (double)hw32(address);
+        s[2] = base + wd * (double)hw32(result);
+        s[3] = base + half_wd * (double)hw32(result);
+        break;
+    case @OP_BRANCH_NOT_TAKEN@:
+        s[1] = operand_v;
+        break;
+    case @OP_BRANCH_TAKEN@:
+        s[1] = operand_v;
+        s[2] = base + wf * (double)hw32(result);
+        break;
+    case @OP_JUMP@:
+        s[1] = base + wf * (double)hw32(result);
+        s[2] = base + wt * (double)hw32(result ^ old_rd);
+        break;
+    default: /* OP_SYSTEM: fetch cycle only */
+        break;
+    }
+}
+
+/* One pass over a whole event log (the row-major expand path). */
+void reveal_expand_events(int64_t n, const int64_t *op,
+                          const int64_t *word, const int64_t *rs1,
+                          const int64_t *rs2, const int64_t *result,
+                          const int64_t *old_rd, const int64_t *address,
+                          const int64_t *prev, const int64_t *starts,
+                          double *samples, double wd, double wt,
+                          double wf, double we, double eoff, double base) {
+    double half_wd = 0.5 * wd;
+    double half_we = we * 0.5;
+    double eng_base = base + eoff;
+    for (int64_t e = 0; e < n; e++)
+        expand_one(op[e], word[e], prev[e], rs1[e], rs2[e], result[e],
+                   old_rd[e], address[e], samples + starts[e], wd,
+                   half_wd, wt, wf, we, half_we, eng_base, base);
+}
+
+/* One dispatch group of a lane block: g lanes x count events, fields
+   resolved per event from the static template (gidx < 0) or gathered
+   from the recorded dynamic value matrix vals[gidx][lane].  Replaces
+   the generated numpy block emitters of expand_arena: same per-event
+   expansion as above, scattered at dest0[lane] + offs[event], with the
+   event-start mask filled in the same pass.  The fetched-word history
+   chains through the block (prev[lane] seeds event 0). */
+void reveal_expand_block(int64_t count, const int64_t *tpl,
+                         const int32_t *gidx, const int64_t *offs,
+                         int64_t g, const int64_t *dest0,
+                         const int64_t *prev, const int64_t *vals,
+                         double *out, uint8_t *mask, double wd,
+                         double wt, double wf, double we, double eoff,
+                         double base) {
+    double half_wd = 0.5 * wd;
+    double half_we = we * 0.5;
+    double eng_base = base + eoff;
+    for (int64_t i = 0; i < g; i++) {
+        int64_t lane0 = dest0[i];
+        int64_t pw = prev[i];
+        for (int64_t j = 0; j < count; j++) {
+            const int64_t *t = tpl + j * @EV_FIELDS@;
+            const int32_t *gx = gidx + j * @EV_FIELDS@;
+            int64_t f[7];
+            for (int r = 0; r < 7; r++)
+                f[r] = gx[r] >= 0 ? vals[(int64_t)gx[r] * g + i] : t[r];
+            int64_t s0 = lane0 + offs[j];
+            mask[s0] = 1;
+            expand_one(f[0], f[1], pw, f[2], f[3], f[4], f[5], f[6],
+                       out + s0, wd, half_wd, wt, wf, we, half_we,
+                       eng_base, base);
+            pw = f[1];
+        }
+    }
+}
+
+/* Warp scheduling: lead lane by min (wraps << 32) + pc over live
+   lanes (first minimum, like np.argmin), group = live lanes at the
+   lead's pc, ascending.  Returns the group size; pc_out = -1 and 0
+   when no lane is alive. */
+int64_t reveal_lane_select(const int64_t *pcs, const int64_t *wraps,
+                           const uint8_t *alive, int64_t n,
+                           int64_t *group, int64_t *pc_out) {
+    int64_t best_key = 0, pc = -1;
+    int found = 0;
+    for (int64_t i = 0; i < n; i++) {
+        if (!alive[i]) continue;
+        int64_t key = (wraps[i] << 32) + pcs[i];
+        if (!found || key < best_key) {
+            best_key = key;
+            pc = pcs[i];
+            found = 1;
+        }
+    }
+    *pc_out = pc;
+    if (!found) return 0;
+    int64_t count = 0;
+    for (int64_t i = 0; i < n; i++)
+        if (alive[i] && pcs[i] == pc) group[count++] = i;
+    return count;
+}
+
+/* Mahalanobis quadratic forms d P d^T for every (slice, class) pair.
+   Reduction order differs from np.einsum — declared non-exact. */
+void reveal_template_quad_pooled(const double *x, const double *means,
+                                 const double *prec, int64_t n,
+                                 int64_t c, int64_t p, double *out) {
+    for (int64_t i = 0; i < n; i++) {
+        const double *xi = x + i * p;
+        for (int64_t j = 0; j < c; j++) {
+            const double *mj = means + j * p;
+            double quad = 0.0;
+            for (int64_t a = 0; a < p; a++) {
+                const double *row = prec + a * p;
+                double inner = 0.0;
+                for (int64_t b = 0; b < p; b++)
+                    inner += row[b] * (xi[b] - mj[b]);
+                quad += (xi[a] - mj[a]) * inner;
+            }
+            out[i * c + j] = quad;
+        }
+    }
+}
+
+void reveal_template_quad_perclass(const double *x, const double *means,
+                                   const double *prec_stack, int64_t n,
+                                   int64_t c, int64_t p, double *out) {
+    for (int64_t i = 0; i < n; i++) {
+        const double *xi = x + i * p;
+        for (int64_t j = 0; j < c; j++) {
+            const double *mj = means + j * p;
+            const double *prec = prec_stack + j * p * p;
+            double quad = 0.0;
+            for (int64_t a = 0; a < p; a++) {
+                const double *row = prec + a * p;
+                double inner = 0.0;
+                for (int64_t b = 0; b < p; b++)
+                    inner += row[b] * (xi[b] - mj[b]);
+                quad += (xi[a] - mj[a]) * inner;
+            }
+            out[i * c + j] = quad;
+        }
+    }
+}
+"""
+
+
+def _c_source() -> str:
+    source = _SOURCE_TEMPLATE
+    for name in (
+        "OP_ALU", "OP_MUL", "OP_DIV", "OP_LOAD", "OP_STORE",
+        "OP_BRANCH_NOT_TAKEN", "OP_BRANCH_TAKEN", "OP_JUMP",
+    ):
+        source = source.replace(f"@{name}@", str(getattr(cy, name)))
+    return source.replace("@EV_FIELDS@", str(_EV_FIELDS))
+
+
+def _cache_dir() -> str:
+    configured = os.environ.get("REVEAL_NATIVE_CACHE", "").strip()
+    if configured:
+        return configured
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "reveal-native"
+    )
+
+
+def _load_extension(modname: str, path: str):
+    loader = importlib.machinery.ExtensionFileLoader(modname, path)
+    spec = importlib.util.spec_from_loader(modname, loader, origin=path)
+    module = importlib.util.module_from_spec(spec)
+    loader.exec_module(module)
+    return module
+
+
+def _compile_and_load():
+    """Build (or reuse) the extension; returns ``(module, digest)``."""
+    source = _c_source()
+    digest = hashlib.sha256((_CDEF + source).encode()).hexdigest()[:12]
+    modname = f"_reveal_native_{digest}"
+    cache_dir = _cache_dir()
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    target = os.path.join(cache_dir, modname + suffix)
+    if os.path.exists(target):
+        return _load_extension(modname, target), digest
+
+    import cffi  # capability probe: missing cffi -> backend unavailable
+
+    os.makedirs(cache_dir, exist_ok=True)
+    ffi = cffi.FFI()
+    ffi.cdef(_CDEF)
+    # -ffp-contract=off: FMA contraction would change float results and
+    # break the bit-exactness contract of the expand kernel.
+    ffi.set_source(
+        modname, source,
+        extra_compile_args=["-O3", "-ffp-contract=off"],
+    )
+    # Build in a private temp dir, then publish atomically: concurrent
+    # first-use from several processes must not see half-written files.
+    build_dir = tempfile.mkdtemp(prefix="build-", dir=cache_dir)
+    try:
+        built = ffi.compile(tmpdir=build_dir)
+        os.replace(built, target)
+    finally:
+        shutil.rmtree(build_dir, ignore_errors=True)
+    return _load_extension(modname, target), digest
+
+
+def _shoup_table(powers: np.ndarray, q: int) -> np.ndarray:
+    """``floor(w * 2**64 / q)`` per twiddle, as uint64."""
+    return np.array(
+        [(int(w) << 64) // q for w in powers.tolist()], dtype=np.uint64
+    )
+
+
+def build_backend() -> Backend:
+    module, digest = _compile_and_load()
+    lib = module.lib
+    ffi = module.ffi
+
+    def i64(arr: np.ndarray):
+        return ffi.cast("int64_t *", ffi.from_buffer(arr))
+
+    def u64(arr: np.ndarray):
+        return ffi.cast("uint64_t *", ffi.from_buffer(arr))
+
+    def f64(arr: np.ndarray):
+        return ffi.cast("double *", ffi.from_buffer(arr))
+
+    def _ntt_tables(ctx):
+        # Shoup companions are derived lazily per context and cached on
+        # it, so they ride the existing get_ntt_context LRU for free.
+        tables = getattr(ctx, "_native_ntt_tables", None)
+        if tables is None:
+            q = ctx.modulus.value
+            fwd = np.ascontiguousarray(ctx._root_powers.astype(np.uint64))
+            inv = np.ascontiguousarray(
+                ctx._inv_root_powers.astype(np.uint64)
+            )
+            n_inv = int(ctx.n_inv)
+            tables = (
+                fwd, _shoup_table(fwd, q), inv, _shoup_table(inv, q),
+                n_inv, (n_inv << 64) // q,
+            )
+            ctx._native_ntt_tables = tables
+        return tables
+
+    def ntt_forward(ctx, a: np.ndarray) -> np.ndarray:
+        fwd, fwd_s, _inv, _inv_s, _n_inv, _n_inv_s = _ntt_tables(ctx)
+        lib.reveal_ntt_forward(
+            i64(a), ctx.n, u64(fwd), u64(fwd_s), ctx.modulus.value
+        )
+        return a
+
+    def ntt_inverse(ctx, a: np.ndarray) -> np.ndarray:
+        _fwd, _fwd_s, inv, inv_s, n_inv, n_inv_s = _ntt_tables(ctx)
+        lib.reveal_ntt_inverse(
+            i64(a), ctx.n, u64(inv), u64(inv_s), ctx.modulus.value,
+            n_inv, n_inv_s,
+        )
+        return a
+
+    def pointwise_mulmod(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+        a = np.ascontiguousarray(a, dtype=np.int64)
+        b = np.ascontiguousarray(b, dtype=np.int64)
+        out = np.empty_like(a)
+        lib.reveal_pointwise_mulmod(i64(a), i64(b), i64(out), a.size, q)
+        return out
+
+    def expand_events(cols, prev, starts, samples, weights) -> None:
+        wd, wt, wf, we, eoff, base = weights
+        rows = [np.ascontiguousarray(cols[i]) for i in range(7)]
+        prev = np.ascontiguousarray(prev)
+        starts_c = np.ascontiguousarray(starts)
+        lib.reveal_expand_events(
+            cols.shape[1], *(i64(r) for r in rows), i64(prev),
+            i64(starts_c), f64(samples), wd, wt, wf, we, eoff, base,
+        )
+
+    # Per-block expansion metadata, cached alongside the numpy emitters
+    # (the key shape cannot collide with their 6-float weight tuples).
+    _META_KEY = ("__native_block_meta__",)
+
+    def _block_meta(block):
+        meta = block.emitters.get(_META_KEY, False)
+        if meta is False:
+            count = block.length
+            tpl = np.ascontiguousarray(block.template)
+            gidx = np.full(count * _EV_FIELDS, -1, dtype=np.int32)
+            for cell, k in zip(block.cells, block.gather):
+                gidx[cell] = k
+            # Per-event first-cycle offsets.  Only a terminal branch may
+            # carry a dynamic op class (same invariant the emitter
+            # compiler enforces); any other dynamic op means the block
+            # layout is not static, so decline and let the caller fall
+            # back to the generated emitter's error path.
+            meta = None
+            offs = np.zeros(count, dtype=np.int64)
+            off = 0
+            for j in range(count):
+                offs[j] = off
+                if gidx[j * _EV_FIELDS] >= 0:
+                    if j != count - 1:
+                        break
+                else:
+                    off += cy.CYCLES[int(tpl[j * _EV_FIELDS])]
+            else:
+                meta = (tpl, gidx, offs, count, len(block.uniq_names))
+            block.emitters[_META_KEY] = meta
+        return meta
+
+    def expand_block(block, dest0, prev, vals, out, mask, weights) -> bool:
+        meta = _block_meta(block)
+        if meta is None:
+            return False
+        tpl, gidx, offs, count, nvals = meta
+        wd, wt, wf, we, eoff, base = weights
+        dest0 = np.ascontiguousarray(dest0, dtype=np.int64)
+        prev = np.ascontiguousarray(prev, dtype=np.int64)
+        g = dest0.shape[0]
+        vmat = np.empty((max(nvals, 1), g), dtype=np.int64)
+        for k in range(nvals):
+            vmat[k] = vals[k]
+        lib.reveal_expand_block(
+            count, i64(tpl), ffi.cast("int32_t *", ffi.from_buffer(gidx)),
+            i64(offs), g, i64(dest0), i64(prev), i64(vmat), f64(out),
+            ffi.cast("uint8_t *", ffi.from_buffer(mask)),
+            wd, wt, wf, we, eoff, base,
+        )
+        return True
+
+    def lane_select(pcs, wraps, alive):
+        group = np.empty(pcs.shape[0], dtype=np.int64)
+        pc_out = ffi.new("int64_t *")
+        count = lib.reveal_lane_select(
+            i64(pcs), i64(wraps),
+            ffi.cast("uint8_t *", ffi.from_buffer(alive)),
+            pcs.shape[0], i64(group), pc_out,
+        )
+        if count == 0:
+            return -1, None
+        return int(pc_out[0]), group[:count]
+
+    def template_quad(x, means, precision, prec_stack) -> np.ndarray:
+        x = np.ascontiguousarray(x, dtype=np.float64)
+        means = np.ascontiguousarray(means, dtype=np.float64)
+        n, p = x.shape
+        c = means.shape[0]
+        out = np.empty((n, c), dtype=np.float64)
+        if prec_stack is not None:
+            stack = np.ascontiguousarray(prec_stack, dtype=np.float64)
+            lib.reveal_template_quad_perclass(
+                f64(x), f64(means), f64(stack), n, c, p, f64(out)
+            )
+        else:
+            prec = np.ascontiguousarray(precision, dtype=np.float64)
+            lib.reveal_template_quad_pooled(
+                f64(x), f64(means), f64(prec), n, c, p, f64(out)
+            )
+        return out
+
+    return Backend(
+        name="native",
+        version=digest[:8],
+        priority=10,
+        kernels={
+            "ntt_forward": Kernel(ntt_forward),
+            "ntt_inverse": Kernel(ntt_inverse),
+            "pointwise_mulmod": Kernel(pointwise_mulmod),
+            "expand_events": Kernel(expand_events),
+            "expand_block": Kernel(expand_block),
+            "lane_select": Kernel(lane_select),
+            "template_quad": Kernel(template_quad, exact=False),
+        },
+    )

@@ -1,0 +1,261 @@
+"""Numba backend: ``@njit`` (nopython, cached) hot-kernel twins.
+
+Only importable where numba is installed — the registry's capability
+probe swallows the ``ImportError`` and falls back, which is the normal
+state of this container (the dedicated CI job installs numba and runs
+the ``backend.numba.*`` oracle sweep).  The kernels transliterate the
+scalar reference semantics directly; numba's integer ``%`` follows
+Python (floored) semantics and its float codegen does not contract
+into FMAs without ``fastmath``, so every kernel except the template
+quadratic form is bit-exact against the numpy twin, same as the native
+C backend.  ``parallel=True``/``prange`` is applied only to the
+template kernel's independent slice rows — the other kernels run
+inside process-pool workers where nested threading oversubscribes the
+host.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends import Backend, Kernel
+
+
+def build_backend() -> Backend:
+    import numba
+    from numba import njit, prange
+
+    @njit(cache=True)
+    def _popcount32(v):
+        x = np.uint32(v)
+        x = x - ((x >> np.uint32(1)) & np.uint32(0x55555555))
+        x = (x & np.uint32(0x33333333)) + (
+            (x >> np.uint32(2)) & np.uint32(0x33333333)
+        )
+        x = (x + (x >> np.uint32(4))) & np.uint32(0x0F0F0F0F)
+        return np.int64((x * np.uint32(0x01010101)) >> np.uint32(24))
+
+    @njit(cache=True)
+    def _ntt_forward(a, w, q):
+        n = a.shape[0]
+        for j in range(n):
+            a[j] = a[j] % q
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            for i in range(m):
+                wi = w[m + i]
+                j1 = 2 * i * t
+                for j in range(j1, j1 + t):
+                    lo = a[j]
+                    hi = a[j + t]
+                    prod = (hi * wi) % q
+                    a[j] = (lo + prod) % q
+                    a[j + t] = (lo - prod) % q
+            m *= 2
+        return a
+
+    @njit(cache=True)
+    def _ntt_inverse(a, w, q, n_inv):
+        n = a.shape[0]
+        for j in range(n):
+            a[j] = a[j] % q
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            j1 = 0
+            for i in range(h):
+                wi = w[h + i]
+                for j in range(j1, j1 + t):
+                    lo = a[j]
+                    hi = a[j + t]
+                    a[j] = (lo + hi) % q
+                    a[j + t] = ((lo - hi) * wi) % q
+                j1 += 2 * t
+            t *= 2
+            m = h
+        for j in range(n):
+            a[j] = (a[j] * n_inv) % q
+        return a
+
+    @njit(cache=True)
+    def _pointwise_mulmod(a, b, q):
+        out = np.empty_like(a)
+        for j in range(a.shape[0]):
+            out[j] = ((a[j] % q) * (b[j] % q)) % q
+        return out
+
+    @njit(cache=True)
+    def _expand_events(op, word, rs1, rs2, result, old_rd, address,
+                       prev, starts, samples, wd, wt, wf, we, eoff, base):
+        half_wd = 0.5 * wd
+        half_we = we * 0.5
+        eng_base = base + eoff
+        for e in range(op.shape[0]):
+            s = starts[e]
+            samples[s] = base + wf * float(
+                _popcount32(word[e]) + _popcount32(word[e] ^ prev[e])
+            )
+            operand_v = base + half_wd * float(
+                _popcount32(rs1[e]) + _popcount32(rs2[e])
+            )
+            writeback_v = (
+                base + wd * float(_popcount32(result[e]))
+            ) + wt * float(_popcount32(result[e] ^ old_rd[e]))
+            cls = op[e]
+            if cls == 0:  # OP_ALU
+                samples[s + 1] = operand_v
+                samples[s + 2] = writeback_v
+            elif cls == 1:  # OP_MUL
+                samples[s + 1] = operand_v
+                a32 = np.uint32(rs1[e])
+                b32 = np.uint32(rs2[e])
+                acc = np.uint32(0)
+                for i in range(32):
+                    if (b32 >> np.uint32(i)) & np.uint32(1):
+                        acc = acc + np.uint32(
+                            np.uint64(a32) << np.uint64(i)
+                        )
+                    samples[s + 2 + i] = eng_base + we * float(
+                        _popcount32(acc)
+                    )
+                samples[s + 34] = writeback_v
+            elif cls == 2:  # OP_DIV
+                samples[s + 1] = operand_v
+                dividend = np.uint64(rs1[e])
+                divisor = np.uint64(rs2[e])
+                for i in range(32):
+                    shifted = dividend >> np.uint64(31 - i)
+                    if divisor == np.uint64(0):
+                        quo = np.uint64(0)
+                        rem = shifted
+                    else:
+                        quo = shifted // divisor
+                        rem = shifted % divisor
+                    samples[s + 2 + i] = eng_base + half_we * float(
+                        _popcount32(rem) + _popcount32(quo)
+                    )
+                samples[s + 34] = writeback_v
+            elif cls == 3:  # OP_LOAD
+                samples[s + 1] = base + half_wd * float(
+                    _popcount32(address[e])
+                )
+                samples[s + 2] = base + wd * float(_popcount32(result[e]))
+                samples[s + 3] = writeback_v
+            elif cls == 4:  # OP_STORE
+                samples[s + 1] = base + half_wd * float(
+                    _popcount32(address[e])
+                )
+                samples[s + 2] = base + wd * float(_popcount32(result[e]))
+                samples[s + 3] = base + half_wd * float(
+                    _popcount32(result[e])
+                )
+            elif cls == 5:  # OP_BRANCH_NOT_TAKEN
+                samples[s + 1] = operand_v
+            elif cls == 6:  # OP_BRANCH_TAKEN
+                samples[s + 1] = operand_v
+                samples[s + 2] = base + wf * float(_popcount32(result[e]))
+            elif cls == 7:  # OP_JUMP
+                samples[s + 1] = base + wf * float(_popcount32(result[e]))
+                samples[s + 2] = base + wt * float(
+                    _popcount32(result[e] ^ old_rd[e])
+                )
+            # OP_SYSTEM: fetch cycle only
+
+    @njit(cache=True)
+    def _lane_select(pcs, wraps, alive, group):
+        best_key = np.int64(0)
+        pc = np.int64(-1)
+        found = False
+        for i in range(pcs.shape[0]):
+            if not alive[i]:
+                continue
+            key = (wraps[i] << 32) + pcs[i]
+            if not found or key < best_key:
+                best_key = key
+                pc = pcs[i]
+                found = True
+        if not found:
+            return np.int64(-1), np.int64(0)
+        count = 0
+        for i in range(pcs.shape[0]):
+            if alive[i] and pcs[i] == pc:
+                group[count] = i
+                count += 1
+        return pc, np.int64(count)
+
+    @njit(cache=True, parallel=True)
+    def _template_quad(x, means, prec_stack, out):
+        n, p = x.shape
+        c = means.shape[0]
+        for i in prange(n):
+            for j in range(c):
+                prec = prec_stack[j]
+                quad = 0.0
+                for a in range(p):
+                    inner = 0.0
+                    for b in range(p):
+                        inner += prec[a, b] * (x[i, b] - means[j, b])
+                    quad += (x[i, a] - means[j, a]) * inner
+                out[i, j] = quad
+
+    def ntt_forward(ctx, a: np.ndarray) -> np.ndarray:
+        return _ntt_forward(a, ctx._root_powers, ctx.modulus.value)
+
+    def ntt_inverse(ctx, a: np.ndarray) -> np.ndarray:
+        return _ntt_inverse(
+            a, ctx._inv_root_powers, ctx.modulus.value, int(ctx.n_inv)
+        )
+
+    def pointwise_mulmod(a, b, q):
+        return _pointwise_mulmod(
+            np.ascontiguousarray(a, dtype=np.int64),
+            np.ascontiguousarray(b, dtype=np.int64),
+            q,
+        )
+
+    def expand_events(cols, prev, starts, samples, weights) -> None:
+        wd, wt, wf, we, eoff, base = weights
+        rows = [np.ascontiguousarray(cols[i]) for i in range(7)]
+        _expand_events(
+            *rows, np.ascontiguousarray(prev),
+            np.ascontiguousarray(starts), samples,
+            wd, wt, wf, we, eoff, base,
+        )
+
+    def lane_select(pcs, wraps, alive):
+        group = np.empty(pcs.shape[0], dtype=np.int64)
+        pc, count = _lane_select(pcs, wraps, alive, group)
+        if count == 0:
+            return -1, None
+        return int(pc), group[:count]
+
+    def template_quad(x, means, precision, prec_stack) -> np.ndarray:
+        x = np.ascontiguousarray(x, dtype=np.float64)
+        means = np.ascontiguousarray(means, dtype=np.float64)
+        if prec_stack is None:
+            stack = np.broadcast_to(
+                precision, (means.shape[0],) + precision.shape
+            )
+            stack = np.ascontiguousarray(stack)
+        else:
+            stack = np.ascontiguousarray(prec_stack, dtype=np.float64)
+        out = np.empty((x.shape[0], means.shape[0]), dtype=np.float64)
+        _template_quad(x, means, stack, out)
+        return out
+
+    return Backend(
+        name="numba",
+        version=numba.__version__,
+        priority=20,
+        kernels={
+            "ntt_forward": Kernel(ntt_forward),
+            "ntt_inverse": Kernel(ntt_inverse),
+            "pointwise_mulmod": Kernel(pointwise_mulmod),
+            "expand_events": Kernel(expand_events),
+            "lane_select": Kernel(lane_select),
+            "template_quad": Kernel(template_quad, exact=False),
+        },
+    )

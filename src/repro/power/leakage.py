@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backends import get_kernel
 from repro.riscv import cycles as cy
 from repro.riscv.cpu import EventLog, ExecutionEvent
 
@@ -251,6 +252,17 @@ class LeakageModel:
                     "expand_arena needs a deferred-record arena; got a "
                     f"{tag!r} record (expand_lanes handles materialized logs)"
                 )
+        # A compiled backend replaces the generated numpy emitters with
+        # one C pass per dispatch group (field resolution + per-event
+        # expansion + start mask) — bit-exact by the backend contract
+        # (``backend.*.expand_arena`` oracles).  It may decline a block
+        # whose event layout it cannot prove static; those fall through
+        # to the emitter below.
+        kernel = get_kernel("expand_block")
+        weights = (
+            self.weight_data, self.weight_transition, self.weight_fetch,
+            self.weight_engine, self.engine_offset, self.baseline,
+        )
         for block, ids_l, cyc_l, prev_l, vals_l in order:
             if len(ids_l) == 1:
                 ids, cyc0, prev = ids_l[0], cyc_l[0], prev_l[0]
@@ -264,6 +276,10 @@ class LeakageModel:
                     for i in range(len(block.uniq_names))
                 )
             dest0 = lane_base[ids] + cyc0
+            if kernel is not None and kernel(
+                block, dest0, prev, vals, flat, mask, weights
+            ):
+                continue
             emit, ev_offs = self._block_emitter(block)
             emit(flat, dest0, prev, vals)
             mask[(dest0[:, None] + ev_offs).ravel()] = True
@@ -335,6 +351,26 @@ class LeakageModel:
         else:
             starts = dest
             samples = out
+
+        # A compiled compute backend replaces the whole per-class
+        # scatter below with one pass over the event log — bit-exact by
+        # the backend contract (its float expression trees mirror this
+        # method operation for operation; ``backend.*.expand`` oracles).
+        kernel = get_kernel("expand_events")
+        if kernel is not None:
+            if prev is None:
+                previous_word = np.empty_like(word)
+                previous_word[0] = 0
+                previous_word[1:] = word[:-1]
+                if resets is not None:
+                    previous_word[resets[resets < n]] = 0
+            else:
+                previous_word = prev
+            kernel(
+                cols, previous_word, starts, samples,
+                (wd, wt, wf, we, self.engine_offset, base),
+            )
+            return samples, starts
 
         # Event indices of one op class, ascending (the same order a
         # stable sort would give).  A boolean scan per class beats one

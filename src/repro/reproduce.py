@@ -23,6 +23,8 @@ import argparse
 
 import numpy as np
 
+from repro.backends import BACKEND_NAMES, resolve_backend, set_backend
+
 
 def _make_bench(noise: float = 1.0):
     from repro.power.capture import TraceAcquisition
@@ -183,7 +185,20 @@ def main(argv=None) -> None:
         help="execution engine for table1/table2 attack captures "
         "(default: $REVEAL_ENGINE, then threaded)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default=None,
+        help="numeric kernel backend for the hot loops "
+        "(default: $REVEAL_BACKEND, then capability probe)",
+    )
     args = parser.parse_args(argv)
+    if args.backend is not None:
+        set_backend(args.backend)
+    else:
+        # Surface a bad REVEAL_BACKEND value here, at parse time, rather
+        # than mid-campaign on the first kernel dispatch.
+        resolve_backend(None)
     runners = {
         "fig3": run_fig3,
         "table1": lambda: run_table1(args.traces, args.workers, args.engine),

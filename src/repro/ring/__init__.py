@@ -9,7 +9,13 @@ polynomial container (:mod:`repro.ring.poly`).
 """
 
 from repro.ring.modulus import Modulus
-from repro.ring.ntt import NttContext, get_ntt_context
+from repro.ring.ntt import (
+    NttContext,
+    clear_ntt_cache,
+    configure_ntt_cache,
+    get_ntt_context,
+    ntt_cache_stats,
+)
 from repro.ring.poly import RingPoly
 from repro.ring.primes import default_coeff_modulus_128, generate_ntt_primes, is_prime
 from repro.ring.rns import RnsBasis
@@ -17,7 +23,10 @@ from repro.ring.rns import RnsBasis
 __all__ = [
     "Modulus",
     "NttContext",
+    "clear_ntt_cache",
+    "configure_ntt_cache",
     "get_ntt_context",
+    "ntt_cache_stats",
     "RingPoly",
     "RnsBasis",
     "default_coeff_modulus_128",

@@ -17,15 +17,27 @@ the original per-group loops as correctness oracles.
 Contexts are cached process-wide by :func:`get_ntt_context` keyed on
 ``(q, n)`` — the twiddle tables are immutable, so every caller (BFV
 limbs, the plaintext encoder, exact CRT multiplies) shares one table
-set per modulus/degree pair.
+set per modulus/degree pair.  The cache is a bounded LRU
+(:func:`configure_ntt_cache`, default 64 contexts) with hit/miss
+counters (:func:`ntt_cache_stats`) so long parameter sweeps cannot
+grow it without bound.
+
+When a compiled compute backend is active (see :mod:`repro.backends`),
+:meth:`~NttContext.forward` / :meth:`~NttContext.inverse` and the
+pointwise product in :meth:`~NttContext.multiply` dispatch to its
+kernels — bit-identical to the numpy path by the backend contract
+(``backend.*.ntt`` oracles); otherwise the level-order vectorized
+numpy butterflies below run.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Tuple, Union
 
 import numpy as np
 
+from repro.backends import get_kernel
 from repro.errors import ParameterError
 from repro.ring.modulus import Modulus
 from repro.utils.bitops import bit_reverse
@@ -122,6 +134,9 @@ class NttContext:
         a = np.array(coeffs, dtype=np.int64)
         if a.shape != (self.n,):
             raise ParameterError(f"expected shape ({self.n},), got {a.shape}")
+        kernel = get_kernel("ntt_forward")
+        if kernel is not None:
+            return kernel(self, a)
         t = self.n
         for w in self._stage_twiddles:
             t //= 2
@@ -140,6 +155,9 @@ class NttContext:
         a = np.array(values, dtype=np.int64)
         if a.shape != (self.n,):
             raise ParameterError(f"expected shape ({self.n},), got {a.shape}")
+        kernel = get_kernel("ntt_inverse")
+        if kernel is not None:
+            return kernel(self, a)
         t = 1
         for w in self._inv_stage_twiddles:
             view = a.reshape(w.shape[0], 2 * t)
@@ -205,14 +223,48 @@ class NttContext:
         """Negacyclic product of two coefficient vectors mod ``q``."""
         fa = self.forward(lhs)
         fb = self.forward(rhs)
+        kernel = get_kernel("pointwise_mulmod")
+        if kernel is not None:
+            return self.inverse(kernel(fa, fb, self.modulus.value))
         return self.inverse((fa * fb) % self.modulus.value)
 
     def __repr__(self) -> str:
         return f"NttContext(q={self.modulus.value}, n={self.n})"
 
 
-#: Process-wide context cache; tables are immutable so sharing is safe.
-_CONTEXT_CACHE: Dict[Tuple[int, int], NttContext] = {}
+#: Process-wide bounded LRU context cache; tables are immutable so
+#: sharing is safe.  64 contexts (~a few MB at n=4096) covers every
+#: realistic campaign matrix while keeping multi-thousand-pair
+#: parameter sweeps from pinning memory for the life of the process.
+_CONTEXT_CACHE: "OrderedDict[Tuple[int, int], NttContext]" = OrderedDict()
+_CACHE_MAX = 64
+_CACHE_STATS: Dict[str, int] = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def configure_ntt_cache(max_size: int) -> None:
+    """Set the LRU capacity (>= 1), evicting down to it immediately."""
+    global _CACHE_MAX
+    if max_size < 1:
+        raise ParameterError(f"NTT cache size must be >= 1, got {max_size}")
+    _CACHE_MAX = int(max_size)
+    while len(_CONTEXT_CACHE) > _CACHE_MAX:
+        _CONTEXT_CACHE.popitem(last=False)
+        _CACHE_STATS["evictions"] += 1
+
+
+def ntt_cache_stats() -> Dict[str, int]:
+    """Hit/miss/eviction counters plus current size (benchmarks)."""
+    stats = dict(_CACHE_STATS)
+    stats["size"] = len(_CONTEXT_CACHE)
+    stats["max_size"] = _CACHE_MAX
+    return stats
+
+
+def clear_ntt_cache() -> None:
+    """Drop every cached context and zero the counters (tests)."""
+    _CONTEXT_CACHE.clear()
+    for key in _CACHE_STATS:
+        _CACHE_STATS[key] = 0
 
 
 def get_ntt_context(modulus: Union[Modulus, int], n: int) -> NttContext:
@@ -221,11 +273,19 @@ def get_ntt_context(modulus: Union[Modulus, int], n: int) -> NttContext:
     Twiddle-table construction is O(n) Python work per modulus/degree
     pair; the BFV parameter sets, the encoder and the exact CRT
     multiplier all hit the same pairs repeatedly, so contexts are
-    cached for the life of the process.
+    cached LRU for the life of the process (bounded — see
+    :func:`configure_ntt_cache`).
     """
     q = modulus.value if isinstance(modulus, Modulus) else int(modulus)
     context = _CONTEXT_CACHE.get((q, n))
-    if context is None:
-        context = NttContext(modulus if isinstance(modulus, Modulus) else Modulus(q), n)
-        _CONTEXT_CACHE[(q, n)] = context
+    if context is not None:
+        _CONTEXT_CACHE.move_to_end((q, n))
+        _CACHE_STATS["hits"] += 1
+        return context
+    _CACHE_STATS["misses"] += 1
+    context = NttContext(modulus if isinstance(modulus, Modulus) else Modulus(q), n)
+    _CONTEXT_CACHE[(q, n)] = context
+    while len(_CONTEXT_CACHE) > _CACHE_MAX:
+        _CONTEXT_CACHE.popitem(last=False)
+        _CACHE_STATS["evictions"] += 1
     return context

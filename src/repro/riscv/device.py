@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import ParameterError, SimulationError
 from repro.riscv.assembler import assemble
 from repro.riscv.cpu import Cpu, EventLog
 from repro.riscv.lanes import LaneEngine, LaneEventLog
@@ -38,15 +38,21 @@ def resolve_engine(engine: Optional[str] = None) -> str:
 
     ``None`` falls back to the ``REVEAL_ENGINE`` environment variable,
     then to ``"threaded"``.  The CLI alias ``"interpreter"`` maps to
-    ``"reference"``.  Raises :class:`SimulationError` for anything else.
+    ``"reference"``.  Anything else — including a bad ``REVEAL_ENGINE``
+    value — raises :class:`~repro.errors.ParameterError` listing the
+    valid options at parse time, instead of surfacing later as a
+    ``KeyError`` deep in dispatch.
     """
+    source = "engine"
     if engine is None:
         engine = os.environ.get("REVEAL_ENGINE", "").strip() or "threaded"
+        source = "REVEAL_ENGINE"
     if engine == "interpreter":
         engine = "reference"
     if engine not in ENGINES:
-        raise SimulationError(
-            f"unknown engine {engine!r} (choose from interpreter, threaded, lanes)"
+        raise ParameterError(
+            f"unknown {source} {engine!r} (choose from interpreter, "
+            f"{', '.join(ENGINES)})"
         )
     return engine
 

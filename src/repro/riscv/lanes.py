@@ -57,6 +57,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.backends import get_kernel
 from repro.errors import SimulationError
 from repro.riscv import cycles as cy
 from repro.riscv.cpu import Cpu, EventLog
@@ -1216,11 +1217,13 @@ class LaneEngine:
         recording = self.record_events
         undo = self._undo
         wraps = self._wraps
+        # Warp-scheduling backend kernel, resolved once per run: the
+        # numpy selection below costs 4-5 dispatches per loop turn and
+        # runs hundreds of times per batch, so a compiled single-pass
+        # scan is the cheapest win the compute layer offers here.
+        lane_select = get_kernel("lane_select")
 
         while True:
-            active = np.nonzero(alive)[0]
-            if active.size == 0:
-                break
             # Schedule by (wrap epoch, pc), not bare min-pc: min-pc lets
             # a lane that takes a loop back edge race a whole iteration
             # ahead of parked higher-pc lanes and the warp decays into
@@ -1231,10 +1234,18 @@ class LaneEngine:
             # branch diamonds at their join pc.  Any schedule is
             # semantically valid — lane state, events and faults are
             # per-lane — so this is purely a throughput choice.
-            key = (wraps << 32) + pcs
-            lead = active[np.argmin(key[active])]
-            pc = int(pcs[lead])
-            group = active[pcs[active] == pc]
+            if lane_select is not None:
+                pc, group = lane_select(pcs, wraps, alive)
+                if group is None:
+                    break
+            else:
+                active = np.nonzero(alive)[0]
+                if active.size == 0:
+                    break
+                key = (wraps << 32) + pcs
+                lead = active[np.argmin(key[active])]
+                pc = int(pcs[lead])
+                group = active[pcs[active] == pc]
 
             # One scalar reduce decides whether the exact per-lane
             # budget checks can run at all this dispatch: while every

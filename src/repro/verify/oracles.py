@@ -1101,3 +1101,10 @@ register(
         ),
     )
 )
+
+# Per-backend kernel oracles (backend.native.*, backend.numba.*): one
+# oracle per (available backend, kernel group), probing the compute
+# backends on import.  Registered last so the module can reuse the
+# samplers above; a host with neither C compiler nor numba registers
+# nothing extra.
+from repro.verify import backend_oracles as _backend_oracles  # noqa: E402,F401

@@ -1,0 +1,211 @@
+"""Unit tests for the compute-backend registry.
+
+The differential suite (``tests/differential/test_backends.py``) and
+the ``backend.*`` oracles prove kernel equivalence; this file pins the
+registry's own contract — probing, validation, selection precedence,
+the explicit/auto split that gates non-exact kernels, and graceful
+degradation when a backend's dependency is absent.
+"""
+
+import numpy as np
+import pytest
+
+from repro import backends
+from repro.backends import (
+    BACKEND_NAMES,
+    available_backends,
+    backend_id,
+    get_backend,
+    get_kernel,
+    kernel_exactness,
+    probe_backend,
+    probe_error,
+    reset_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from repro.errors import ParameterError
+
+#: Compiled backends that actually probed on this host (the reference
+#: backend always probes; it carries no kernels).
+COMPILED = [b for b in available_backends() if b != "reference"]
+
+
+@pytest.fixture(autouse=True)
+def _clean_selection(monkeypatch):
+    """Each test starts from auto-selection with no env override."""
+    monkeypatch.delenv("REVEAL_BACKEND", raising=False)
+    reset_backend()
+    yield
+    reset_backend()
+
+
+class TestResolve:
+    def test_valid_names_pass_through(self):
+        for name in BACKEND_NAMES:
+            assert resolve_backend(name) == name
+
+    def test_normalizes_case_and_whitespace(self):
+        assert resolve_backend(" Native ") == "native"
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(ParameterError, match="unknown backend 'warp'"):
+            resolve_backend("warp")
+        with pytest.raises(ParameterError, match="reference, native, numba"):
+            resolve_backend("warp")
+
+    def test_env_fallback_and_validation(self, monkeypatch):
+        assert resolve_backend(None) is None  # unset: auto-select
+        monkeypatch.setenv("REVEAL_BACKEND", "  ")
+        assert resolve_backend(None) is None  # blank: auto-select
+        monkeypatch.setenv("REVEAL_BACKEND", "reference")
+        assert resolve_backend(None) == "reference"
+        monkeypatch.setenv("REVEAL_BACKEND", "warp")
+        with pytest.raises(ParameterError, match="unknown REVEAL_BACKEND"):
+            resolve_backend(None)
+
+
+class TestProbe:
+    def test_reference_always_available(self):
+        backend = probe_backend("reference")
+        assert backend is not None
+        assert backend.name == "reference"
+        assert backend.kernels == {}  # call sites keep inline numpy paths
+        assert "reference" in available_backends()
+
+    def test_missing_dependency_degrades_without_raising(self):
+        # On hosts without numba the probe must cache a reason and
+        # return None — never propagate the ImportError.
+        try:
+            import numba  # noqa: F401
+
+            pytest.skip("numba installed: absence path not exercised")
+        except ImportError:
+            pass
+        assert probe_backend("numba") is None
+        assert "numba" not in available_backends()
+        assert probe_error("numba")  # reason recorded
+        # Selection still works end to end.
+        assert get_backend().name in available_backends()
+
+    def test_unavailable_backend_raises_only_on_explicit_request(
+        self, monkeypatch
+    ):
+        monkeypatch.setitem(backends._PROBED, "numba", None)
+        monkeypatch.setitem(
+            backends._PROBE_ERRORS, "numba", "ImportError: no module"
+        )
+        with pytest.raises(ParameterError, match="unavailable"):
+            set_backend("numba")
+        monkeypatch.setenv("REVEAL_BACKEND", "numba")
+        with pytest.raises(ParameterError, match="unavailable"):
+            get_backend()
+
+    def test_kernel_exactness_empty_for_unavailable(self, monkeypatch):
+        monkeypatch.setitem(backends._PROBED, "numba", None)
+        assert kernel_exactness("numba") == {}
+
+
+class TestSelection:
+    def test_auto_selects_highest_priority_available(self):
+        chosen = get_backend()
+        assert chosen.name in available_backends()
+        best = max(
+            (probe_backend(n) for n in available_backends()),
+            key=lambda b: b.priority,
+        )
+        assert chosen.priority == best.priority
+
+    def test_env_override_wins_over_probe(self, monkeypatch):
+        monkeypatch.setenv("REVEAL_BACKEND", "reference")
+        reset_backend()
+        assert get_backend().name == "reference"
+        assert backend_id().startswith("reference-")
+
+    def test_set_backend_wins_until_reset(self):
+        set_backend("reference")
+        assert get_backend().name == "reference"
+        reset_backend()
+        assert get_backend().name in available_backends()
+
+    def test_use_backend_restores_prior_selection(self):
+        before = get_backend().name
+        with use_backend("reference") as backend:
+            assert backend.name == "reference"
+            assert get_backend().name == "reference"
+        assert get_backend().name == before
+
+    def test_backend_id_is_name_dash_version(self):
+        name, _, version = backend_id().partition("-")
+        assert name in BACKEND_NAMES
+        assert version
+
+
+@pytest.mark.skipif(not COMPILED, reason="no compiled backend on this host")
+class TestKernelGating:
+    def test_exact_kernels_armed_under_auto_probe(self):
+        assert get_kernel("ntt_forward") is not None
+        assert get_kernel("expand_events") is not None
+
+    def test_non_exact_kernels_need_explicit_selection(self):
+        # Auto-probed: the template kernel is withheld so default
+        # outputs stay bit-identical to a reference-only install.
+        active = get_backend().name
+        assert get_kernel("template_quad") is None
+        with use_backend(active):
+            assert get_kernel("template_quad") is not None
+        assert get_kernel("template_quad") is None  # restored
+
+    def test_reference_never_serves_kernels(self):
+        with use_backend("reference"):
+            assert get_kernel("ntt_forward") is None
+            assert get_kernel("template_quad") is None
+
+    def test_exactness_declarations(self):
+        for name in COMPILED:
+            exactness = kernel_exactness(name)
+            assert exactness.get("ntt_forward") is True
+            assert exactness.get("expand_events") is True
+            assert exactness.get("lane_select") is True
+            assert exactness.get("template_quad") is False
+            if name == "native":  # the block emitter is C-only
+                assert exactness.get("expand_block") is True
+
+    def test_unknown_kernel_name_is_none(self):
+        assert get_kernel("no_such_kernel") is None
+
+
+@pytest.mark.skipif(not COMPILED, reason="no compiled backend on this host")
+class TestReportPlumbing:
+    def test_campaign_report_defaults_and_records_backend(self):
+        import dataclasses
+
+        from repro.attack.campaign import CampaignReport
+
+        (field,) = [
+            f for f in dataclasses.fields(CampaignReport)
+            if f.name == "backend"
+        ]
+        # Pre-backend archives deserialise to the reference ident.
+        assert field.default == "reference"
+
+    def test_profile_cache_key_tracks_backend(self):
+        from repro.attack.campaign import profile_cache_key
+        from repro.attack.pipeline import SingleTraceAttack
+        from repro.power.capture import TraceAcquisition
+        from repro.power.scope import Oscilloscope
+        from repro.riscv.device import GaussianSamplerDevice
+
+        bench = TraceAcquisition(
+            GaussianSamplerDevice([132120577]),
+            scope=Oscilloscope(noise_std=1.0),
+            rng=0,
+        )
+        attack = SingleTraceAttack(bench, poi_count=4)
+        args = (4, 2, 1, "sequential")
+        with use_backend("reference"):
+            reference_key = profile_cache_key(attack, *args)
+            assert reference_key == profile_cache_key(attack, *args)
+        with use_backend(COMPILED[0]):
+            assert profile_cache_key(attack, *args) != reference_key

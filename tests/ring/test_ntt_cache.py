@@ -1,0 +1,103 @@
+"""Tests for the bounded LRU context cache behind ``get_ntt_context``."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.ring import (
+    clear_ntt_cache,
+    configure_ntt_cache,
+    get_ntt_context,
+    ntt_cache_stats,
+)
+from repro.ring.primes import generate_ntt_primes
+
+#: Enough distinct NTT-friendly (q, n) pairs to overflow a small cache.
+_PRIMES = generate_ntt_primes(17, 6, 16)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_ntt_cache()
+    configure_ntt_cache(64)  # the default capacity
+    yield
+    clear_ntt_cache()
+    configure_ntt_cache(64)
+
+
+def test_hit_and_miss_counters():
+    get_ntt_context(_PRIMES[0], 16)
+    get_ntt_context(_PRIMES[0], 16)
+    get_ntt_context(_PRIMES[1], 16)
+    stats = ntt_cache_stats()
+    assert stats["misses"] == 2
+    assert stats["hits"] == 1
+    assert stats["size"] == 2
+    assert stats["evictions"] == 0
+    assert stats["max_size"] == 64
+
+
+def test_capacity_is_bounded_with_lru_eviction():
+    configure_ntt_cache(3)
+    for prime in _PRIMES[:4]:  # one over capacity
+        get_ntt_context(prime, 16)
+    stats = ntt_cache_stats()
+    assert stats["size"] == 3
+    assert stats["evictions"] == 1
+    # The oldest entry (primes[0]) was evicted: touching it is a miss...
+    misses = stats["misses"]
+    get_ntt_context(_PRIMES[0], 16)
+    assert ntt_cache_stats()["misses"] == misses + 1
+    # ...while the youngest survivors still hit.
+    hits = ntt_cache_stats()["hits"]
+    get_ntt_context(_PRIMES[3], 16)
+    assert ntt_cache_stats()["hits"] == hits + 1
+
+
+def test_recent_use_protects_from_eviction():
+    configure_ntt_cache(2)
+    a = get_ntt_context(_PRIMES[0], 16)
+    get_ntt_context(_PRIMES[1], 16)
+    assert get_ntt_context(_PRIMES[0], 16) is a  # refresh a's recency
+    get_ntt_context(_PRIMES[2], 16)  # evicts primes[1], not a
+    misses = ntt_cache_stats()["misses"]
+    assert get_ntt_context(_PRIMES[0], 16) is a
+    assert ntt_cache_stats()["misses"] == misses
+
+
+def test_configure_evicts_down_immediately():
+    for prime in _PRIMES[:5]:
+        get_ntt_context(prime, 16)
+    configure_ntt_cache(2)
+    stats = ntt_cache_stats()
+    assert stats["size"] == 2
+    assert stats["evictions"] == 3
+
+
+def test_configure_rejects_non_positive():
+    with pytest.raises(ParameterError, match=">= 1"):
+        configure_ntt_cache(0)
+
+
+def test_clear_resets_counters():
+    get_ntt_context(_PRIMES[0], 16)
+    get_ntt_context(_PRIMES[0], 16)
+    clear_ntt_cache()
+    stats = ntt_cache_stats()
+    assert stats["size"] == 0
+    assert stats["hits"] == stats["misses"] == stats["evictions"] == 0
+
+
+def test_evicted_context_still_works_and_rebuilds():
+    configure_ntt_cache(1)
+    context = get_ntt_context(_PRIMES[0], 16)
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, _PRIMES[0].value, 16, dtype=np.int64)
+    expected = context.forward(a)
+    get_ntt_context(_PRIMES[1], 16)  # evicts it
+    # The evicted instance keeps working; a rebuilt twin agrees bit-
+    # for-bit (twiddle construction is deterministic).
+    assert np.array_equal(context.forward(a), expected)
+    rebuilt = get_ntt_context(_PRIMES[0], 16)
+    assert rebuilt is not context
+    assert np.array_equal(rebuilt.forward(a), expected)

@@ -12,7 +12,7 @@ import pickle
 import numpy as np
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import ParameterError, SimulationError
 from repro.riscv.assembler import assemble
 from repro.riscv.cpu import Cpu
 from repro.riscv.device import GaussianSamplerDevice, resolve_engine
@@ -214,8 +214,12 @@ def test_resolve_engine_env_default(monkeypatch):
     monkeypatch.setenv("REVEAL_ENGINE", "lanes")
     assert resolve_engine(None) == "lanes"
     assert resolve_engine("interpreter") == "reference"
-    with pytest.raises(SimulationError, match="unknown engine"):
+    with pytest.raises(ParameterError, match="unknown engine"):
         resolve_engine("warp")
+    # A bad env value is caught at resolution time, naming the source.
+    monkeypatch.setenv("REVEAL_ENGINE", "warp")
+    with pytest.raises(ParameterError, match="unknown REVEAL_ENGINE"):
+        resolve_engine(None)
 
 
 def test_device_pickle_stays_small_after_lane_runs():

@@ -13,7 +13,7 @@ import pickle
 
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import ParameterError, SimulationError
 from repro.riscv.assembler import assemble
 from repro.riscv.cpu import Cpu, EventLog
 from repro.riscv.device import GaussianSamplerDevice
@@ -413,7 +413,7 @@ def test_device_engine_parity(engine, seed):
 
 def test_device_rejects_unknown_engine():
     device = GaussianSamplerDevice(MODULI)
-    with pytest.raises(SimulationError, match="unknown engine"):
+    with pytest.raises(ParameterError, match="unknown engine"):
         device.run(1, count=1, engine="turbo")
 
 
