@@ -23,16 +23,30 @@ Supporting tools: :mod:`repro.attack.search` (best-first exploration of
 the remaining space), :mod:`repro.attack.evaluation` (serial
 attack-campaign orchestration), :mod:`repro.attack.campaign` (the
 parallel campaign engine with streaming statistics and a profile
-cache), :mod:`repro.attack.cpa` (unprofiled correlation analysis) and
+cache), :mod:`repro.attack.orchestrator` (the shared-memory
+work-stealing campaign service with checkpoint/resume, backed by
+:mod:`repro.attack.arena` and :mod:`repro.attack.checkpoint`),
+:mod:`repro.attack.profile_store` (multi-tenant LRU profile store),
+:mod:`repro.attack.cpa` (unprofiled correlation analysis) and
 :mod:`repro.attack.persistence` (profile once, attack later).
 """
 
+from repro.attack.arena import SliceArena
 from repro.attack.branch import BranchClassifier
 from repro.attack.campaign import (
     CampaignReport,
+    aggregate_outcomes,
     profile_cache_key,
     profiled_attack_cached,
 )
+from repro.attack.checkpoint import CampaignCheckpoint, campaign_fingerprint
+from repro.attack.orchestrator import (
+    CampaignJob,
+    CampaignProgress,
+    Orchestrator,
+    run_orchestrated,
+)
+from repro.attack.profile_store import ProfileEntry, ProfileStore
 from repro.attack.cpa import correlation_trace, locate_value_leakage
 from repro.attack.evaluation import CampaignResult, run_campaign
 from repro.attack.metrics import ConfusionMatrix
@@ -52,9 +66,19 @@ from repro.attack.template import MomentAccumulator, RunningMoments, TemplateSet
 __all__ = [
     "AttackResult",
     "BranchClassifier",
+    "CampaignCheckpoint",
+    "CampaignJob",
+    "CampaignProgress",
     "CampaignReport",
     "CampaignResult",
     "ConfusionMatrix",
+    "Orchestrator",
+    "ProfileEntry",
+    "ProfileStore",
+    "SliceArena",
+    "aggregate_outcomes",
+    "campaign_fingerprint",
+    "run_orchestrated",
     "MomentAccumulator",
     "RunningMoments",
     "profile_cache_key",

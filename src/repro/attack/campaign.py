@@ -43,7 +43,6 @@ from repro.backends import backend_id
 from repro.attack.evaluation import CampaignResult
 from repro.attack.metrics import ConfusionMatrix
 from repro.attack.pipeline import ProfilingReport, SingleTraceAttack
-from repro.attack.persistence import load_attack, save_attack
 from repro.errors import AttackError
 from repro.power.capture import CapturedTrace, _capture_lane_chunk, _capture_one
 from repro.power.noise import NOISE_STREAM_VERSION
@@ -91,6 +90,13 @@ class CampaignReport:
     #: are comparable but not necessarily bit-identical when a
     #: non-exact kernel (template matching) was armed.
     backend: str = "reference"
+    #: Orchestrated runs attach their data-plane counters here (grain
+    #: size, steals, checkpoint shards written, arena bytes, worker
+    #: deaths survived) — :meth:`format_timings` shows them.  ``None``
+    #: for plain :func:`run_campaign` reports.  Deliberately excluded
+    #: from the determinism contract: the *outcomes* are bit-identical
+    #: across schedules, the schedule itself is not.
+    orchestrator: Optional[Dict[str, int]] = None
 
     @property
     def coefficients_per_second(self) -> float:
@@ -127,6 +133,18 @@ class CampaignReport:
             f"  {'wall':<9} {self.wall_seconds:8.3f} s  "
             f"({self.coefficients_per_second:,.0f} coefficients/s)"
         )
+        if self.orchestrator:
+            meta = self.orchestrator
+            lines.append(
+                "orchestrator: "
+                f"grain={meta.get('grain', 0)} "
+                f"shard_size={meta.get('shard_size', 0)} "
+                f"grains={meta.get('grains', 0)} "
+                f"steals={meta.get('steals', 0)} "
+                f"checkpoints={meta.get('checkpoints', 0)} "
+                f"arena={meta.get('arena_bytes', 0) / 1e6:.1f} MB "
+                f"worker_deaths={meta.get('workers_died', 0)}"
+            )
         return "\n".join(lines)
 
     def summary(self) -> str:
@@ -165,13 +183,19 @@ def _attack_seed(
 
 
 def _attack_lane_chunk(
-    attack: SingleTraceAttack, seeds, count: int, entropy: int
+    attack: SingleTraceAttack,
+    seeds,
+    count: int,
+    entropy: int,
+    out: Optional[np.ndarray] = None,
 ) -> List[SeedOutcome]:
     """Capture a whole lane chunk at once, then attack each trace.
 
     The chunk's capture wall time is split evenly across its traces so
     the aggregated per-stage timings stay comparable to the scalar
-    path's per-seed accounting.
+    path's per-seed accounting.  ``out`` is an optional reusable flat
+    sample buffer (the orchestrator's shared-memory scratch slot) for
+    the fused expansion; the attacked outcomes never alias it.
     """
     acquisition = attack.acquisition
     tick = time.perf_counter()
@@ -182,6 +206,7 @@ def _attack_lane_chunk(
         list(seeds),
         count,
         entropy,
+        out=out,
     )
     share = (time.perf_counter() - tick) / max(len(captures), 1)
     return [_attack_captured(attack, captured, share) for captured in captures]
@@ -338,11 +363,34 @@ def run_campaign(
                 chunk = max(1, trace_count // (pool_size * 4))
                 results = list(pool.map(_campaign_worker, tasks, chunksize=chunk))
     wall = time.perf_counter() - start
+    return aggregate_outcomes(results, trace_count, wall, pool_size, engine)
 
+
+def aggregate_outcomes(
+    results: List[SeedOutcome],
+    trace_count: int,
+    wall_seconds: float,
+    workers: int,
+    engine: str,
+    base_timings: Optional[Dict[str, float]] = None,
+    orchestrator: Optional[Dict[str, int]] = None,
+) -> CampaignReport:
+    """Fold seed-ordered :class:`SeedOutcome`\\ s into a report.
+
+    This is the single aggregation path shared by :func:`run_campaign`
+    and the shared-memory orchestrator — the report's deterministic
+    payload (outcomes, confusion, accuracies, failures) depends only on
+    the per-seed outcomes, never on who computed them.
+    ``base_timings`` seeds the per-stage counters for callers that
+    accumulated worker time out of band (the orchestrator's arena
+    records, resumed checkpoint shards).
+    """
     confusion = ConfusionMatrix()
     outcomes: List[Tuple[int, int, int, Dict[int, float]]] = []
     failures: List[Tuple[int, str]] = []
     timings = {stage: 0.0 for stage in STAGES}
+    for stage, seconds in (base_timings or {}).items():
+        timings[stage] = timings.get(stage, 0.0) + seconds
     sign_hits = value_hits = 0
     for outcome in results:
         for stage, seconds in outcome.timings.items():
@@ -370,10 +418,11 @@ def run_campaign(
         traces_failed=len(failures),
         failures=failures,
         timings=timings,
-        wall_seconds=wall,
-        workers=pool_size,
+        wall_seconds=wall_seconds,
+        workers=workers,
         engine=engine,
         backend=backend_id(),
+        orchestrator=orchestrator,
     )
 
 
@@ -466,15 +515,17 @@ def profiled_attack_cached(
     stream) and batch (per-seed streams) acquisition; the mode is part
     of the key.
     """
+    from repro.attack.profile_store import ProfileStore
+
     attack = SingleTraceAttack(acquisition, **(attack_kwargs or {}))
     noise_mode = "sequential" if workers is None else "per-seed"
     key = profile_cache_key(
         attack, num_traces, coeffs_per_trace, first_seed, noise_mode
     )
-    cache_dir = Path(cache_dir)
-    path = cache_dir / f"profile-{key[:16]}.npz"
-    if path.exists():
-        return load_attack(acquisition, path), True, None
+    store = ProfileStore(Path(cache_dir))
+    cached = store.load(acquisition, key)
+    if cached is not None:
+        return cached, True, None
     report = attack.profile(
         num_traces=num_traces,
         coeffs_per_trace=coeffs_per_trace,
@@ -482,6 +533,8 @@ def profiled_attack_cached(
         min_class_count=min_class_count,
         workers=workers,
     )
-    cache_dir.mkdir(parents=True, exist_ok=True)
-    save_attack(attack, path)
+    # Atomic rename via the store: concurrent writers of the same key
+    # race benignly (both archives are bit-identical pure functions of
+    # the key) and readers never see a torn file.
+    store.save(attack, key)
     return attack, False, report

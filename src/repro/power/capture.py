@@ -219,6 +219,7 @@ def _capture_lane_chunk(
     count: int,
     batch_entropy: int,
     return_traces: bool = True,
+    out: Optional[np.ndarray] = None,
 ) -> List[CapturedTrace]:
     """Capture one chunk of seeds on the lane engine, one lane each.
 
@@ -246,7 +247,7 @@ def _capture_lane_chunk(
         seeds, count, record_events=True, events_per_lane=False
     )
     flat, bounds, starts = leakage.expand_arena(
-        batch.events, [run.cycle_count for run in batch.runs]
+        batch.events, [run.cycle_count for run in batch.runs], out=out
     )
     scope.capture_batch(flat, bounds, batch_entropy, seeds)
     captures: List[CapturedTrace] = []

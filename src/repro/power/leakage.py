@@ -198,7 +198,10 @@ class LeakageModel:
         return entry
 
     def expand_arena(
-        self, events, cycle_totals: Sequence[int]
+        self,
+        events,
+        cycle_totals: Sequence[int],
+        out: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray, List[np.ndarray]]:
         """Expand a deferred-record lane arena into one flat sample buffer.
 
@@ -220,11 +223,21 @@ class LeakageModel:
         Output is bit-identical to :meth:`expand` on each lane's own
         event log — the emitters mirror ``_expand_core``'s float64
         expression order term by term, and the tests assert equality.
+
+        ``out`` is an optional preallocated float64 buffer (e.g. a
+        shared-memory scratch slot) reused as the flat sample arena
+        when large enough; undersized buffers fall back to a fresh
+        allocation, so the result is identical either way.
         """
         totals = np.asarray(cycle_totals, dtype=np.int64)
         bounds = np.zeros(totals.size + 1, dtype=np.int64)
         np.cumsum(totals, out=bounds[1:])
-        flat = np.full(int(bounds[-1]), self.baseline, dtype=np.float64)
+        total = int(bounds[-1])
+        if out is not None and out.dtype == np.float64 and out.size >= total:
+            flat = out[:total]
+            flat.fill(self.baseline)
+        else:
+            flat = np.full(total, self.baseline, dtype=np.float64)
         mask = np.zeros(flat.size, dtype=bool)
         lane_base = bounds[:-1]
 

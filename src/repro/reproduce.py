@@ -8,6 +8,10 @@ Usage::
     python -m repro.reproduce table1 --traces 80
     python -m repro.reproduce table2 --traces 40
     python -m repro.reproduce all --workers 4
+    python -m repro.reproduce campaign --traces 512 --workers 4 \
+        --campaign-dir runs/c1 --shard-size 128   # resumable campaign
+    python -m repro.reproduce campaign --traces 512 --workers 4 \
+        --campaign-dir runs/c1 --resume           # pick up where it died
 
 The pytest benchmarks in ``benchmarks/`` are the full-fidelity
 regeneration path; this module is the quick look.  ``table1``/``table2``
@@ -102,6 +106,58 @@ def run_table2(traces: int, workers=None, engine=None) -> None:
     print(report.format_timings())
 
 
+def run_campaign_target(
+    traces: int,
+    workers=None,
+    engine=None,
+    coeffs: int = 8,
+    campaign_dir=None,
+    resume: bool = False,
+    shard_size: int = 256,
+    grain=None,
+    profile_cache=None,
+) -> None:
+    """An orchestrated campaign with checkpoint/resume.
+
+    ``--campaign-dir`` makes the run resumable: every completed shard
+    of ``--shard-size`` seeds is checkpointed atomically, and
+    ``--resume`` picks up a killed or cancelled run from the last
+    completed shard — the final report is bit-identical to an
+    uninterrupted run.
+    """
+    from repro.attack.campaign import profiled_attack_cached
+    from repro.attack.orchestrator import run_orchestrated
+
+    bench = _make_bench()
+    if profile_cache is not None:
+        attack, was_cached, _ = profiled_attack_cached(
+            bench,
+            profile_cache,
+            attack_kwargs={"poi_count": 24},
+            num_traces=max(traces, 60),
+            coeffs_per_trace=8,
+            first_seed=100_000,
+            workers=workers,
+        )
+        print(f"profile cache: {'hit' if was_cached else 'miss (profiled)'}")
+    else:
+        attack = _profiled_attack(bench, traces, workers=workers)
+    report = run_orchestrated(
+        attack,
+        trace_count=traces,
+        coeffs_per_trace=coeffs,
+        first_seed=1,
+        workers=workers,
+        grain=grain,
+        engine=engine or "lanes",
+        campaign_dir=campaign_dir,
+        resume=resume,
+        shard_size=shard_size,
+    )
+    print("orchestrated campaign:")
+    print(report.summary())
+
+
 def run_table3() -> None:
     from repro.hints.estimator import beta_for_dbdd, bikz_to_bits
     from repro.hints.security import (
@@ -163,7 +219,9 @@ def main(argv=None) -> None:
     )
     parser.add_argument(
         "target",
-        choices=["fig3", "table1", "table2", "table3", "table4", "all"],
+        choices=[
+            "fig3", "table1", "table2", "table3", "table4", "campaign", "all",
+        ],
     )
     parser.add_argument(
         "--traces",
@@ -192,7 +250,47 @@ def main(argv=None) -> None:
         help="numeric kernel backend for the hot loops "
         "(default: $REVEAL_BACKEND, then capability probe)",
     )
+    parser.add_argument(
+        "--coeffs",
+        type=int,
+        default=8,
+        help="coefficients per trace for the campaign target (default 8)",
+    )
+    parser.add_argument(
+        "--campaign-dir",
+        default=None,
+        help="checkpoint directory for the campaign target; completed "
+        "shards are written atomically and --resume restarts from them",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the campaign in --campaign-dir from its last "
+        "completed shard (fingerprint-checked)",
+    )
+    parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=256,
+        help="seeds per checkpoint shard for the campaign target "
+        "(default 256)",
+    )
+    parser.add_argument(
+        "--grain",
+        type=int,
+        default=None,
+        help="work-stealing grain in seeds for the campaign target "
+        "(default: the lane width)",
+    )
+    parser.add_argument(
+        "--profile-cache",
+        default=None,
+        help="profile-store directory for the campaign target "
+        "(profile once, reuse across runs)",
+    )
     args = parser.parse_args(argv)
+    if args.resume and args.campaign_dir is None:
+        parser.error("--resume needs --campaign-dir")
     if args.backend is not None:
         set_backend(args.backend)
     else:
@@ -205,8 +303,23 @@ def main(argv=None) -> None:
         "table2": lambda: run_table2(args.traces, args.workers, args.engine),
         "table3": run_table3,
         "table4": run_table4,
+        "campaign": lambda: run_campaign_target(
+            args.traces,
+            workers=args.workers,
+            engine=args.engine,
+            coeffs=args.coeffs,
+            campaign_dir=args.campaign_dir,
+            resume=args.resume,
+            shard_size=args.shard_size,
+            grain=args.grain,
+            profile_cache=args.profile_cache,
+        ),
     }
-    targets = list(runners) if args.target == "all" else [args.target]
+    targets = (
+        [name for name in runners if name != "campaign"]
+        if args.target == "all"
+        else [args.target]
+    )
     for index, name in enumerate(targets):
         if index:
             print()

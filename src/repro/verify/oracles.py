@@ -848,6 +848,126 @@ def _profile_with(case: Dict[str, Any], reference: bool) -> Dict[str, Any]:
     return state
 
 
+_CAMPAIGN_ORACLE_ATTACK = None
+
+
+def _campaign_oracle_attack():
+    """One profiled attack shared by every campaign-oracle case (the
+    profile is a pure function of this fixed configuration)."""
+    global _CAMPAIGN_ORACLE_ATTACK
+    if _CAMPAIGN_ORACLE_ATTACK is None:
+        from repro.attack.pipeline import SingleTraceAttack
+        from repro.power.capture import TraceAcquisition
+        from repro.power.scope import Oscilloscope
+        from repro.riscv.device import GaussianSamplerDevice
+
+        bench = TraceAcquisition(
+            GaussianSamplerDevice([PAPER_Q]),
+            scope=Oscilloscope(noise_std=1.0),
+            rng=0,
+        )
+        attack = SingleTraceAttack(bench, poi_count=12)
+        attack.profile(num_traces=60, coeffs_per_trace=4, first_seed=50_000)
+        _CAMPAIGN_ORACLE_ATTACK = attack
+    return _CAMPAIGN_ORACLE_ATTACK
+
+
+def _campaign_payload(report) -> Dict[str, Any]:
+    """The deterministic part of a campaign report (timings, wall
+    clock, worker counts and schedule metadata excluded by contract)."""
+    return {
+        "outcomes": [
+            [value, sign, estimate, sorted(table.items())]
+            for value, sign, estimate, table in report.outcomes
+        ],
+        "failures": [[seed, message] for seed, message in report.failures],
+        "confusion": sorted(
+            (list(pair), count) for pair, count in report.confusion.counts().items()
+        ),
+        "sign_accuracy": report.sign_accuracy,
+        "value_accuracy": report.value_accuracy,
+        "coefficients_attacked": report.coefficients_attacked,
+        "traces_attacked": report.traces_attacked,
+        "traces_failed": report.traces_failed,
+    }
+
+
+def _sample_orchestrated_case(rng: np.random.Generator) -> Dict[str, Any]:
+    return {
+        "trace_count": int(rng.integers(12, 33)),
+        "coeffs_per_trace": 4,
+        "first_seed": int(rng.integers(1, 200_000)),
+        "workers": int(rng.integers(1, 3)),
+        "grain": int(rng.integers(4, 17)),
+        "interrupt": bool(rng.random() < 0.5),
+    }
+
+
+def _run_orchestrated_case(case: Dict[str, Any]) -> Dict[str, Any]:
+    import time as _time
+
+    from repro.attack.orchestrator import Orchestrator, run_orchestrated
+
+    attack = _campaign_oracle_attack()
+    if not case["interrupt"]:
+        report = run_orchestrated(
+            attack,
+            case["trace_count"],
+            coeffs_per_trace=case["coeffs_per_trace"],
+            first_seed=case["first_seed"],
+            workers=case["workers"],
+            grain=case["grain"],
+            engine="lanes",
+        )
+        return _campaign_payload(report)
+    # Interrupted flavour: cancel an in-flight checkpointed job at an
+    # arbitrary point, then resume — the contract is that the resumed
+    # report is identical wherever the cancellation landed (including
+    # "after completion", which exercises the pure checkpoint reload).
+    with tempfile.TemporaryDirectory() as tmp:
+        with Orchestrator(
+            attack, workers=case["workers"], grain=case["grain"], engine="lanes"
+        ) as orchestrator:
+            job = orchestrator.submit(
+                case["trace_count"],
+                coeffs_per_trace=case["coeffs_per_trace"],
+                first_seed=case["first_seed"],
+                campaign_dir=tmp,
+                shard_size=max(4, case["grain"]),
+            )
+            _time.sleep(0.02)
+            job.cancel()
+            try:
+                job.result(timeout=60.0)
+            except Exception:
+                pass
+        report = run_orchestrated(
+            attack,
+            case["trace_count"],
+            coeffs_per_trace=case["coeffs_per_trace"],
+            first_seed=case["first_seed"],
+            workers=case["workers"],
+            grain=case["grain"],
+            engine="lanes",
+            campaign_dir=tmp,
+            resume=True,
+            shard_size=max(4, case["grain"]),
+        )
+        return _campaign_payload(report)
+
+
+def _run_campaign_reference(case: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.attack.campaign import run_campaign
+
+    report = run_campaign(
+        _campaign_oracle_attack(),
+        case["trace_count"],
+        coeffs_per_trace=case["coeffs_per_trace"],
+        first_seed=case["first_seed"],
+    )
+    return _campaign_payload(report)
+
+
 # ----------------------------------------------------------------------
 # Registrations
 # ----------------------------------------------------------------------
@@ -1045,6 +1165,25 @@ register(
         summarize=lambda case: (
             f"{case['num_traces']}x{case['coeffs_per_trace']} traces, "
             f"standardize={case['standardize']}, pooled={case['pooled']}"
+        ),
+    )
+)
+
+register(
+    Oracle(
+        name="campaign.orchestrated",
+        description="shared-memory work-stealing orchestrator (persistent "
+        "workers, arena records, random grain, optional cancel+resume "
+        "through the checkpoint) vs serial run_campaign — bit-identical "
+        "deterministic report payload; expensive",
+        sample=_sample_orchestrated_case,
+        fast=_run_orchestrated_case,
+        reference=_run_campaign_reference,
+        expensive=True,
+        summarize=lambda case: (
+            f"{case['trace_count']}x{case['coeffs_per_trace']} traces, "
+            f"workers={case['workers']}, grain={case['grain']}, "
+            f"interrupt={case['interrupt']}"
         ),
     )
 )

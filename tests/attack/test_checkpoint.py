@@ -1,0 +1,138 @@
+"""Tests for atomic campaign checkpoints and the resume fingerprint."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.attack.checkpoint import (
+    CHECKPOINT_VERSION,
+    CampaignCheckpoint,
+    atomic_savez,
+    campaign_fingerprint,
+)
+from repro.errors import AttackError
+
+LABELS = [-3, -2, -1, 1, 2, 3]
+
+
+def make_checkpoint(directory, trace_count=10, shard_size=4, first_seed=5):
+    fingerprint = campaign_fingerprint(first_seed, trace_count, 4, 123, LABELS)
+    return CampaignCheckpoint(
+        directory, fingerprint, trace_count, first_seed, 4, shard_size
+    )
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        a = campaign_fingerprint(1, 10, 4, 99, LABELS)
+        b = campaign_fingerprint(1, 10, 4, 99, list(LABELS))
+        assert a == b
+        assert len(a) == 64
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"first_seed": 2},
+            {"trace_count": 11},
+            {"coeffs": 5},
+            {"entropy": 100},
+            {"labels": [-2, -1, 1, 2]},
+        ],
+    )
+    def test_sensitive_to_every_input(self, kwargs):
+        base = campaign_fingerprint(1, 10, 4, 99, LABELS)
+        changed = campaign_fingerprint(
+            kwargs.get("first_seed", 1),
+            kwargs.get("trace_count", 10),
+            kwargs.get("coeffs", 4),
+            kwargs.get("entropy", 99),
+            kwargs.get("labels", LABELS),
+        )
+        assert changed != base
+
+
+class TestShardGeometry:
+    def test_ranges_tile_the_campaign(self, tmp_path):
+        checkpoint = make_checkpoint(tmp_path, trace_count=10, shard_size=4)
+        assert checkpoint.shards_total == 3
+        assert checkpoint.shard_range(0) == range(5, 9)
+        assert checkpoint.shard_range(1) == range(9, 13)
+        assert checkpoint.shard_range(2) == range(13, 15)  # clamped tail
+
+    def test_rejects_bad_shard_size(self, tmp_path):
+        with pytest.raises(AttackError):
+            make_checkpoint(tmp_path, shard_size=0)
+
+
+class TestWriteResume:
+    def test_shard_roundtrip_bit_exact(self, tmp_path):
+        checkpoint = make_checkpoint(tmp_path)
+        tables = np.random.default_rng(0).random((4, 4, len(LABELS)))
+        checkpoint.write_shard(
+            0,
+            ok=np.ones(4, dtype=np.uint8),
+            tables=tables,
+            errors=np.frombuffer(b"[]", dtype=np.uint8),
+        )
+        loaded = checkpoint.load_shard(0)
+        assert loaded["tables"].tobytes() == tables.tobytes()
+        assert loaded["ok"].dtype == np.uint8
+
+    def test_resume_restores_state(self, tmp_path):
+        checkpoint = make_checkpoint(tmp_path)
+        checkpoint.write_shard(1, ok=np.ones(4, dtype=np.uint8))
+        checkpoint.write_shard(0, ok=np.zeros(4, dtype=np.uint8))
+        checkpoint.counters = {"steals": 3, "grains": 9}
+        checkpoint.write_manifest()
+        resumed = CampaignCheckpoint.resume(tmp_path, checkpoint.fingerprint)
+        assert resumed.shards_done == [0, 1]
+        assert resumed.completed_seeds() == 8
+        assert resumed.counters == {"steals": 3, "grains": 9}
+        assert resumed.shard_size == 4
+        assert resumed.first_seed == 5
+
+    def test_resume_drops_manifest_entries_without_files(self, tmp_path):
+        checkpoint = make_checkpoint(tmp_path)
+        checkpoint.write_shard(0, ok=np.ones(4, dtype=np.uint8))
+        checkpoint.write_shard(1, ok=np.ones(4, dtype=np.uint8))
+        checkpoint.shard_path(1).unlink()
+        resumed = CampaignCheckpoint.resume(tmp_path, checkpoint.fingerprint)
+        assert resumed.shards_done == [0]
+
+    def test_resume_requires_manifest(self, tmp_path):
+        with pytest.raises(AttackError, match="manifest"):
+            CampaignCheckpoint.resume(tmp_path / "nowhere")
+
+    def test_resume_rejects_other_version(self, tmp_path):
+        checkpoint = make_checkpoint(tmp_path)
+        checkpoint.write_manifest()
+        manifest = json.loads(checkpoint.manifest_path.read_text())
+        manifest["version"] = CHECKPOINT_VERSION + 1
+        checkpoint.manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(AttackError, match="version"):
+            CampaignCheckpoint.resume(tmp_path)
+
+    def test_resume_rejects_other_fingerprint(self, tmp_path):
+        checkpoint = make_checkpoint(tmp_path)
+        checkpoint.write_manifest()
+        with pytest.raises(AttackError, match="fingerprint"):
+            CampaignCheckpoint.resume(tmp_path, "0" * 64)
+
+    def test_no_temp_files_survive(self, tmp_path):
+        checkpoint = make_checkpoint(tmp_path)
+        for shard in range(3):
+            checkpoint.write_shard(shard, ok=np.ones(4, dtype=np.uint8))
+        leftovers = [
+            p for p in tmp_path.rglob("*") if p.name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+
+class TestAtomicSavez:
+    def test_writes_a_loadable_npz(self, tmp_path):
+        path = tmp_path / "blob.npz"
+        atomic_savez(path, values=np.arange(5))
+        with np.load(path) as archive:
+            np.testing.assert_array_equal(archive["values"], np.arange(5))
+        assert list(tmp_path.glob(".*")) == []

@@ -1,0 +1,162 @@
+"""Tests for the multi-tenant profile store (atomicity, LRU, listing)."""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.attack.pipeline import SingleTraceAttack
+from repro.attack.profile_store import ProfileStore
+from repro.power.capture import TraceAcquisition
+from repro.power.scope import Oscilloscope
+from repro.riscv.device import GaussianSamplerDevice
+
+PAPER_Q = 132120577
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+KEY_C = "c" * 64
+
+
+def fresh_bench():
+    return TraceAcquisition(
+        GaussianSamplerDevice([PAPER_Q]), scope=Oscilloscope(noise_std=1.0), rng=0
+    )
+
+
+class TestNamingAndListing:
+    def test_legacy_compatible_paths(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        path = store.path_for(KEY_A)
+        assert path.name == f"profile-{'a' * 16}.npz"
+        assert path.parent == tmp_path
+        assert not store.contains(KEY_A)
+
+    def test_entries_empty_for_missing_directory(self, tmp_path):
+        assert ProfileStore(tmp_path / "nope").entries() == []
+
+    def test_entries_sorted_least_recent_first(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        for key, age in ((KEY_A, 300), (KEY_B, 100), (KEY_C, 200)):
+            path = store.path_for(key)
+            path.write_bytes(b"x" * 10)
+            os.utime(path, (1_000_000 - age, 1_000_000 - age))
+        keys = [entry.key for entry in store.entries()]
+        assert keys == ["a" * 16, "c" * 16, "b" * 16]
+        assert all(entry.bytes == 10 for entry in store.entries())
+
+    def test_caps_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            ProfileStore(tmp_path, max_entries=0)
+        with pytest.raises(ValueError):
+            ProfileStore(tmp_path, max_bytes=0)
+
+
+class TestSaveLoad:
+    def test_roundtrip_and_miss(self, bench, profiled_attack, tmp_path):
+        store = ProfileStore(tmp_path)
+        assert store.load(bench, KEY_A) is None
+        store.save(profiled_attack, KEY_A)
+        loaded = store.load(bench, KEY_A)
+        assert loaded is not None
+        assert list(loaded.templates.labels) == list(
+            profiled_attack.templates.labels
+        )
+        assert loaded.branch_classifier is not None
+
+    def test_save_leaves_no_temp_files(self, profiled_attack, tmp_path):
+        store = ProfileStore(tmp_path)
+        store.save(profiled_attack, KEY_A)
+        assert [p.name for p in tmp_path.iterdir()] == [
+            store.path_for(KEY_A).name
+        ]
+
+    def test_load_touches_lru_clock(self, bench, profiled_attack, tmp_path):
+        store = ProfileStore(tmp_path)
+        path = store.save(profiled_attack, KEY_A)
+        os.utime(path, (1, 1))
+        store.load(bench, KEY_A)
+        assert path.stat().st_mtime > 1
+
+
+class TestEviction:
+    def test_max_entries_drops_least_recently_used(
+        self, profiled_attack, tmp_path
+    ):
+        store = ProfileStore(tmp_path, max_entries=2)
+        store.save(profiled_attack, KEY_A)
+        store.save(profiled_attack, KEY_B)
+        os.utime(store.path_for(KEY_A), (1, 1))  # A is now the coldest
+        store.save(profiled_attack, KEY_C)
+        assert not store.contains(KEY_A)
+        assert store.contains(KEY_B)
+        assert store.contains(KEY_C)
+
+    def test_touch_on_load_protects_hot_entries(
+        self, bench, profiled_attack, tmp_path
+    ):
+        store = ProfileStore(tmp_path, max_entries=2)
+        store.save(profiled_attack, KEY_A)
+        store.save(profiled_attack, KEY_B)
+        os.utime(store.path_for(KEY_A), (1, 1))
+        os.utime(store.path_for(KEY_B), (2, 2))
+        store.load(bench, KEY_A)  # refresh A: B becomes the coldest
+        store.save(profiled_attack, KEY_C)
+        assert store.contains(KEY_A)
+        assert not store.contains(KEY_B)
+
+    def test_max_bytes_keeps_just_written_key(self, profiled_attack, tmp_path):
+        store = ProfileStore(tmp_path, max_bytes=1)
+        path = store.save(profiled_attack, KEY_A)
+        # The cap is absurdly small, but the archive just written is
+        # protected — a store must never evict its own save.
+        assert path.exists()
+
+    def test_uncapped_store_never_evicts(self, profiled_attack, tmp_path):
+        store = ProfileStore(tmp_path)
+        store.save(profiled_attack, KEY_A)
+        assert store.evict() == []
+        assert store.contains(KEY_A)
+
+
+def _stress_writer(directory, key, barrier):
+    """Profile a tiny attack and hammer the store with saves."""
+    bench = fresh_bench()
+    attack = SingleTraceAttack(bench, poi_count=8)
+    attack.profile(num_traces=40, coeffs_per_trace=2, first_seed=60_000)
+    store = ProfileStore(directory)
+    barrier.wait()
+    for _ in range(8):
+        store.save(attack, key)
+
+
+class TestConcurrentWriters:
+    def test_two_process_write_race_is_benign(self, tmp_path):
+        """Satellite: concurrent writers of one key never produce a torn
+        archive — every concurrent load sees a complete profile or a miss."""
+        ctx = multiprocessing.get_context()
+        barrier = ctx.Barrier(3)
+        procs = [
+            ctx.Process(target=_stress_writer, args=(tmp_path, KEY_A, barrier))
+            for _ in range(2)
+        ]
+        for proc in procs:
+            proc.start()
+        bench = fresh_bench()
+        store = ProfileStore(tmp_path)
+        barrier.wait()
+        observed = 0
+        while any(proc.is_alive() for proc in procs):
+            attack = store.load(bench, KEY_A)
+            if attack is not None:
+                assert attack.templates is not None
+                assert attack.branch_classifier is not None
+                observed += 1
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        final = store.load(bench, KEY_A)
+        assert final is not None and final.templates is not None
+        assert observed > 0
+        leftovers = [p for p in tmp_path.iterdir() if p.name.startswith(".")]
+        assert leftovers == []

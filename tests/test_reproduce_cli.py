@@ -68,3 +68,39 @@ class TestCli:
         finally:
             backends.reset_backend()
         assert "without hints" in capsys.readouterr().out
+
+
+class TestCampaignCli:
+    def test_campaign_prints_orchestrator_summary(self, capsys, tmp_path):
+        main([
+            "campaign", "--traces", "6", "--workers", "1", "--grain", "2",
+            "--profile-cache", str(tmp_path / "profiles"),
+        ])
+        out = capsys.readouterr().out
+        assert "profile cache: miss" in out
+        assert "orchestrated campaign:" in out
+        assert "sign accuracy" in out
+        assert "orchestrator: grain=2" in out
+
+    def test_campaign_checkpoint_then_resume(self, capsys, tmp_path):
+        cache = str(tmp_path / "profiles")
+        args = [
+            "campaign", "--traces", "6", "--workers", "1", "--grain", "2",
+            "--campaign-dir", str(tmp_path / "camp"), "--shard-size", "2",
+            "--profile-cache", cache,
+        ]
+        main(args)
+        first = capsys.readouterr().out
+        assert (tmp_path / "camp" / "manifest.json").exists()
+        main(args + ["--resume"])
+        resumed = capsys.readouterr().out
+        assert "profile cache: hit" in resumed
+        keys = ("traces attacked", "sign accuracy", "value accuracy")
+        pick = lambda text: [
+            line for line in text.splitlines() if line.startswith(keys)
+        ]
+        assert pick(first) == pick(resumed)
+
+    def test_campaign_resume_needs_dir(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--traces", "4", "--resume"])
