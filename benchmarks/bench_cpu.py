@@ -53,7 +53,38 @@ def bench_cpu(repetitions: int) -> Dict[str, float]:
     results["speedup_events_off"] = round(
         results["threaded_events_off"] / results["reference_events_off"], 2
     )
+    results.update(bench_retire_overhead(repetitions, device))
     return results
+
+
+def bench_retire_overhead(
+    repetitions: int, device: GaussianSamplerDevice
+) -> Dict[str, float]:
+    """Threaded events-on throughput with and without retire logging.
+
+    The two configurations run *interleaved per repetition* so machine
+    drift cancels; ``retire_off_vs_on`` is the quantity the ``--quick``
+    guard checks — the capture path (retires disabled, the default)
+    must never pay for the conformance-only retire projection.
+    """
+    for record_retires in (False, True):  # warm both paths
+        device.run(SEED, COUNT, engine="threaded", record_retires=record_retires)
+    best_off = best_on = 0.0
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        run = device.run(SEED, COUNT, engine="threaded")
+        best_off = max(
+            best_off, run.instruction_count / (time.perf_counter() - start)
+        )
+        start = time.perf_counter()
+        run = device.run(SEED, COUNT, engine="threaded", record_retires=True)
+        best_on = max(
+            best_on, run.instruction_count / (time.perf_counter() - start)
+        )
+    return {
+        "threaded_events_on_retires": round(best_on, 1),
+        "retire_off_vs_on": round(best_off / best_on, 3),
+    }
 
 
 def bench_template_matching(repetitions: int) -> Dict[str, float]:
@@ -105,6 +136,18 @@ def main(argv=None) -> int:
         print(f"  {key:26s} {cpu[key]:>14,.0f}")
     print(f"  speedup events on  {cpu['speedup_events_on']:.2f}x")
     print(f"  speedup events off {cpu['speedup_events_off']:.2f}x")
+    print(f"  {'threaded_events_on_retires':26s} "
+          f"{cpu['threaded_events_on_retires']:>14,.0f}")
+    print(f"  retires off vs on  {cpu['retire_off_vs_on']:.3f}x "
+          "(interleaved; capture path must not pay for retire logging)")
+    if args.quick and cpu["retire_off_vs_on"] < 0.98:
+        print(
+            "FAIL: the default events-on path (record_retires=False) ran "
+            f"slower than 98% of the retire-logging path "
+            f"({cpu['retire_off_vs_on']:.3f}x) — the disabled path is "
+            "doing retire work"
+        )
+        return 1
     print("Template matching (256 slices, 29 classes, 24 POIs, slices/sec):")
     print(f"  batched {template['batched_slices_per_s']:>14,.0f}")
     print(f"  scalar  {template['scalar_slices_per_s']:>14,.0f}")

@@ -34,6 +34,15 @@ from repro.errors import SimulationError
 from repro.riscv import cycles as cy
 from repro.riscv.isa import Decoded, decode
 from repro.riscv.memory import Memory
+from repro.riscv.retire import (
+    DATA_MASK_VALUES as _DATA_MASK_VALUES,
+    LOAD_MASKS as _LOAD_MASKS,
+    STORE_MASKS as _STORE_MASKS,
+    RetireLog,
+    is_budget_error,
+    plan_columns,
+    retires_from_events,
+)
 from repro.riscv.threaded import TranslatedBlock, translate
 
 _MASK32 = 0xFFFFFFFF
@@ -335,10 +344,21 @@ class Cpu:
         Disabling recording (at construction or later) empties the log,
         so :attr:`events` never exposes stale entries from a previous
         recorded run.
+    record_retires:
+        When True, :attr:`retires` additionally collects one RVFI-style
+        :class:`~repro.riscv.retire.RetireEvent` per retired
+        instruction (the cross-engine conformance interface; see
+        :mod:`repro.riscv.retire`).  Off by default — it exists for
+        differential testing, not capture — and requires
+        ``record_events`` (the threaded engine derives retire rows from
+        the event stream).
     """
 
     def __init__(
-        self, memory: Optional[Memory] = None, record_events: bool = True
+        self,
+        memory: Optional[Memory] = None,
+        record_events: bool = True,
+        record_retires: bool = False,
     ) -> None:
         self.memory = memory if memory is not None else Memory()
         self.registers: List[int] = [0] * 32
@@ -347,7 +367,12 @@ class Cpu:
         self.instruction_count = 0
         self.halted = False
         self.events: EventLog = EventLog()
+        self.retires: RetireLog = RetireLog()
+        #: Number of event rows already projected into :attr:`retires`.
+        self._retired_events = 0
+        self._record_retires = False
         self.record_events = record_events
+        self.record_retires = record_retires
         self._decoded_cache: Dict[int, Decoded] = {}
         # Threaded-engine state: pc -> compiled block, plus the set of
         # word addresses currently covered by a cached block (for the
@@ -364,6 +389,32 @@ class Cpu:
         self._record_events = bool(enabled)
         if not self._record_events:
             self.events.clear()
+            # Retire rows are derived from the event stream, so they
+            # cannot keep recording without it.
+            self._record_retires = False
+            self.retires.clear()
+            self._retired_events = 0
+
+    @property
+    def record_retires(self) -> bool:
+        return self._record_retires
+
+    @record_retires.setter
+    def record_retires(self, enabled: bool) -> None:
+        enabled = bool(enabled)
+        if enabled and not self._record_events:
+            raise SimulationError(
+                "record_retires requires record_events (retire rows are"
+                " derived from the event stream)"
+            )
+        self._record_retires = enabled
+        if enabled:
+            # Projection resumes from here; earlier events stay
+            # unretired (they predate the request to record).
+            self._retired_events = len(self.events)
+        else:
+            self.retires.clear()
+            self._retired_events = 0
 
     # ------------------------------------------------------------------
     def load_program(self, words: List[int], base_address: int = 0) -> None:
@@ -375,6 +426,8 @@ class Cpu:
         self.instruction_count = 0
         self.halted = False
         self.events.clear()
+        self.retires.clear()
+        self._retired_events = 0
         self._decoded_cache = {}
         self._block_cache = {}
         self._code_words = set()
@@ -429,6 +482,8 @@ class Cpu:
         same instruction — with the same message and machine state — as
         :meth:`run_reference`.
         """
+        if self._record_retires:
+            return self._run_retiring(max_instructions)
         executed = 0
         memory = self.memory
         regs = self.registers
@@ -468,6 +523,91 @@ class Cpu:
                 executed += block.run_fast(self, regs, memory)
         return executed
 
+    def _run_retiring(self, max_instructions: int) -> int:
+        """The threaded-engine loop with retire-log projection.
+
+        Identical block dispatch to :meth:`run`'s recording loop, plus a
+        local mirror of every ``(block, count)`` recording the generated
+        code pushes — the per-block retire plans those pairs name turn
+        the event stream into retire rows in one bulk projection at run
+        end (:meth:`_finalize_retires`).  Live per-step emission is
+        parked for the duration so budget-tail single-stepping cannot
+        interleave rows ahead of the block-projected ones.
+        """
+        metas: List[Tuple[TranslatedBlock, int]] = []
+        log = self.events
+        push_meta_log = log._pending_meta.append
+
+        def push_meta(pair: Tuple[TranslatedBlock, int]) -> None:
+            metas.append(pair)
+            push_meta_log(pair)
+
+        extend_dyn = log._pending_dyn.extend
+        executed = 0
+        memory = self.memory
+        regs = self.registers
+        cache = self._block_cache
+        self._record_retires = False
+        try:
+            while not self.halted:
+                block = cache.get(self.pc)
+                if block is None:
+                    if executed >= max_instructions:
+                        raise SimulationError(
+                            f"instruction budget {max_instructions} exhausted"
+                            f" at pc={self.pc:#x}"
+                        )
+                    block = translate(memory, self.pc)
+                    cache[self.pc] = block
+                    self._code_words.update(block.pcs)
+                if executed + block.length > max_instructions:
+                    executed = self._run_budget_tail(executed, max_instructions)
+                    break
+                executed += block.run_recording(self, regs, memory, extend_dyn, push_meta)
+        except SimulationError as error:
+            self._record_retires = True
+            self._finalize_retires(metas, str(error))
+            raise
+        self._record_retires = True
+        self._finalize_retires(metas, None)
+        return executed
+
+    def _finalize_retires(self, metas: List[Tuple[TranslatedBlock, int]], error: Optional[str]) -> None:
+        """Project the run's new event rows into :attr:`retires`.
+
+        ``metas`` names the block recordings in emission order; any
+        event rows past their coverage came from budget-tail reference
+        stepping (or a fault-truncated prefix) and get a plan computed
+        straight from their instruction words.  A terminal
+        architectural fault appends the trap retire; budget exhaustion
+        does not (it is a simulator limit, not a trap).
+        """
+        cols = self.events.columns()
+        start = self._retired_events
+        segment = cols[:, start:]
+        n = segment.shape[1]
+        if n:
+            plans = [block.retire_plan(count) for block, count in metas]
+            covered = sum(plan.shape[1] for plan in plans)
+            if covered < n:
+                plans.append(plan_columns(segment[1, covered:]))
+            plan = plans[0] if len(plans) == 1 else np.concatenate(plans, axis=1)
+            self.retires.append_rows(
+                retires_from_events(
+                    segment, plan, self.pc, start_order=len(self.retires)
+                )
+            )
+            self._retired_events = cols.shape[1]
+        if error is not None and not is_budget_error(error):
+            self.retires.append_trap(self.pc, self._trap_insn())
+
+    def _trap_insn(self) -> int:
+        """The encoding at the faulting pc, or 0 when the fetch faults."""
+        try:
+            return self.memory.load_word(self.pc)
+        except SimulationError:
+            return 0
+
     def _run_budget_tail(self, executed: int, max_instructions: int) -> int:
         """Single-step the last few instructions before the budget line."""
         while not self.halted:
@@ -482,13 +622,19 @@ class Cpu:
     def run_reference(self, max_instructions: int = 10_000_000) -> int:
         """The seed interpreter loop (one :meth:`step_reference` per turn)."""
         executed = 0
-        while not self.halted:
-            if executed >= max_instructions:
-                raise SimulationError(
-                    f"instruction budget {max_instructions} exhausted at pc={self.pc:#x}"
-                )
-            self.step_reference()
-            executed += 1
+        try:
+            while not self.halted:
+                if executed >= max_instructions:
+                    raise SimulationError(
+                        f"instruction budget {max_instructions} exhausted"
+                        f" at pc={self.pc:#x}"
+                    )
+                self.step_reference()
+                executed += 1
+        except SimulationError as error:
+            if self._record_retires and not is_budget_error(str(error)):
+                self.retires.append_trap(self.pc, self._trap_insn())
+            raise
         return executed
 
     def step(self) -> None:
@@ -670,6 +816,32 @@ class Cpu:
         self.instruction_count += 1
         if self._record_events:
             self.events.append(op_class, word, rs1, rs2, result, old_rd, address, pc)
+            if self._record_retires:
+                # Live RVFI emission: every field computed from the
+                # architectural state this step just touched — the
+                # semantic anchor the projected engines are diffed
+                # against.  ``rd`` is already 0 for formats without a
+                # destination, matching the decoded plan columns.
+                rmask = _LOAD_MASKS.get(m, 0)
+                wmask = _STORE_MASKS.get(m, 0)
+                self.retires.append(
+                    pc,
+                    next_pc,
+                    word,
+                    ins.rs1,
+                    rs1,
+                    ins.rs2,
+                    rs2,
+                    rd,
+                    result if rd else 0,
+                    0,
+                    address,
+                    rmask,
+                    wmask,
+                    result & _DATA_MASK_VALUES[rmask],
+                    result & _DATA_MASK_VALUES[wmask],
+                )
+                self._retired_events += 1
         if (
             op_class == cy.OP_STORE
             and self._code_words

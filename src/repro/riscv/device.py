@@ -21,6 +21,7 @@ from repro.riscv.assembler import assemble
 from repro.riscv.cpu import Cpu, EventLog
 from repro.riscv.lanes import LaneEngine, LaneEventLog
 from repro.riscv.memory import Memory
+from repro.riscv.retire import RetireLog
 from repro.riscv.programs.gaussian import gaussian_sampler_source
 
 #: Fixed memory map: code | modulus table | output buffer.
@@ -66,6 +67,10 @@ class DeviceRun:
     events: EventLog  # columnar per-instruction log (sequence-compatible)
     cycle_count: int
     instruction_count: int
+    #: RVFI-style retire records, only when the run asked for them
+    #: (``record_retires=True``) — a conformance-testing aid, never part
+    #: of the capture path.
+    retires: Optional[RetireLog] = None
 
 
 @dataclass
@@ -122,14 +127,19 @@ class GaussianSamplerDevice:
         # code bakes in size-derived bounds checks).
         self._lane_images: Dict[int, np.ndarray] = {}
         self._lane_block_cache: Dict[int, dict] = {}
+        # Most recent retire-recording run's log(s), kept for
+        # interactive inspection (None unless a run asked for retires).
+        self.last_retires: Optional[List[RetireLog]] = None
 
-    # -- pickling (translated blocks hold unpicklable generated code) --
+    # -- pickling (translated blocks hold unpicklable generated code; the
+    # caches and any retained retire logs are per-process warm state) --
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         state["_block_cache"] = {}
         state["_code_words"] = set()
         state["_lane_images"] = {}
         state["_lane_block_cache"] = {}
+        state["last_retires"] = None
         return state
 
     # ------------------------------------------------------------------
@@ -140,6 +150,7 @@ class GaussianSamplerDevice:
         record_events: bool = True,
         max_instructions: Optional[int] = None,
         engine: Optional[str] = None,
+        record_retires: bool = False,
     ) -> DeviceRun:
         """Sample ``count`` coefficients with PRNG seed ``seed``.
 
@@ -162,10 +173,11 @@ class GaussianSamplerDevice:
                 count,
                 record_events=record_events,
                 max_instructions=max_instructions,
+                record_retires=record_retires,
             ).runs[0]
         k = len(self.moduli)
         memory = Memory(size_bytes=_next_pow2(_OUT_BASE + 4 * k * count + 4096))
-        cpu = Cpu(memory, record_events=record_events)
+        cpu = Cpu(memory, record_events=record_events, record_retires=record_retires)
         cpu.load_program(self.program.words, _CODE_BASE)
         if engine == "threaded":
             cpu.adopt_translations(self._block_cache, self._code_words)
@@ -188,12 +200,16 @@ class GaussianSamplerDevice:
         ]
         q0 = self.moduli[0]
         values = [r - q0 if r > q0 // 2 else r for r in residues[0]]
+        retires = cpu.retires if record_retires else None
+        if record_retires:
+            self.last_retires = [retires]
         return DeviceRun(
             values=values,
             residues=residues,
             events=cpu.events,
             cycle_count=cpu.cycle_count,
             instruction_count=cpu.instruction_count,
+            retires=retires,
         )
 
     def sample_one(self, seed: int, record_events: bool = True) -> DeviceRun:
@@ -221,6 +237,7 @@ class GaussianSamplerDevice:
         record_events: bool = True,
         max_instructions: Optional[int] = None,
         events_per_lane: bool = True,
+        record_retires: bool = False,
     ) -> LaneBatch:
         """Sample ``count`` coefficients for every seed in one batch.
 
@@ -244,6 +261,7 @@ class GaussianSamplerDevice:
             self._lane_image(size),
             lanes=len(seeds),
             record_events=record_events,
+            record_retires=record_retires,
             block_cache=self._lane_block_cache.setdefault(size, {}),
         )
         engine.write_register(10, _OUT_BASE)  # a0
@@ -279,8 +297,11 @@ class GaussianSamplerDevice:
                     events=events,
                     cycle_count=int(engine.cycle_counts[lane]),
                     instruction_count=int(engine.instruction_counts[lane]),
+                    retires=engine.retire_log(lane) if record_retires else None,
                 )
             )
+        if record_retires:
+            self.last_retires = [run.retires for run in runs]
         return LaneBatch(seeds=seeds, runs=runs, events=engine.events)
 
 

@@ -63,6 +63,7 @@ from repro.riscv import cycles as cy
 from repro.riscv.cpu import Cpu, EventLog
 from repro.riscv.isa import decode, jal_offset
 from repro.riscv.memory import Memory
+from repro.riscv.retire import RetireLog, is_budget_error, retires_from_events, trap_row
 from repro.riscv.threaded import (
     MAX_BLOCK_INSTRUCTIONS,
     _ALU_RI,
@@ -1032,6 +1033,11 @@ class LaneEngine:
         Number of independent lanes.
     record_events:
         Record the shared :attr:`events` arena (the dominant cost).
+    record_retires:
+        Enable :meth:`retire_rows`/:meth:`retire_log` — per-lane
+        RVFI-style retire records projected from the finalized event
+        arena (see :mod:`repro.riscv.retire`).  Requires
+        ``record_events``.
     block_cache:
         Optional persistent ``{pc: LaneBlock}`` dict shared across runs
         of the same image (the device keeps one per memory size).
@@ -1042,6 +1048,7 @@ class LaneEngine:
         image: np.ndarray,
         lanes: int,
         record_events: bool = True,
+        record_retires: bool = False,
         block_cache: Optional[Dict[int, LaneBlock]] = None,
     ) -> None:
         image = np.ascontiguousarray(np.asarray(image, dtype=np.uint8))
@@ -1065,6 +1072,13 @@ class LaneEngine:
         self.errors: List[Optional[str]] = [None] * self.lanes
         self._alive = np.ones(self.lanes, dtype=bool)
         self.record_events = bool(record_events)
+        if record_retires and not record_events:
+            raise SimulationError(
+                "record_retires requires record_events (retire rows are"
+                " derived from the event arena)"
+            )
+        self.record_retires = bool(record_retires)
+        self._retire_cache: Dict[int, np.ndarray] = {}
         self.events: Optional[LaneEventLog] = (
             LaneEventLog(self.lanes) if record_events else None
         )
@@ -1098,6 +1112,45 @@ class LaneEngine:
 
     def lane_registers(self, lane: int) -> List[int]:
         return [int(v) for v in self._regs[:, lane]]
+
+    def retire_rows(self, lane: int) -> np.ndarray:
+        """One lane's RVFI-style ``(n, 16)`` retire-row matrix.
+
+        Projected lazily from the lane's finalized event rows (the same
+        column algebra the scalar engines use — see
+        :func:`repro.riscv.retire.retires_from_events`), closed with
+        the lane's final pc and, when the lane ended in an
+        architectural fault, its trap retire.  Budget exhaustion ends
+        the stream without a trap row, matching ``Cpu.run``.
+        """
+        if not self.record_retires:
+            raise SimulationError(
+                "retire_rows requires record_retires=True at construction"
+            )
+        rows = self._retire_cache.get(lane)
+        if rows is None:
+            final_pc = int(self.pcs[lane])
+            rows = retires_from_events(
+                self.events.lane_rows(lane).T, None, final_pc
+            )
+            error = self.errors[lane]
+            if error is not None and not is_budget_error(error):
+                rows = np.concatenate(
+                    [rows, trap_row(rows.shape[0], final_pc, self._fetch_insn(lane))[None, :]]
+                )
+            self._retire_cache[lane] = rows
+        return rows
+
+    def retire_log(self, lane: int) -> RetireLog:
+        """Materialise one lane's retires as a standalone RetireLog."""
+        return RetireLog.from_rows(self.retire_rows(lane))
+
+    def _fetch_insn(self, lane: int) -> int:
+        """The encoding at a lane's final pc with Memory's fault rules."""
+        pc = int(self.pcs[lane])
+        if pc < 0 or pc + 4 > self.size or pc % 4:
+            return 0
+        return int.from_bytes(self.memory[lane, pc : pc + 4].tobytes(), "little")
 
     def _note(self, word_address) -> None:
         """Track the store envelope (called from generated block code)."""

@@ -49,6 +49,7 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.riscv import cycles as cy
 from repro.riscv.isa import NUM_OPCODES, OPCODE_IDS, branch_offset, decode, jal_offset
+from repro.riscv.retire import plan_columns
 
 _MASK32 = 0xFFFFFFFF
 
@@ -191,6 +192,7 @@ class TranslatedBlock:
         "_dyn_entries",
         "_plans",
         "_templates",
+        "_retire_plans",
     )
 
     def __init__(
@@ -211,6 +213,7 @@ class TranslatedBlock:
         self.uniq_prefix = uniq_prefix
         self._plans: Dict[int, Tuple] = {}
         self._templates: Dict[int, Tuple] = {}
+        self._retire_plans: Dict[int, np.ndarray] = {}
         self.run_recording = None  # assigned by _generate
         self.run_fast = None
 
@@ -249,6 +252,21 @@ class TranslatedBlock:
                 n_uniq,
             )
             self._plans[count] = plan
+        return plan
+
+    def retire_plan(self, count: int) -> np.ndarray:
+        """Static retire columns for the first ``count`` retirements.
+
+        The ``(5, count)`` matrix of ``(rs1_addr, rs2_addr, rd_addr,
+        mem_rmask, mem_wmask)`` — the retire-record fields fixed at
+        translation time — that :func:`repro.riscv.retire
+        .retires_from_events` pairs with the block's recorded event
+        rows.  Cached per prefix length like :meth:`flush_plan`.
+        """
+        plan = self._retire_plans.get(count)
+        if plan is None:
+            plan = plan_columns(np.asarray(self.words[:count], dtype=np.int64))
+            self._retire_plans[count] = plan
         return plan
 
     def flush_template(self, count: int):

@@ -5,15 +5,20 @@
     python -m repro.verify list
     python -m repro.verify run [oracle ...] [--examples N] [--seed S]
                                [--expensive]
+    python -m repro.verify fuzz <oracle> [--cases N] [--seed S]
+                                [--tier quick|deep] [--log FILE]
     python -m repro.verify replay <oracle> --case-seed S
     python -m repro.verify golden [--regen] [--path FILE] [--workers N]
 
 ``run`` sweeps seeded random cases through the registered oracles and
 prints, for every divergence, the one-line command that replays it.
-``replay`` re-runs a single case (the command printed on failure, and
-the one the Hypothesis suites embed in their failure notes).  ``golden``
-checks — or regenerates, with ``--regen`` — the committed end-to-end
-fixture.
+``fuzz`` is the high-volume variant for a single fuzzable oracle: case
+seeds are drawn from one base seed, every failure prints its replay
+command, and ``--log`` writes a machine-readable failure report for CI
+artifacts.  ``replay`` re-runs a single case (the command printed on
+failure, and the one the Hypothesis suites embed in their failure
+notes).  ``golden`` checks — or regenerates, with ``--regen`` — the
+committed end-to-end fixture.
 """
 
 from __future__ import annotations
@@ -30,11 +35,81 @@ DEFAULT_GOLDEN = Path("tests/golden/campaign_small.json")
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
+    groups: dict = {}
     for oracle in all_oracles():
-        marker = " [expensive]" if oracle.expensive else ""
-        print(f"{oracle.name}{marker}")
-        print(f"    {oracle.description}")
+        groups.setdefault(oracle.name.split(".")[0], []).append(oracle)
+    for subsystem in sorted(groups):
+        print(f"{subsystem}:")
+        for oracle in groups[subsystem]:
+            markers = ""
+            if oracle.expensive:
+                markers += " [expensive]"
+            if oracle.fuzzable:
+                markers += " [fuzz]"
+            print(f"  {oracle.name}{markers}")
+            print(f"      {oracle.description}")
     return 0
+
+
+#: Default case counts per fuzz tier; ``--cases`` overrides.
+FUZZ_TIERS = {"quick": 100, "deep": 1000}
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    oracle = get_oracle(args.oracle)
+    if not oracle.fuzzable:
+        fuzzable = ", ".join(o.name for o in all_oracles() if o.fuzzable)
+        print(f"{oracle.name} is not a fuzz oracle (fuzzable: {fuzzable})")
+        return 2
+    cases = args.cases if args.cases is not None else FUZZ_TIERS[args.tier]
+    case_seeds = np.random.default_rng(args.seed).integers(
+        0, 2**31 - 1, size=cases
+    )
+    start = time.perf_counter()
+    failures = []
+    for index, case_seed in enumerate(case_seeds):
+        report = oracle.check_seed(int(case_seed))
+        if not report.ok:
+            failures.append(report)
+            print(f"case seed {report.case_seed} ({report.case_summary}):")
+            for line in report.mismatches[:10]:
+                print(f"  {line}")
+            print(f"  replay: {report.repro_command()}")
+        if (index + 1) % 100 == 0:
+            elapsed = time.perf_counter() - start
+            print(
+                f"{index + 1}/{cases} cases, {len(failures)} failed "
+                f"({elapsed:.1f}s)"
+            )
+    elapsed = time.perf_counter() - start
+    status = "ok" if not failures else f"{len(failures)} FAILED"
+    print(
+        f"{oracle.name}: {cases} cases (base seed {args.seed}), "
+        f"{status} ({elapsed:.1f}s)"
+    )
+    if args.log:
+        import json
+
+        payload = {
+            "oracle": oracle.name,
+            "base_seed": args.seed,
+            "cases": cases,
+            "tier": args.tier,
+            "failures": [
+                {
+                    "case_seed": report.case_seed,
+                    "case_summary": report.case_summary,
+                    "mismatches": report.mismatches,
+                    "replay": report.repro_command(),
+                }
+                for report in failures
+            ],
+        }
+        Path(args.log).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"fuzz report written to {args.log}")
+    return 1 if failures else 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -117,6 +192,20 @@ def main(argv=None) -> int:
         help="include expensive oracles when none are named",
     )
     run.set_defaults(func=_cmd_run)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="high-volume seeded sweep of one fuzz oracle"
+    )
+    fuzz.add_argument("oracle")
+    fuzz.add_argument(
+        "--cases", type=int, default=None, help="default: tier preset"
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="base sweep seed")
+    fuzz.add_argument("--tier", choices=sorted(FUZZ_TIERS), default="quick")
+    fuzz.add_argument(
+        "--log", default=None, help="write a JSON failure report here"
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     replay = sub.add_parser("replay", help="re-run one failing case")
     replay.add_argument("oracle")

@@ -85,7 +85,9 @@ class Oracle:
     whose honest error bound depends on the input (the sliding mean's
     cancellation error scales with ``sum(|x|)``).  ``expensive`` marks
     pairs that cost seconds per case (profiling); the CLI and the quick
-    CI tier skip them unless asked.
+    CI tier skip them unless asked.  ``fuzzable`` marks oracles whose
+    samplers are cheap and adversarial enough for the high-volume
+    ``python -m repro.verify fuzz`` driver.
     """
 
     name: str
@@ -95,6 +97,7 @@ class Oracle:
     reference: Callable[[Any], Any]
     tolerance: Any = EXACT
     expensive: bool = False
+    fuzzable: bool = False
     summarize: Callable[[Any], str] = staticmethod(lambda case: "")
 
     def tolerance_for(self, case: Any) -> Tolerance:
@@ -366,6 +369,86 @@ def _run_lane_reference(case: Dict[str, Any]) -> List[Dict[str, Any]]:
         )
         for file in case["register_files"]
     ]
+
+
+# ----------------------------------------------------------------------
+# Retire-log conformance (the cross-engine fuzz oracle)
+# ----------------------------------------------------------------------
+def sample_retire_case(rng: np.random.Generator) -> Dict[str, Any]:
+    """Half well-behaved programs, half targeted adversarial cases."""
+    if rng.random() < 0.5:
+        case = random_program(rng)
+        case["kind"] = "random"
+        return case
+    from repro.verify.conformance import random_adversarial_program
+
+    return random_adversarial_program(rng)
+
+
+def _retire_state(run: Any) -> Dict[str, Any]:
+    return {
+        "registers": run.registers,
+        "pc": run.pc,
+        "cycle_count": run.cycle_count,
+        "instruction_count": run.instruction_count,
+        "halted": run.halted,
+        "error": run.error,
+        "retire_count": int(run.retires.shape[0]),
+        "retires": run.retires,
+    }
+
+
+def _retire_fast(case: Dict[str, Any]) -> Dict[str, Any]:
+    """Run every engine pair; report per-pair retire-stream divergence.
+
+    The payload's ``state`` comes from the *threaded* run, so diffing
+    against :func:`_retire_reference` (scalar interpreter state, all
+    divergences ``None``) catches both a pair disagreeing and the fast
+    engines drifting from the reference machine state.
+    """
+    from repro.riscv.assembler import assemble
+    from repro.verify import conformance
+
+    words = assemble(case["source"]).words
+    kwargs = {"max_instructions": case["max_instructions"]}
+    runs = {
+        engine: conformance.run_scalar_engine(
+            words, case["registers"], engine=engine, **kwargs
+        )
+        for engine in conformance.SCALAR_ENGINES
+    }
+    # Two identical lanes: lane parity catches lane-indexed bookkeeping
+    # bugs that a single lane cannot.
+    lanes = conformance.run_lane_engine_case(
+        words, [case["registers"], case["registers"]], **kwargs
+    )
+    runs["lanes"] = lanes[0]
+    divergence: Dict[str, Optional[str]] = {}
+    for left, right in conformance.ENGINE_PAIRS:
+        mismatches = conformance.compare_runs(runs[left], runs[right])
+        divergence[f"{left}_vs_{right}"] = (
+            "; ".join(mismatches) if mismatches else None
+        )
+    mirror = conformance.compare_runs(lanes[0], lanes[1])
+    divergence["lane0_vs_lane1"] = "; ".join(mirror) if mirror else None
+    return {"divergence": divergence, "state": _retire_state(runs["threaded"])}
+
+
+def _retire_reference(case: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.riscv.assembler import assemble
+    from repro.verify import conformance
+
+    run = conformance.run_scalar_engine(
+        assemble(case["source"]).words,
+        case["registers"],
+        engine="reference",
+        max_instructions=case["max_instructions"],
+    )
+    divergence: Dict[str, Optional[str]] = {
+        f"{left}_vs_{right}": None for left, right in conformance.ENGINE_PAIRS
+    }
+    divergence["lane0_vs_lane1"] = None
+    return {"divergence": divergence, "state": _retire_state(run)}
 
 
 def sample_events(rng: np.random.Generator, max_events: int = 60) -> List[Any]:
@@ -979,7 +1062,25 @@ register(
         sample=random_program,
         fast=lambda case: _run_engine(case, threaded=True),
         reference=lambda case: _run_engine(case, threaded=False),
+        fuzzable=True,
         summarize=lambda case: (
+            f"{len(case['source'].splitlines())} source lines, "
+            f"budget {case['max_instructions']}"
+        ),
+    )
+)
+
+register(
+    Oracle(
+        name="cpu.retire_log",
+        description="RVFI-style retire streams across all three engines "
+        "(reference vs threaded vs lanes, plus mirrored-lane parity)",
+        sample=sample_retire_case,
+        fast=_retire_fast,
+        reference=_retire_reference,
+        fuzzable=True,
+        summarize=lambda case: (
+            f"kind={case.get('kind', 'random')}, "
             f"{len(case['source'].splitlines())} source lines, "
             f"budget {case['max_instructions']}"
         ),
@@ -994,6 +1095,7 @@ register(
         sample=random_lane_program,
         fast=_run_lane_engine,
         reference=_run_lane_reference,
+        fuzzable=True,
         summarize=lambda case: (
             f"{len(case['register_files'])} lanes, "
             f"{len(case['source'].splitlines())} source lines, "

@@ -14,7 +14,6 @@ import pytest
 
 from repro.errors import ParameterError, SimulationError
 from repro.riscv.assembler import assemble
-from repro.riscv.cpu import Cpu
 from repro.riscv.device import GaussianSamplerDevice, resolve_engine
 from repro.riscv.lanes import (
     LaneEngine,
@@ -22,7 +21,11 @@ from repro.riscv.lanes import (
     clear_lane_cache,
     lane_cache_size,
 )
-from repro.riscv.memory import Memory
+from repro.verify.conformance import (
+    assert_engines_match,
+    run_lane_engine_case,
+    run_scalar_engine,
+)
 
 MODULI = [0xFFEE001, 0xFFC4001, 0x7FE2001, 0x7F54001]
 
@@ -44,17 +47,20 @@ def _engine(source, registers, **kwargs):
     return engine
 
 
-def _solo(source, registers, max_instructions=10_000):
-    cpu = Cpu(Memory(size_bytes=1 << 16), record_events=True)
-    cpu.load_program(assemble(source).words, 0)
-    for index, value in registers.items():
-        cpu.write_register(index, value)
-    error = None
-    try:
-        cpu.run(max_instructions=max_instructions)
-    except SimulationError as exc:
-        error = str(exc)
-    return cpu, error
+def _lanes_vs_solo(source, files, max_instructions=10_000):
+    """Every lane compared against its solo threaded run through the
+    shared conformance harness (state, events, retire streams, errors);
+    returns the per-lane EngineRun list for extra assertions."""
+    words = assemble(source).words
+    lanes = run_lane_engine_case(
+        words, files, max_instructions=max_instructions
+    )
+    for file, lane_run in zip(files, lanes):
+        solo = run_scalar_engine(
+            words, file, engine="threaded", max_instructions=max_instructions
+        )
+        assert_engines_match(solo, lane_run)
+    return lanes
 
 
 DIVERGENT = (
@@ -68,30 +74,23 @@ DIVERGENT = (
 
 def test_lanes_match_solo_runs_under_divergence():
     files = [{1: 3}, {1: 17}, {1: 1}, {1: 60}]
-    engine = _engine(DIVERGENT, files).run()
-    for lane, file in enumerate(files):
-        cpu, error = _solo(DIVERGENT, file)
-        assert engine.errors[lane] is None and error is None
-        assert engine.lane_registers(lane) == list(cpu.registers)
-        assert int(engine.pcs[lane]) == cpu.pc
-        assert int(engine.cycle_counts[lane]) == cpu.cycle_count
-        assert int(engine.instruction_counts[lane]) == cpu.instruction_count
-        assert bool(engine.halted[lane])
-        assert np.array_equal(
-            engine.events.lane_rows(lane).T, cpu.events.columns()
-        )
+    lanes = _lanes_vs_solo(DIVERGENT, files)
+    assert all(run.error is None and run.halted for run in lanes)
+    # divergent trip counts leave divergent retire stream lengths
+    assert len({run.retires.shape[0] for run in lanes}) == len(files)
 
 
 def test_faulting_lane_does_not_poison_others():
     source = "sw x2, 0(x1)\nadd x3, x1, x2\nebreak"
     files = [{1: 0x8000, 2: 7}, {1: 0x200000, 2: 7}, {1: 0x8001, 2: 7}]
-    engine = _engine(source, files).run()
-    assert engine.errors[0] is None and bool(engine.halted[0])
+    lanes = _lanes_vs_solo(source, files)
+    assert lanes[0].error is None and lanes[0].halted
     for lane in (1, 2):
-        _, solo_error = _solo(source, files[lane])
-        assert engine.errors[lane] == solo_error
-        assert not bool(engine.halted[lane])
+        assert lanes[lane].error is not None
+        assert not lanes[lane].halted
+        assert lanes[lane].retires[-1, 10] == 1  # terminal trap record
     # The healthy lane's stored word landed only in its own memory plane.
+    engine = lanes[0].cpu
     m32 = engine.memory.view(np.uint32)
     assert int(m32[0, 0x8000 >> 2]) == 7
     assert int(m32[1, 0x8000 >> 2]) == 0
@@ -99,12 +98,13 @@ def test_faulting_lane_does_not_poison_others():
 
 def test_budget_exhaustion_is_per_lane():
     files = [{1: 2}, {1: 50}]
-    engine = _engine(DIVERGENT, files).run(max_instructions=30)
-    assert engine.errors[0] is None
-    assert engine.errors[1] is not None
-    assert "instruction budget 30 exhausted" in engine.errors[1]
-    _, solo_error = _solo(DIVERGENT, files[1], max_instructions=30)
-    assert engine.errors[1] == solo_error
+    lanes = _lanes_vs_solo(DIVERGENT, files, max_instructions=30)
+    assert lanes[0].error is None
+    assert lanes[1].error is not None
+    assert "instruction budget 30 exhausted" in lanes[1].error
+    # budget exhaustion truncates the stream without a trap record
+    assert lanes[1].retires.shape[0] == 30
+    assert not lanes[1].retires[:, 10].any()
 
 
 def test_run_is_single_shot():

@@ -2,11 +2,14 @@
 
 The threaded engine (``repro.riscv.threaded``) must be bit-identical to
 ``Cpu.step_reference`` — same registers, pc, cycle count, instruction
-count, EventLog contents and error messages — on every program,
-including the nasty corners: RV32IM division edge cases, taken and
-not-taken branches inside superblocks, unrolled loop iterations that
-fault midway, instruction budgets landing inside a block, and
-self-modifying code invalidating translations.
+count, EventLog contents, RVFI retire streams and error messages — on
+every program, including the nasty corners: RV32IM division edge
+cases, taken and not-taken branches inside superblocks, unrolled loop
+iterations that fault midway, instruction budgets landing inside a
+block, and self-modifying code invalidating translations.  All
+comparisons go through the shared conformance harness
+(:mod:`repro.verify.conformance`), the same one the ``cpu.retire_log``
+fuzz oracle drives.
 """
 
 import pickle
@@ -25,6 +28,7 @@ from repro.riscv.threaded import (
     clear_translation_cache,
     translation_cache_size,
 )
+from repro.verify.conformance import assert_engines_match, run_scalar_engine
 
 MODULI = [0xFFEE001, 0xFFC4001, 0x7FE2001, 0x7F54001]
 
@@ -34,38 +38,25 @@ INT_MIN = 0x80000000
 def _run_pair(words, max_instructions=10_000, record_events=True, setup=None):
     """Run the same program on both engines, returning both CPUs.
 
-    Errors must match exactly: either both engines succeed or both
-    raise a SimulationError with the same message.
+    A thin wrapper over the shared conformance harness
+    (:mod:`repro.verify.conformance`): machine state, EventLog, error
+    strings and — when events are on — the full RVFI retire streams
+    must all match.
     """
-    results = []
-    for use_threaded in (True, False):
-        memory = Memory(size_bytes=1 << 20)
-        cpu = Cpu(memory, record_events=record_events)
-        cpu.load_program(words, 0)
-        if setup:
-            setup(cpu, memory)
-        error = None
-        try:
-            if use_threaded:
-                cpu.run(max_instructions=max_instructions)
-            else:
-                cpu.run_reference(max_instructions=max_instructions)
-        except SimulationError as exc:
-            error = str(exc)
-        results.append((cpu, error))
-    (threaded, terr), (reference, rerr) = results
-    assert terr == rerr
-    _assert_identical(threaded, reference)
-    return threaded, reference
-
-
-def _assert_identical(threaded: Cpu, reference: Cpu) -> None:
-    assert threaded.registers == reference.registers
-    assert threaded.pc == reference.pc
-    assert threaded.cycle_count == reference.cycle_count
-    assert threaded.instruction_count == reference.instruction_count
-    assert threaded.halted == reference.halted
-    assert threaded.events == reference.events
+    runs = [
+        run_scalar_engine(
+            words,
+            engine=engine,
+            max_instructions=max_instructions,
+            memory_size=1 << 20,
+            record_events=record_events,
+            record_retires=record_events,
+            setup=setup,
+        )
+        for engine in ("threaded", "reference")
+    ]
+    assert_engines_match(runs[0], runs[1])
+    return runs[0].cpu, runs[1].cpu
 
 
 def _asm(source: str):

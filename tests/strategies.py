@@ -29,6 +29,24 @@ word32 = st.one_of(
 case_seeds = st.integers(0, 2**31 - 1)
 
 
+def adversarial_programs():
+    """Seed-driven hostile cases from the conformance generators.
+
+    Self-loops, guaranteed faults, self-modifying code, budget
+    exhaustion and div/rem corners — the payload carries its case seed
+    so failures replay through the ``cpu.retire_log`` fuzz driver even
+    though shrinking is seed-granular.
+    """
+    from repro.verify.conformance import random_adversarial_program
+
+    return case_seeds.map(
+        lambda seed: {
+            **random_adversarial_program(np.random.default_rng(seed)),
+            "case_seed": seed,
+        }
+    )
+
+
 # ----------------------------------------------------------------------
 # RV32IM programs
 # ----------------------------------------------------------------------
