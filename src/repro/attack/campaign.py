@@ -46,7 +46,7 @@ from repro.attack.pipeline import ProfilingReport, SingleTraceAttack
 from repro.errors import AttackError
 from repro.power.capture import CapturedTrace, _capture_lane_chunk, _capture_one
 from repro.power.noise import NOISE_STREAM_VERSION
-from repro.riscv.device import resolve_engine
+from repro.riscv.device import effective_engine
 
 #: Timing stages reported by the campaign workers, in pipeline order.
 STAGES = ("capture", "segment", "classify", "score")
@@ -311,7 +311,9 @@ def run_campaign(
     if attack.templates is None or attack.branch_classifier is None:
         raise AttackError("profile() must run before a campaign")
     acquisition = attack.acquisition
-    engine = resolve_engine(
+    # effective_engine: "compiled" degrades to "threaded" without a C
+    # toolchain, and the report records the engine that actually ran.
+    engine = effective_engine(
         engine if engine is not None else getattr(acquisition, "engine", None)
     )
     entropy = acquisition.batch_entropy()

@@ -359,9 +359,10 @@ class TraceAcquisition:
         across bench instances and worker counts.
     engine:
         Default execution engine for this bench's captures
-        (``"interpreter"``/``"threaded"``/``"lanes"``); ``None`` defers
-        to ``REVEAL_ENGINE``, then ``"threaded"``.  Batch methods can
-        override it per call.
+        (``"interpreter"``/``"threaded"``/``"compiled"``/``"lanes"``);
+        ``None`` defers to ``REVEAL_ENGINE``, then ``"threaded"``.
+        Batch methods can override it per call; ``"compiled"`` falls
+        back to ``"threaded"`` where no C toolchain exists.
     lanes:
         Lanes per :class:`~repro.riscv.lanes.LaneEngine` batch when the
         lanes engine is selected.

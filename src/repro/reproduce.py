@@ -238,10 +238,11 @@ def main(argv=None) -> None:
     )
     parser.add_argument(
         "--engine",
-        choices=["interpreter", "threaded", "lanes"],
+        choices=["interpreter", "threaded", "lanes", "compiled"],
         default=None,
         help="execution engine for table1/table2 attack captures "
-        "(default: $REVEAL_ENGINE, then threaded)",
+        "(default: $REVEAL_ENGINE, then threaded; compiled falls back "
+        "to threaded without a C toolchain)",
     )
     parser.add_argument(
         "--backend",

@@ -43,7 +43,7 @@ from repro.riscv.retire import (
     plan_columns,
     retires_from_events,
 )
-from repro.riscv.threaded import TranslatedBlock, translate
+from repro.riscv.threaded import TranslatedBlock, note_invalidation, translate
 
 _MASK32 = 0xFFFFFFFF
 
@@ -443,6 +443,7 @@ class Cpu:
 
     def _invalidate_blocks(self) -> None:
         """Drop cached translations after a store into translated code."""
+        note_invalidation()
         self._block_cache.clear()
         self._code_words.clear()
 

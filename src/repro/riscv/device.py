@@ -31,7 +31,7 @@ _OUT_BASE = 0x5000
 
 #: Canonical engine names.  ``"interpreter"`` is accepted as a CLI-facing
 #: alias for ``"reference"`` (the scalar seed interpreter).
-ENGINES = ("threaded", "reference", "lanes")
+ENGINES = ("threaded", "reference", "lanes", "compiled")
 
 
 def resolve_engine(engine: Optional[str] = None) -> str:
@@ -55,6 +55,25 @@ def resolve_engine(engine: Optional[str] = None) -> str:
             f"unknown {source} {engine!r} (choose from interpreter, "
             f"{', '.join(ENGINES)})"
         )
+    return engine
+
+
+def effective_engine(engine: Optional[str] = None) -> str:
+    """Resolve an engine and apply capability degradation.
+
+    ``"compiled"`` requires a working C toolchain; when its probe fails
+    the selection degrades to ``"threaded"`` (bit-identical, slower) —
+    the same graceful-fallback contract as the compute-backend registry.
+    The recorded reason is available from
+    :func:`repro.riscv.compiled.probe_error`.  Every other engine
+    resolves unchanged.
+    """
+    engine = resolve_engine(engine)
+    if engine == "compiled":
+        from repro.riscv.compiled import compiled_available
+
+        if not compiled_available():
+            return "threaded"
     return engine
 
 
@@ -121,6 +140,10 @@ class GaussianSamplerDevice:
         # :meth:`Cpu.adopt_translations`).
         self._block_cache: dict = {}
         self._code_words: set = set()
+        # Compiled-engine warm state: one CompiledProgram (translated
+        # blocks + the generated C extension module) reused across runs.
+        # Lazy — built on the first engine="compiled" run.
+        self._compiled_program = None
         # Lane-engine state, also shared across runs: one immutable
         # memory image and one compiled-block dict per memory size
         # (the image bakes in the modulus table; the generated block
@@ -137,6 +160,7 @@ class GaussianSamplerDevice:
         state = self.__dict__.copy()
         state["_block_cache"] = {}
         state["_code_words"] = set()
+        state["_compiled_program"] = None
         state["_lane_images"] = {}
         state["_lane_block_cache"] = {}
         state["last_retires"] = None
@@ -158,6 +182,9 @@ class GaussianSamplerDevice:
         runs (about 2x faster).  ``engine`` selects the execution engine:
         ``"threaded"`` (the default block-translating engine, reusing
         this device's warm translation cache across runs),
+        ``"compiled"`` (the same translation units lowered to generated
+        C via cffi — the fastest engine where a toolchain exists, and a
+        silent bit-identical fall-back to threaded where none does),
         ``"reference"`` (the scalar interpreter, bit-identical but much
         slower — useful for differential testing) or ``"lanes"`` (the
         lane-vectorized engine, single-lane here; see :meth:`run_lanes`
@@ -166,7 +193,7 @@ class GaussianSamplerDevice:
         """
         if count < 1:
             raise SimulationError("count must be >= 1")
-        engine = resolve_engine(engine)
+        engine = effective_engine(engine)
         if engine == "lanes":
             return self.run_lanes(
                 [seed],
@@ -192,6 +219,16 @@ class GaussianSamplerDevice:
         budget = max_instructions if max_instructions else 4000 * count + 10_000
         if engine == "threaded":
             cpu.run(max_instructions=budget)
+        elif engine == "compiled":
+            from repro.riscv.compiled import CompiledProgram, run_compiled
+
+            if self._compiled_program is None:
+                self._compiled_program = CompiledProgram()
+            run_compiled(
+                cpu,
+                max_instructions=budget,
+                program=self._compiled_program,
+            )
         else:
             cpu.run_reference(max_instructions=budget)
 

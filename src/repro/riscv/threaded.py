@@ -42,6 +42,7 @@ sampling kernels.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -741,15 +742,39 @@ def _generate(pcs, words, instrs, fallthrough) -> TranslatedBlock:
 _TRANSLATION_CACHE: Dict[Tuple, TranslatedBlock] = {}
 _TRANSLATION_CACHE_MAX = 8192
 
+#: Lifetime counters over the translation cache (mirrors the shape of
+#: ``repro.ring.ntt.ntt_cache_stats``: the raw dict plus size bounds).
+_CACHE_STATS: Dict[str, float] = {
+    "hits": 0,  # translate() calls answered from the cache
+    "misses": 0,  # translate() calls that generated a new block
+    "invalidations": 0,  # Cpu._invalidate_blocks calls (SMC)
+    "compile_time_s": 0.0,  # cumulative _generate_checked seconds
+}
+
 
 def clear_translation_cache() -> None:
-    """Drop every cached translation (used by benchmarks and tests)."""
+    """Drop every cached translation and zero the counters."""
     _TRANSLATION_CACHE.clear()
+    for key in _CACHE_STATS:
+        _CACHE_STATS[key] = 0.0 if key == "compile_time_s" else 0
 
 
 def translation_cache_size() -> int:
     """Number of process-wide cached block translations."""
     return len(_TRANSLATION_CACHE)
+
+
+def translation_cache_stats() -> Dict[str, float]:
+    """Hit/miss/invalidation counters plus current cache occupancy."""
+    stats = dict(_CACHE_STATS)
+    stats["size"] = len(_TRANSLATION_CACHE)
+    stats["max_size"] = _TRANSLATION_CACHE_MAX
+    return stats
+
+
+def note_invalidation() -> None:
+    """Record one SMC block-cache invalidation (called by the Cpu)."""
+    _CACHE_STATS["invalidations"] += 1
 
 
 def translate(memory, start_pc: int) -> TranslatedBlock:
@@ -808,10 +833,15 @@ def translate(memory, start_pc: int) -> TranslatedBlock:
     key = (start_pc, tuple(words))
     block = _TRANSLATION_CACHE.get(key)
     if block is None:
+        _CACHE_STATS["misses"] += 1
         if len(_TRANSLATION_CACHE) >= _TRANSLATION_CACHE_MAX:
             _TRANSLATION_CACHE.clear()
+        started = time.perf_counter()
         block = _generate_checked(pcs, words, fallthrough)
+        _CACHE_STATS["compile_time_s"] += time.perf_counter() - started
         _TRANSLATION_CACHE[key] = block
+    else:
+        _CACHE_STATS["hits"] += 1
     return block
 
 

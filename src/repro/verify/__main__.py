@@ -7,6 +7,7 @@
                                [--expensive]
     python -m repro.verify fuzz <oracle> [--cases N] [--seed S]
                                 [--tier quick|deep] [--log FILE]
+                                [--engines a,b,...]
     python -m repro.verify replay <oracle> --case-seed S
     python -m repro.verify golden [--regen] [--path FILE] [--workers N]
 
@@ -48,6 +49,11 @@ def _cmd_list(_args: argparse.Namespace) -> int:
                 markers += " [fuzz]"
             print(f"  {oracle.name}{markers}")
             print(f"      {oracle.description}")
+            if oracle.name == "cpu.retire_log":
+                from repro.verify.conformance import ENGINE_PAIRS
+
+                pairs = ", ".join(f"{a}-{b}" for a, b in ENGINE_PAIRS)
+                print(f"      pairs: {pairs} (subset via fuzz --engines)")
     return 0
 
 
@@ -63,6 +69,20 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         fuzzable = ", ".join(o.name for o in all_oracles() if o.fuzzable)
         print(f"{oracle.name} is not a fuzz oracle (fuzzable: {fuzzable})")
         return 2
+    if args.engines:
+        from repro.verify import conformance
+
+        try:
+            conformance.set_engine_filter(
+                [name.strip() for name in args.engines.split(",") if name.strip()]
+            )
+        except ValueError as exc:
+            print(f"--engines: {exc}")
+            return 2
+        pairs = ", ".join(
+            f"{a}-{b}" for a, b in conformance.active_engine_pairs()
+        )
+        print(f"engine filter: {args.engines} (active pairs: {pairs})")
     cases = args.cases if args.cases is not None else FUZZ_TIERS[args.tier]
     case_seeds = np.random.default_rng(args.seed).integers(
         0, 2**31 - 1, size=cases
@@ -204,6 +224,12 @@ def main(argv=None) -> int:
     fuzz.add_argument("--tier", choices=sorted(FUZZ_TIERS), default="quick")
     fuzz.add_argument(
         "--log", default=None, help="write a JSON failure report here"
+    )
+    fuzz.add_argument(
+        "--engines",
+        default=None,
+        help="comma-separated engine subset for conformance oracles "
+        "(e.g. reference,compiled); default: all available engines",
     )
     fuzz.set_defaults(func=_cmd_fuzz)
 

@@ -1,7 +1,8 @@
 """Cross-engine conformance harness built on the RVFI-style retire log.
 
-All three RV32IM engines (the scalar reference interpreter, the
-threaded-code engine and the lane-vectorized engine) emit the same
+All four RV32IM engines (the scalar reference interpreter, the
+threaded-code engine, the compiled-C engine and the lane-vectorized
+engine) emit the same
 16-column retire record per committed instruction (see
 :mod:`repro.riscv.retire`).  This module is the single differential
 oracle over those records:
@@ -39,14 +40,74 @@ from repro.errors import SimulationError
 from repro.riscv.retire import RETIRE_FIELDS
 
 #: Engines runnable through :func:`run_scalar_engine`.
-SCALAR_ENGINES = ("reference", "threaded")
+SCALAR_ENGINES = ("reference", "threaded", "compiled")
+
+#: Every engine the conformance sweeps know about.
+ALL_ENGINES = ("reference", "threaded", "compiled", "lanes")
 
 #: Every comparable engine pairing the ``cpu.retire_log`` oracle sweeps.
 ENGINE_PAIRS = (
     ("reference", "threaded"),
+    ("reference", "compiled"),
+    ("threaded", "compiled"),
     ("reference", "lanes"),
     ("threaded", "lanes"),
+    ("compiled", "lanes"),
 )
+
+#: Optional engine subset applied by :func:`active_engines`
+#: (``python -m repro.verify fuzz --engines``).  None = no filter.
+_ENGINE_FILTER: Optional[tuple] = None
+
+
+def set_engine_filter(names: Optional[Sequence[str]]) -> None:
+    """Restrict the fuzz sweeps to a subset of engines (None resets).
+
+    Raises :class:`ValueError` on unknown names or a subset with fewer
+    than two engines (no pair left to compare).
+    """
+    global _ENGINE_FILTER
+    if names is None:
+        _ENGINE_FILTER = None
+        return
+    subset = tuple(dict.fromkeys(names))
+    unknown = [name for name in subset if name not in ALL_ENGINES]
+    if unknown:
+        raise ValueError(
+            f"unknown engine(s) {', '.join(unknown)} (choose from "
+            f"{', '.join(ALL_ENGINES)})"
+        )
+    if len(subset) < 2:
+        raise ValueError(
+            "engine filter needs at least two engines to form a pair"
+        )
+    _ENGINE_FILTER = subset
+
+
+def active_engines() -> tuple:
+    """The engines the sweeps actually run here and now.
+
+    Applies the :func:`set_engine_filter` subset, then drops
+    ``compiled`` when its capability probe fails (no C toolchain): the
+    fuzz must stay green on machines where the engine legitimately
+    degrades to threaded.
+    """
+    engines = _ENGINE_FILTER if _ENGINE_FILTER is not None else ALL_ENGINES
+    if "compiled" in engines:
+        from repro.riscv.compiled import compiled_available
+
+        if not compiled_available():
+            engines = tuple(e for e in engines if e != "compiled")
+    return engines
+
+
+def active_engine_pairs() -> tuple:
+    """The :data:`ENGINE_PAIRS` subset over :func:`active_engines`."""
+    engines = set(active_engines())
+    return tuple(
+        pair for pair in ENGINE_PAIRS
+        if pair[0] in engines and pair[1] in engines
+    )
 
 
 @dataclass
@@ -111,6 +172,10 @@ def run_scalar_engine(
     try:
         if engine == "threaded":
             cpu.run(max_instructions=max_instructions)
+        elif engine == "compiled":
+            from repro.riscv.compiled import run_compiled
+
+            run_compiled(cpu, max_instructions=max_instructions)
         else:
             cpu.run_reference(max_instructions=max_instructions)
     except SimulationError as exc:

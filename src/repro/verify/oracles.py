@@ -398,11 +398,21 @@ def _retire_state(run: Any) -> Dict[str, Any]:
     }
 
 
-def _retire_fast(case: Dict[str, Any]) -> Dict[str, Any]:
-    """Run every engine pair; report per-pair retire-stream divergence.
+#: ``state`` payload preference when several engines ran (the first
+#: active engine in this order supplies the machine state).
+_RETIRE_STATE_PRIORITY = ("threaded", "compiled", "reference", "lanes")
 
-    The payload's ``state`` comes from the *threaded* run, so diffing
-    against :func:`_retire_reference` (scalar interpreter state, all
+
+def _retire_fast(case: Dict[str, Any]) -> Dict[str, Any]:
+    """Run every active engine pair; report per-pair retire divergence.
+
+    The pair set comes from :func:`repro.verify.conformance.
+    active_engine_pairs` — all six pairings of reference / threaded /
+    compiled / lanes by default, minus ``compiled`` where no C
+    toolchain probes, minus anything outside the ``--engines`` filter.
+    The payload's ``state`` comes from the first active engine in
+    :data:`_RETIRE_STATE_PRIORITY`, so diffing against
+    :func:`_retire_reference` (scalar interpreter state, all
     divergences ``None``) catches both a pair disagreeing and the fast
     engines drifting from the reference machine state.
     """
@@ -411,27 +421,32 @@ def _retire_fast(case: Dict[str, Any]) -> Dict[str, Any]:
 
     words = assemble(case["source"]).words
     kwargs = {"max_instructions": case["max_instructions"]}
+    engines = conformance.active_engines()
     runs = {
         engine: conformance.run_scalar_engine(
             words, case["registers"], engine=engine, **kwargs
         )
-        for engine in conformance.SCALAR_ENGINES
+        for engine in engines
+        if engine in conformance.SCALAR_ENGINES
     }
-    # Two identical lanes: lane parity catches lane-indexed bookkeeping
-    # bugs that a single lane cannot.
-    lanes = conformance.run_lane_engine_case(
-        words, [case["registers"], case["registers"]], **kwargs
-    )
-    runs["lanes"] = lanes[0]
     divergence: Dict[str, Optional[str]] = {}
-    for left, right in conformance.ENGINE_PAIRS:
+    if "lanes" in engines:
+        # Two identical lanes: lane parity catches lane-indexed
+        # bookkeeping bugs that a single lane cannot.
+        lanes = conformance.run_lane_engine_case(
+            words, [case["registers"], case["registers"]], **kwargs
+        )
+        runs["lanes"] = lanes[0]
+    for left, right in conformance.active_engine_pairs():
         mismatches = conformance.compare_runs(runs[left], runs[right])
         divergence[f"{left}_vs_{right}"] = (
             "; ".join(mismatches) if mismatches else None
         )
-    mirror = conformance.compare_runs(lanes[0], lanes[1])
-    divergence["lane0_vs_lane1"] = "; ".join(mirror) if mirror else None
-    return {"divergence": divergence, "state": _retire_state(runs["threaded"])}
+    if "lanes" in engines:
+        mirror = conformance.compare_runs(lanes[0], lanes[1])
+        divergence["lane0_vs_lane1"] = "; ".join(mirror) if mirror else None
+    state_engine = next(e for e in _RETIRE_STATE_PRIORITY if e in runs)
+    return {"divergence": divergence, "state": _retire_state(runs[state_engine])}
 
 
 def _retire_reference(case: Dict[str, Any]) -> Dict[str, Any]:
@@ -444,10 +459,13 @@ def _retire_reference(case: Dict[str, Any]) -> Dict[str, Any]:
         engine="reference",
         max_instructions=case["max_instructions"],
     )
+    engines = conformance.active_engines()
     divergence: Dict[str, Optional[str]] = {
-        f"{left}_vs_{right}": None for left, right in conformance.ENGINE_PAIRS
+        f"{left}_vs_{right}": None
+        for left, right in conformance.active_engine_pairs()
     }
-    divergence["lane0_vs_lane1"] = None
+    if "lanes" in engines:
+        divergence["lane0_vs_lane1"] = None
     return {"divergence": divergence, "state": _retire_state(run)}
 
 
@@ -1073,8 +1091,9 @@ register(
 register(
     Oracle(
         name="cpu.retire_log",
-        description="RVFI-style retire streams across all three engines "
-        "(reference vs threaded vs lanes, plus mirrored-lane parity)",
+        description="RVFI-style retire streams across all four engines "
+        "(reference vs threaded vs compiled vs lanes, plus mirrored-lane "
+        "parity; honors the fuzz --engines filter)",
         sample=sample_retire_case,
         fast=_retire_fast,
         reference=_retire_reference,
